@@ -1,0 +1,85 @@
+"""E1 — Theorem 5.2 / Corollary 5.3: leader election on complete graphs.
+
+Claim reproduced: QuantumLE elects a unique leader w.h.p. with Õ(n^{1/3})
+messages, beating the tight classical Θ̃(√n) [KPP+15b].  Both sides are
+normalized per candidate (the Θ(log n) candidate multiplier is shared), and
+the classical √(ln n) referee factor is divided out via the harness's
+polylog correction so the polynomial exponents are identifiable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import LEAN_ALPHA, emit, series_block
+from repro.analysis.experiments import get_experiment
+from repro.analysis.scaling import measure_scaling
+from repro.classical.leader_election.complete_kpp import classical_le_complete
+from repro.core.leader_election.complete import quantum_le_complete
+from repro.util.rng import RandomSource
+
+SIZES = [1024, 4096, 16384, 65536]
+TRIALS = 3
+EXPERIMENT = get_experiment("E1")
+
+
+def _quantum_runner(n, rng):
+    # Paper-exact failure budget α = 1/n²: early stopping makes the full
+    # w.h.p. schedule affordable (only the top candidate pays it in full).
+    result = quantum_le_complete(n, rng)
+    per_candidate = result.messages / max(1, result.meta["candidates"])
+    return round(per_candidate), result.rounds, result.success, {}
+
+
+def _classical_runner(n, rng):
+    result = classical_le_complete(n, rng)
+    per_candidate = result.messages / max(1, result.meta["candidates"])
+    return round(per_candidate), result.rounds, result.success, {}
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    quantum = measure_scaling("quantum", _quantum_runner, SIZES, TRIALS, seed=10)
+    classical = measure_scaling("classical", _classical_runner, SIZES, TRIALS, seed=11)
+    return quantum, classical
+
+
+def test_e01_complete_le(benchmark, sweep):
+    quantum, classical = sweep
+    q_fit = quantum.fit()
+    c_fit = classical.fit(polylog_power=0.5)  # referees ∝ √(n·ln n)
+    emit(
+        "E1",
+        series_block(
+            "E1",
+            "E1 — LE on K_n (messages per candidate)",
+            quantum,
+            classical,
+            q_fit,
+            c_fit,
+            EXPERIMENT.quantum_exponent,
+            EXPERIMENT.classical_exponent,
+            notes=(
+                "quantum advantage at n=65536: "
+                f"{classical.messages[-1] / quantum.messages[-1]:.2f}x fewer "
+                "messages per candidate"
+            ),
+        ),
+    )
+    assert quantum.overall_success_rate() > 0.9
+    assert classical.overall_success_rate() > 0.9
+    assert q_fit.exponent == pytest.approx(1 / 3, abs=0.08)
+    assert c_fit.exponent == pytest.approx(1 / 2, abs=0.08)
+    # Who wins: quantum strictly cheaper at the top of the grid.
+    assert quantum.messages[-1] < classical.messages[-1]
+
+    benchmark.extra_info["quantum_exponent"] = q_fit.exponent
+    benchmark.extra_info["classical_exponent"] = c_fit.exponent
+    benchmark.extra_info["advantage_at_top"] = (
+        classical.messages[-1] / quantum.messages[-1]
+    )
+    benchmark.pedantic(
+        lambda: quantum_le_complete(4096, RandomSource(0), alpha=LEAN_ALPHA),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,136 @@
+"""E3 — Theorem 5.4 / Corollary 5.5: leader election with mixing time τ.
+
+Claim reproduced: QuantumRWLE costs Õ(τk + τ²√(n/k)) messages (optimized:
+Õ(τ^{5/3}·n^{1/3}) at k = τ^{2/3}n^{1/3}), beating the classical random-walk
+protocol's Õ(τ·√n) [KPP+15b].  Measured on hypercubes (τ = Θ(polylog n),
+supplied to both protocols as the known bound the paper assumes) and
+validated at fixed n by a τ sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import emit, series_block, single_table
+from repro.analysis.experiments import get_experiment
+from repro.analysis.scaling import measure_scaling
+from repro.classical.leader_election.mixing_rw import classical_le_mixing
+from repro.core.leader_election.mixing import quantum_rwle
+from repro.network import graphs
+from repro.util.rng import RandomSource
+
+DIMENSIONS = [7, 9, 11, 13]  # n = 128 … 8192
+TRIALS = 3
+EXPERIMENT = get_experiment("E3")
+
+_TOPOLOGIES = {}
+
+
+def _hypercube(n: int):
+    if n not in _TOPOLOGIES:
+        _TOPOLOGIES[n] = graphs.HypercubeTopology.of_size(n)
+    return _TOPOLOGIES[n]
+
+
+def _tau(n: int) -> int:
+    # Hypercube mixing bound Θ(d·log d); 2d is a faithful known upper bound
+    # for the lazy walk at these sizes.
+    return 2 * (n.bit_length() - 1)
+
+
+def _quantum_runner(n, rng):
+    result = quantum_rwle(_hypercube(n), rng, tau=_tau(n))
+    per_candidate = result.messages / max(1, result.meta["candidates"])
+    return round(per_candidate), result.rounds, result.success, {}
+
+
+def _classical_runner(n, rng):
+    result = classical_le_mixing(_hypercube(n), rng, tau=_tau(n))
+    per_candidate = result.messages / max(1, result.meta["candidates"])
+    return round(per_candidate), result.rounds, result.success, {}
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    sizes = [1 << d for d in DIMENSIONS]
+    quantum = measure_scaling("quantum", _quantum_runner, sizes, TRIALS, seed=30)
+    classical = measure_scaling("classical", _classical_runner, sizes, TRIALS, seed=31)
+    return quantum, classical
+
+
+def test_e03_mixing_le(benchmark, sweep):
+    quantum, classical = sweep
+    # Both sides carry τ = Θ(log n) factors: τ^{5/3} ≈ (2 ln n / ln 2)^{5/3}
+    # on the quantum side, τ·√(ln n) classically.  Divide them out so the
+    # polynomial exponent is identifiable on this grid.
+    q_fit = quantum.fit(polylog_power=5 / 3)
+    c_fit = classical.fit(polylog_power=1.5)
+    emit(
+        "E3",
+        series_block(
+            "E3",
+            "E3 — LE on hypercubes with known τ (messages per candidate)",
+            quantum,
+            classical,
+            q_fit,
+            c_fit,
+            EXPERIMENT.quantum_exponent,
+            EXPERIMENT.classical_exponent,
+            notes=(
+                "tau(n) = 2·log2(n); polylog corrections: quantum tau^(5/3), "
+                "classical tau·sqrt(ln n)"
+            ),
+        ),
+    )
+    assert quantum.overall_success_rate() > 0.9
+    assert classical.overall_success_rate() > 0.9
+    assert q_fit.exponent == pytest.approx(1 / 3, abs=0.12)
+    assert c_fit.exponent == pytest.approx(1 / 2, abs=0.12)
+
+    # τ sweep at fixed n: quantum grows ~τ^{5/3}, classical ~τ, and the
+    # paper's closing conjecture (message complexity linear in τ) realized
+    # as the experimental decentralized-Checking variant.
+    topology = _hypercube(1 << 10)
+    tau_rows = []
+    for tau in (5, 10, 20, 40):
+        q = quantum_rwle(topology, RandomSource(tau), tau=tau)
+        conjectured = quantum_rwle(
+            topology,
+            RandomSource(tau),
+            tau=tau,
+            checking_mode="conjectured-decentralized",
+        )
+        c = classical_le_mixing(topology, RandomSource(tau + 1), tau=tau)
+        tau_rows.append(
+            [
+                str(tau),
+                f"{q.messages:,}",
+                f"{conjectured.messages:,}",
+                f"{c.messages:,}",
+            ]
+        )
+    emit(
+        "E3-tau",
+        single_table(
+            "E3 — τ sweep at n=1024 (total messages)",
+            ["tau", "quantum msgs", "conjectured τ-linear msgs", "classical msgs"],
+            tau_rows,
+        )
+        + (
+            "\nconjectured variant = Conclusion's open question, simulated "
+            "with decentralized Checking (EXPERIMENTAL, beyond the proven "
+            "toolkit)"
+        ),
+    )
+    # The conjectured variant must sit at or below the proven protocol.
+    proven = [int(r[1].replace(",", "")) for r in tau_rows]
+    conjectured_costs = [int(r[2].replace(",", "")) for r in tau_rows]
+    assert all(c <= p for c, p in zip(conjectured_costs, proven))
+
+    benchmark.extra_info["quantum_exponent"] = q_fit.exponent
+    benchmark.extra_info["classical_exponent"] = c_fit.exponent
+    benchmark.pedantic(
+        lambda: quantum_rwle(_hypercube(1 << 9), RandomSource(0), tau=18),
+        rounds=3,
+        iterations=1,
+    )

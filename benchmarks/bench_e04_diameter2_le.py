@@ -1,0 +1,122 @@
+"""E4 — Theorem 5.6 / Corollary 5.7: leader election on diameter-2 graphs.
+
+Claim reproduced: QuantumQWLE costs Õ(k + n/√k) messages — Õ(n^{2/3}) at
+k = n^{2/3} — versus the tight classical Θ(n) bound [CPR20].
+
+Both sides are normalized per candidate (the shared Θ(log n) candidate
+multiplier).  Eliminated candidates leave the loop (Algorithm 3 line 13), so
+the alive set decays geometrically and each surviving candidate's total cost
+is Θ(1) effective iterations of (slots × Σ√deg) ≈ n^{2/3} — versus the
+classical per-candidate flood of deg ≈ n/2 on G(n, 1/2).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from _harness import LEAN_ALPHA, emit, series_block
+from repro.analysis.experiments import get_experiment
+from repro.analysis.scaling import measure_scaling
+from repro.classical.leader_election.diameter2_cpr import classical_le_diameter2
+from repro.core.leader_election.diameter2 import QWLEParameters, quantum_qwle
+from repro.network import graphs
+from repro.util.rng import RandomSource
+
+SIZES = [256, 512, 1024, 2048]
+TRIALS = 3
+EXPERIMENT = get_experiment("E4")
+
+_TOPOLOGIES = {}
+
+
+def _dense_diameter2(n: int):
+    """G(n, 1/2): diameter 2 w.h.p. — the dense regime of the Θ(n) bound."""
+    if n not in _TOPOLOGIES:
+        rng = RandomSource(1000 + n)
+        _TOPOLOGIES[n] = graphs.erdos_renyi(n, 0.5, rng, ensure_connected=True)
+    return _TOPOLOGIES[n]
+
+
+def _lean_params(n: int) -> QWLEParameters:
+    # outer = 8·ln n keeps per-candidate survival ≈ n^{-1.66} with
+    # activation 1/4 (elimination ≈ 0.25·0.75 per iteration).
+    return QWLEParameters(
+        alpha=LEAN_ALPHA,
+        inner_alpha=LEAN_ALPHA,
+        outer_iterations=max(8, math.ceil(8.0 * math.log(n))),
+        activation=0.25,
+    )
+
+
+def _quantum_runner(n, rng):
+    params = _lean_params(n)
+    result = quantum_qwle(_dense_diameter2(n), rng, params)
+    candidates = max(1, result.meta["candidates"])
+    return round(result.messages / candidates), result.rounds, result.success, {}
+
+
+def _classical_runner(n, rng):
+    result = classical_le_diameter2(_dense_diameter2(n), rng)
+    candidates = max(1, result.meta["candidates"])
+    return round(result.messages / candidates), result.rounds, result.success, {}
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    quantum = measure_scaling("quantum", _quantum_runner, SIZES, TRIALS, seed=40)
+    classical = measure_scaling("classical", _classical_runner, SIZES, TRIALS, seed=41)
+    return quantum, classical
+
+
+def test_e04_diameter2_le(benchmark, sweep):
+    from repro.analysis.fitting import crossover_estimate
+
+    quantum, classical = sweep
+    q_fit = quantum.fit()
+    c_fit = classical.fit()
+    crossover = crossover_estimate(q_fit, c_fit)
+    crossover_note = (
+        f"predicted crossover n ≈ {crossover:.2e}"
+        if crossover is not None
+        else "crossover beyond 10^18"
+    )
+    emit(
+        "E4",
+        series_block(
+            "E4",
+            "E4 — LE on dense diameter-2 graphs G(n, 1/2) "
+            "(messages per candidate)",
+            quantum,
+            classical,
+            q_fit,
+            c_fit,
+            EXPERIMENT.quantum_exponent,
+            EXPERIMENT.classical_exponent,
+            notes=(
+                "per-candidate normalization shares out the Θ(log n) "
+                "candidate multiplier; the exponent gap 2/3 vs 1 is the "
+                "reproduced claim (absolute constants favour classical at "
+                f"laptop n — {crossover_note})"
+            ),
+        ),
+    )
+    assert quantum.overall_success_rate() > 0.85
+    assert classical.overall_success_rate() > 0.85
+    assert q_fit.exponent == pytest.approx(2 / 3, abs=0.12)
+    assert c_fit.exponent == pytest.approx(1.0, abs=0.12)
+    # The headline separation: quantum normalized growth is sublinear.
+    q_growth = quantum.messages[-1] / quantum.messages[0]
+    c_growth = classical.messages[-1] / classical.messages[0]
+    assert q_growth < c_growth
+
+    benchmark.extra_info["quantum_exponent"] = q_fit.exponent
+    benchmark.extra_info["classical_exponent"] = c_fit.exponent
+    benchmark.pedantic(
+        lambda: quantum_qwle(
+            _dense_diameter2(256), RandomSource(0), _lean_params(256)
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,107 @@
+"""E5 — Theorem 5.10: explicit leader election on general graphs.
+
+Claim reproduced: QuantumGeneralLE costs Õ(√(mn)) messages versus the tight
+classical Θ(m) [KPP+15a].  Two sweeps:
+
+* **density sweep** at fixed n — quantum per-phase cost grows like √m while
+  the classical per-phase cost grows like m;
+* **size sweep** at fixed average degree — both grow, but quantum more slowly
+  (√(mn) = n·√d̄ vs m = n·d̄/2: same n-slope, √ vs linear d̄-slope, so the
+  density sweep is the discriminating one).
+
+The dense end also demonstrates the absolute win: fewer quantum messages per
+phase than the classical probe-everything floor.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from _harness import LEAN_ALPHA, emit, single_table
+from repro.classical.leader_election.general_ghs import classical_le_general
+from repro.core.leader_election.general import quantum_general_le
+from repro.network import graphs
+from repro.util.rng import RandomSource
+
+N_FIXED = 192
+DENSITIES = [0.05, 0.1, 0.2, 0.4, 0.8]
+TRIALS = 2
+
+
+def _measure(topology, seed):
+    quantum_costs, classical_costs = [], []
+    ok = True
+    for t in range(TRIALS):
+        rng = RandomSource(seed + t)
+        q = quantum_general_le(topology, rng.spawn(), alpha=LEAN_ALPHA)
+        c = classical_le_general(topology, rng.spawn())
+        ok = ok and q.explicit_success and c.explicit_success
+        quantum_costs.append(q.messages / q.meta["phases"])
+        classical_costs.append(c.messages / c.meta["phases"])
+    return (
+        sum(quantum_costs) / TRIALS,
+        sum(classical_costs) / TRIALS,
+        ok,
+    )
+
+
+@pytest.fixture(scope="module")
+def density_sweep():
+    rows = []
+    for p in DENSITIES:
+        rng = RandomSource(int(p * 1000))
+        topology = graphs.erdos_renyi(N_FIXED, p, rng)
+        quantum, classical, ok = _measure(topology, seed=int(p * 7919))
+        rows.append((p, topology.edge_count(), quantum, classical, ok))
+    return rows
+
+
+def test_e05_general_le(benchmark, density_sweep):
+    table_rows = []
+    for p, m, quantum, classical, ok in density_sweep:
+        envelope = math.sqrt(m * N_FIXED)
+        table_rows.append(
+            [
+                f"{p:.2f}",
+                f"{m:,}",
+                f"{quantum:,.0f}",
+                f"{classical:,.0f}",
+                f"{classical / quantum:.2f}",
+                f"{envelope:,.0f}",
+            ]
+        )
+    # Growth exponents in m (per-phase costs at fixed n).
+    ms = [row[1] for row in density_sweep]
+    q_growth = density_sweep[-1][2] / density_sweep[0][2]
+    c_growth = density_sweep[-1][3] / density_sweep[0][3]
+    m_growth = ms[-1] / ms[0]
+    q_exp = math.log(q_growth) / math.log(m_growth)
+    c_exp = math.log(c_growth) / math.log(m_growth)
+    emit(
+        "E5",
+        single_table(
+            f"E5 — explicit LE, density sweep at n={N_FIXED} (per-phase messages)",
+            ["p", "m", "quantum", "classical", "ratio", "sqrt(mn)"],
+            table_rows,
+        )
+        + (
+            f"\nper-phase growth in m: quantum m^{q_exp:.3f} (paper: 0.5), "
+            f"classical m^{c_exp:.3f} (paper: 1.0)"
+        ),
+    )
+    assert all(ok for *_, ok in density_sweep)
+    assert q_exp == pytest.approx(0.5, abs=0.15)
+    assert c_exp == pytest.approx(1.0, abs=0.1)
+    # Who wins: at the dense end quantum beats the classical per-phase cost.
+    assert density_sweep[-1][2] < density_sweep[-1][3]
+
+    benchmark.extra_info["quantum_m_exponent"] = q_exp
+    benchmark.extra_info["classical_m_exponent"] = c_exp
+    dense = graphs.erdos_renyi(N_FIXED, 0.8, RandomSource(800))
+    benchmark.pedantic(
+        lambda: quantum_general_le(dense, RandomSource(1), alpha=LEAN_ALPHA),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,119 @@
+"""E7 — Appendix B.2 (Searching): distributed search on a star graph.
+
+Claim reproduced: the centre of a star can find a leaf holding a 1-bit with
+O(√n) quantum messages (distributed Grover, Theorem 4.1) versus the classical
+Θ(n) flood — and the bucketed variant trades rounds for messages:
+O(√(n/k)) rounds at O(√(nk)) messages.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from _harness import LEAN_ALPHA, emit, single_table
+from repro.analysis.fitting import fit_power_law
+from repro.core.grover import distributed_grover_search
+from repro.core.procedures import SetOracle, uniform_charge
+from repro.network.metrics import MetricsRecorder
+from repro.util.rng import RandomSource
+
+SIZES = [256, 1024, 4096, 16384, 65536]
+TRIALS = 40
+MARKED_LEAVES = 1  # worst case: a single marked leaf
+
+#: 25 searches run across the sweep; α = 0.01 keeps P[any miss] ≈ 10⁻³ while
+#: only multiplying messages by a constant (attempts 8 → 16).
+SEARCH_ALPHA = 0.01
+
+
+def _quantum_search_cost(n: int, seed: int) -> tuple[float, bool]:
+    """Average messages of the star-graph Grover search (single marked leaf,
+    worst case: ε = 1/n so the schedule cannot stop early on a miss)."""
+    total = 0
+    found = True
+    for t in range(TRIALS):
+        oracle = SetOracle(
+            domain=range(n),
+            marked={0},
+            charge_checking=uniform_charge(2, 2, "star.checking"),
+        )
+        metrics = MetricsRecorder()
+        result = distributed_grover_search(
+            oracle, 1.0 / n, SEARCH_ALPHA, metrics, RandomSource(seed + t)
+        )
+        total += metrics.messages
+        found = found and result.succeeded
+    return total / TRIALS, found
+
+
+def _classical_cost(n: int) -> int:
+    """Classical lower bound on the star: ask every leaf (n−1 probes)."""
+    return 2 * (n - 1)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    for n in SIZES:
+        quantum, found = _quantum_search_cost(n, seed=n)
+        rows.append((n, quantum, _classical_cost(n), found))
+    return rows
+
+
+def test_e07_star_search(benchmark, sweep):
+    table = [
+        [str(n), f"{q:,.0f}", f"{c:,}", f"{c / q:.2f}"]
+        for n, q, c, _ in sweep
+    ]
+    sizes = [row[0] for row in sweep]
+    quantum_fit = fit_power_law(sizes, [row[1] for row in sweep])
+    emit(
+        "E7",
+        single_table(
+            "E7 — star-graph search: centre finds the marked leaf",
+            ["n", "quantum msgs", "classical msgs", "ratio"],
+            table,
+        )
+        + f"\nquantum: measured {quantum_fit} (paper: 0.500); classical: n^1 exactly",
+    )
+    assert all(found for *_, found in sweep)
+    assert quantum_fit.exponent == pytest.approx(0.5, abs=0.1)
+    assert sweep[-1][1] < sweep[-1][2]  # quantum wins at the top
+
+    # Bucketed variant: k buckets of size n/k — O(√(n/k)) rounds, O(√(nk)) msgs.
+    n = 16384
+    bucket_rows = []
+    for k in (1, 16, 256):
+        buckets = n // k
+        oracle = SetOracle(
+            domain=range(buckets),
+            marked={0},
+            charge_checking=uniform_charge(2 * k, 2, "star.bucket-checking"),
+        )
+        metrics = MetricsRecorder()
+        distributed_grover_search(
+            oracle, 1.0 / buckets, SEARCH_ALPHA, metrics, RandomSource(k)
+        )
+        bucket_rows.append(
+            [str(k), f"{metrics.messages:,}", f"{metrics.rounds:,}"]
+        )
+    emit(
+        "E7-buckets",
+        single_table(
+            f"E7 — bucketed star search at n={n} (rounds vs messages)",
+            ["bucket size k", "messages", "rounds"],
+            bucket_rows,
+        ),
+    )
+    # Larger buckets: more messages, fewer rounds.
+    messages = [int(r[1].replace(",", "")) for r in bucket_rows]
+    rounds = [int(r[2].replace(",", "")) for r in bucket_rows]
+    assert messages[0] < messages[-1]
+    assert rounds[0] > rounds[-1]
+
+    benchmark.extra_info["quantum_exponent"] = quantum_fit.exponent
+    benchmark.pedantic(
+        lambda: _quantum_search_cost(16384, seed=0), rounds=3, iterations=1
+    )

@@ -1,0 +1,100 @@
+"""E8 — Appendix B.2 (Counting) / Corollary 4.3: approximate counting.
+
+Claim reproduced: the centre of a star estimates the number of leaves with a
+1-bit to ±εn using O(1/ε) quantum messages (ApproxCount) versus the classical
+Θ(1/ε²) sampling bound — and the estimates actually satisfy the Corollary 4.3
+error guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from _harness import LEAN_ALPHA, emit, single_table
+from repro.analysis.fitting import fit_power_law
+from repro.core.counting import approx_count
+from repro.core.procedures import SetOracle, uniform_charge
+from repro.network.metrics import MetricsRecorder
+from repro.util.rng import RandomSource
+
+N = 4096
+TRUE_COUNT = 1234
+ACCURACIES = [0.08, 0.04, 0.02, 0.01, 0.005]
+TRIALS = 5
+
+
+def _quantum_cost(accuracy: float, seed: int) -> tuple[float, float]:
+    """(average messages, max |error| / (accuracy·N)) over trials."""
+    total = 0
+    worst_error = 0.0
+    for t in range(TRIALS):
+        oracle = SetOracle(
+            domain=range(N),
+            marked=set(range(TRUE_COUNT)),
+            charge_checking=uniform_charge(2, 2, "star.count-checking"),
+        )
+        metrics = MetricsRecorder()
+        result = approx_count(
+            oracle, accuracy, LEAN_ALPHA, metrics, RandomSource(seed + t)
+        )
+        total += metrics.messages
+        worst_error = max(worst_error, abs(result.estimate - TRUE_COUNT))
+    return total / TRIALS, worst_error / (accuracy * N)
+
+
+def _classical_cost(accuracy: float) -> int:
+    """Hoeffding sampling: ln(2/α)/(2ε²) probes, 2 messages each."""
+    samples = math.ceil(math.log(2.0 / LEAN_ALPHA) / (2.0 * accuracy**2))
+    return 2 * samples
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    for accuracy in ACCURACIES:
+        quantum, relative_error = _quantum_cost(accuracy, seed=int(1 / accuracy))
+        rows.append((accuracy, quantum, _classical_cost(accuracy), relative_error))
+    return rows
+
+
+def test_e08_star_counting(benchmark, sweep):
+    table = [
+        [
+            f"{acc:g}",
+            f"{q:,.0f}",
+            f"{c:,}",
+            f"{c / q:.2f}",
+            f"{err:.2f}",
+        ]
+        for acc, q, c, err in sweep
+    ]
+    inverse_eps = [1.0 / acc for acc, *_ in sweep]
+    q_fit = fit_power_law(inverse_eps, [row[1] for row in sweep])
+    c_fit = fit_power_law(inverse_eps, [row[2] for row in sweep])
+    emit(
+        "E8",
+        single_table(
+            f"E8 — approximate counting to ±εn on a star (n={N}, t={TRUE_COUNT})",
+            ["ε", "quantum msgs", "classical msgs", "ratio", "err/(εn)"],
+            table,
+        )
+        + (
+            f"\nin 1/ε: quantum (1/ε)^{q_fit.exponent:.3f} (paper: 1), "
+            f"classical (1/ε)^{c_fit.exponent:.3f} (paper: 2)"
+        ),
+    )
+    # Error guarantee: every measured error within the ±εn budget.
+    assert all(err <= 1.0 for *_, err in sweep)
+    # Scaling: 1/ε vs 1/ε².
+    assert q_fit.exponent == pytest.approx(1.0, abs=0.1)
+    assert c_fit.exponent == pytest.approx(2.0, abs=0.1)
+    # Who wins: quadratic separation dominates by the tight end of the grid.
+    assert sweep[-1][1] < sweep[-1][2]
+
+    benchmark.extra_info["quantum_eps_exponent"] = q_fit.exponent
+    benchmark.extra_info["classical_eps_exponent"] = c_fit.exponent
+    benchmark.pedantic(
+        lambda: _quantum_cost(0.02, seed=0), rounds=3, iterations=1
+    )

@@ -1,0 +1,108 @@
+"""E11 — Theorem 4.1 / Corollary 4.3 vs classical sampling: subroutine laws.
+
+Claim reproduced: the two quantum primitives underlying every protocol obey
+their promised message laws as functions of the promise parameter —
+
+* distributed Grover search: messages ∝ 1/√ε   (classical sampling: 1/ε);
+* ApproxCount:              messages ∝ 1/c    (classical sampling: 1/c²).
+
+Measured directly against the never-success worst case (search) and the
+standard star-graph oracle (counting), with the classical curves computed
+from the matching Chernoff/coupon bounds.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from _harness import LEAN_ALPHA, emit, single_table
+from repro.analysis.fitting import fit_power_law
+from repro.core.counting import approx_count
+from repro.core.grover import distributed_grover_search
+from repro.core.procedures import SetOracle, uniform_charge
+from repro.network.metrics import MetricsRecorder
+from repro.util.rng import RandomSource
+
+EPSILONS = [2**-4, 2**-6, 2**-8, 2**-10, 2**-12]
+TRIALS = 10
+
+
+def _grover_cost(epsilon: float) -> float:
+    """Worst-case (no marked element): the full Theorem 4.1 schedule runs."""
+    total = 0
+    for t in range(TRIALS):
+        oracle = SetOracle(
+            domain=range(64),
+            marked=set(),
+            charge_checking=uniform_charge(2, 2, "e11.checking"),
+        )
+        metrics = MetricsRecorder()
+        distributed_grover_search(
+            oracle, epsilon, LEAN_ALPHA, metrics, RandomSource(t)
+        )
+        total += metrics.messages
+    return total / TRIALS
+
+
+def _count_cost(accuracy: float) -> float:
+    oracle = SetOracle(
+        domain=range(256),
+        marked=set(range(100)),
+        charge_checking=uniform_charge(2, 2, "e11.count"),
+    )
+    metrics = MetricsRecorder()
+    approx_count(oracle, accuracy, LEAN_ALPHA, metrics, RandomSource(0))
+    return metrics.messages
+
+
+@pytest.fixture(scope="module")
+def laws():
+    grover_rows = [
+        (eps, _grover_cost(eps), 2 * math.ceil(math.log(1 / LEAN_ALPHA) / eps))
+        for eps in EPSILONS
+    ]
+    count_rows = [
+        (c, _count_cost(c), 2 * math.ceil(math.log(2 / LEAN_ALPHA) / (2 * c**2)))
+        for c in (0.1, 0.05, 0.025, 0.0125)
+    ]
+    return grover_rows, count_rows
+
+
+def test_e11_subroutine_laws(benchmark, laws):
+    grover_rows, count_rows = laws
+    grover_table = [
+        [f"{eps:g}", f"{q:,.0f}", f"{c:,}"] for eps, q, c in grover_rows
+    ]
+    count_table = [
+        [f"{c:g}", f"{q:,.0f}", f"{cl:,}"] for c, q, cl in count_rows
+    ]
+    inv_eps = [1 / eps for eps, *_ in grover_rows]
+    grover_fit = fit_power_law(inv_eps, [q for _, q, _ in grover_rows])
+    inv_c = [1 / c for c, *_ in count_rows]
+    count_fit = fit_power_law(inv_c, [q for _, q, _ in count_rows])
+    emit(
+        "E11",
+        single_table(
+            "E11 — Grover search message law (worst case, per search)",
+            ["ε", "quantum msgs", "classical (Chernoff) msgs"],
+            grover_table,
+        )
+        + f"\nquantum: (1/ε)^{grover_fit.exponent:.3f} (paper: 0.5)\n\n"
+        + single_table(
+            "E11 — ApproxCount message law",
+            ["c", "quantum msgs", "classical (Hoeffding) msgs"],
+            count_table,
+        )
+        + f"\nquantum: (1/c)^{count_fit.exponent:.3f} (paper: 1.0)",
+    )
+    assert grover_fit.exponent == pytest.approx(0.5, abs=0.05)
+    assert count_fit.exponent == pytest.approx(1.0, abs=0.05)
+    # Quadratic separations at the demanding end of each grid.
+    assert grover_rows[-1][1] < grover_rows[-1][2]
+    assert count_rows[-1][1] < count_rows[-1][2]
+
+    benchmark.extra_info["grover_exponent"] = grover_fit.exponent
+    benchmark.extra_info["count_exponent"] = count_fit.exponent
+    benchmark.pedantic(lambda: _grover_cost(2**-10), rounds=3, iterations=1)

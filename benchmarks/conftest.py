@@ -1,0 +1,9 @@
+"""Benchmark-suite configuration."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _show_output(capsys):
+    """Let result tables through even without -s: print at teardown."""
+    yield

@@ -1,0 +1,56 @@
+"""Implicit agreement with a shared coin: quantum vs classical.
+
+Both protocols (Algorithm 4 and its [AMP18] classical counterpart) run on the
+same inputs with the same shared-coin seed, so the loop dynamics are directly
+comparable: same decided/undecided splits whenever their estimates agree.
+
+    python examples/agreement_demo.py [n] [fraction_of_ones]
+"""
+
+import sys
+
+from repro import (
+    RandomSource,
+    SharedCoin,
+    classical_agreement_shared,
+    quantum_agreement,
+)
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 8192
+    fraction = float(sys.argv[2]) if len(sys.argv) > 2 else 0.3
+    ones = int(fraction * n)
+    inputs = [1] * ones + [0] * (n - ones)
+    rng = RandomSource(11)
+
+    print(f"Implicit agreement on K_{n}: {ones} ones, {n - ones} zeros\n")
+
+    quantum = quantum_agreement(
+        inputs, rng.spawn(), shared_coin=SharedCoin(RandomSource(99))
+    )
+    print("QuantumAgreement (Algorithm 4)")
+    print(f"  agreed value : {quantum.agreed_value} (valid={quantum.success})")
+    print(f"  decided nodes: {len(quantum.decided_nodes)}")
+    print(f"  iterations   : {quantum.meta['iterations']}")
+    print(f"  messages     : {quantum.messages:,} "
+          f"(expected Õ(n^(1/5)) — Corollary 6.8)")
+
+    classical = classical_agreement_shared(
+        inputs, rng.spawn(), shared_coin=SharedCoin(RandomSource(99))
+    )
+    print("\nClassical agreement [AMP18]")
+    print(f"  agreed value : {classical.agreed_value} (valid={classical.success})")
+    print(f"  decided nodes: {len(classical.decided_nodes)}")
+    print(f"  messages     : {classical.messages:,} (expected Õ(n^(2/5)))")
+
+    print(
+        "\nBoth decide a value some node actually held, using sublinearly "
+        "many messages; the quantum estimation (ApproxCount, Θ(1/ε)) and "
+        "detection (Grover, Θ(√(n/s))) are each quadratically cheaper than "
+        "their sampling counterparts."
+    )
+
+
+if __name__ == "__main__":
+    main()

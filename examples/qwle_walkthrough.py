@@ -1,0 +1,60 @@
+"""Anatomy of QuantumQWLE — the paper's most intricate protocol.
+
+Runs Algorithm 3 on a dense diameter-2 graph and dissects where the messages
+went, phase by phase, straight from the cost ledger:
+
+* Setup    — sending the rank to the k referees of the current walk vertex;
+* Update   — swapping one referee (the quantum walk's O(1)-message step —
+             this is exactly what the walk layer buys, see the ablation);
+* Checking — the nested Grover searches: the *decentralized* part (passive
+             candidates scanning their own neighbourhoods, shared by every
+             active candidate) and the *centralized* part (the active
+             candidate scanning its referee set).
+
+    python examples/qwle_walkthrough.py [n]
+"""
+
+import sys
+
+from repro import QWLEParameters, RandomSource, quantum_qwle
+from repro.network import graphs
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    rng = RandomSource(42)
+    topology = graphs.erdos_renyi(n, 0.5, rng.spawn())
+    params = QWLEParameters(alpha=1 / 8, inner_alpha=1 / 8)
+    result = quantum_qwle(topology, rng.spawn(), params)
+
+    resolved = params.resolve(n)
+    print(f"QuantumQWLE on G({n}, 1/2)  —  m = {topology.edge_count():,} edges")
+    print(f"  referee-set size k     : {resolved.k} (≈ n^(2/3))")
+    print(f"  outer iterations       : {resolved.outer_iterations}")
+    print(f"  activation probability : {resolved.activation:.4f}")
+    print(f"  candidates             : {result.meta['candidates']}")
+    print(f"  walk searches launched : {result.meta['walk_searches']}")
+    print(f"  leader                 : {result.leader} (success={result.success})")
+
+    print(f"\nmessage ledger ({result.messages:,} total):")
+    labels = result.metrics.ledger.messages_by_label()
+    for label, messages in sorted(labels.items(), key=lambda kv: -kv[1]):
+        if messages:
+            share = 100.0 * messages / result.messages
+            print(f"  {label:40s} {messages:>12,}  ({share:5.1f}%)")
+
+    decentralized = labels.get("qwle.walk.checking.decentralized", 0)
+    centralized = labels.get("qwle.walk.checking.centralized", 0)
+    if centralized:
+        print(
+            f"\nThe decentralized Checking dominates ({decentralized:,} vs "
+            f"{centralized:,} centralized) — and it is *shared*: one "
+            "execution serves every simultaneously active candidate, which "
+            "is why Section 1.2 calls decentralization out as a new "
+            "ingredient.  The Update line is tiny: that economy over fresh "
+            "Setups is the quantum walk's contribution (Õ(n^3/4) → Õ(n^2/3))."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""A self-contained scaling study: reproduce Corollary 5.3's exponents.
+
+Sweeps network sizes, measures per-candidate message costs of QuantumLE and
+the classical [KPP+15b] protocol, fits power laws, and prints the paper-style
+comparison table — the same machinery the benchmark harness uses, runnable
+standalone:
+
+    python examples/scaling_study.py [--sizes 1024 4096 16384] [--trials 3]
+"""
+
+import argparse
+
+from repro import RandomSource, classical_le_complete, quantum_le_complete
+from repro.analysis import comparison_table, measure_scaling
+
+
+def quantum_runner(n: int, rng: RandomSource):
+    result = quantum_le_complete(n, rng)
+    per_candidate = result.messages / max(1, result.meta["candidates"])
+    return round(per_candidate), result.rounds, result.success, {}
+
+
+def classical_runner(n: int, rng: RandomSource):
+    result = classical_le_complete(n, rng)
+    per_candidate = result.messages / max(1, result.meta["candidates"])
+    return round(per_candidate), result.rounds, result.success, {}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[1024, 4096, 16384, 65536]
+    )
+    parser.add_argument("--trials", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    quantum = measure_scaling(
+        "quantum", quantum_runner, args.sizes, args.trials, seed=args.seed
+    )
+    classical = measure_scaling(
+        "classical", classical_runner, args.sizes, args.trials, seed=args.seed + 1
+    )
+
+    print(
+        comparison_table(
+            quantum,
+            classical,
+            title="Leader election on K_n — messages per candidate",
+        )
+    )
+    print(f"\nquantum fit  : {quantum.fit()}   (paper: n^0.333)")
+    print(f"classical fit: {classical.fit(polylog_power=0.5)}   (paper: n^0.5)")
+    print(
+        f"\nsuccess rates: quantum {quantum.overall_success_rate():.2f}, "
+        f"classical {classical.overall_success_rate():.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

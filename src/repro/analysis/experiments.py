@@ -1,0 +1,202 @@
+"""Experiment registry: every reproduced result, its claim, and its bench.
+
+The paper has no numbered tables or figures — its evaluation *is* its
+theorems and corollaries.  Each entry here binds one of those results to the
+benchmark module that regenerates its scaling row, plus the exponents the
+fitted curves should exhibit.  EXPERIMENTS.md is organized by these ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EXPERIMENTS", "Experiment", "get_experiment"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """Metadata for one reproduced paper result."""
+
+    id: str
+    paper_result: str
+    claim: str
+    quantum_exponent: float | None
+    classical_exponent: float | None
+    modules: tuple[str, ...]
+    bench: str
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    e.id: e
+    for e in [
+        Experiment(
+            id="E1",
+            paper_result="Theorem 5.2 / Corollary 5.3",
+            claim=(
+                "Leader election on complete graphs: quantum Õ(n^(1/3)) messages "
+                "vs the tight classical Θ̃(√n); unique leader w.h.p."
+            ),
+            quantum_exponent=1.0 / 3.0,
+            classical_exponent=0.5,
+            modules=(
+                "repro.core.leader_election.complete",
+                "repro.classical.leader_election.complete_kpp",
+            ),
+            bench="benchmarks/bench_e01_complete_le.py",
+        ),
+        Experiment(
+            id="E2",
+            paper_result="Section 5.1 closing remark",
+            claim=(
+                "Round/message trade-off of QuantumLE: k sweep gives "
+                "(rounds, messages) = (Õ(√(n/k)), Õ(k + √(n/k))); k = n^(5/12) "
+                "gives o(n^(1/3)) rounds with o(√n) messages."
+            ),
+            quantum_exponent=None,
+            classical_exponent=None,
+            modules=("repro.core.leader_election.complete",),
+            bench="benchmarks/bench_e02_tradeoff.py",
+        ),
+        Experiment(
+            id="E3",
+            paper_result="Theorem 5.4 / Corollary 5.5",
+            claim=(
+                "Leader election with mixing time τ: quantum Õ(τk + τ²√(n/k)), "
+                "optimized Õ(τ^(5/3)·n^(1/3)), vs classical Õ(τ√n)."
+            ),
+            quantum_exponent=1.0 / 3.0,
+            classical_exponent=0.5,
+            modules=(
+                "repro.core.leader_election.mixing",
+                "repro.classical.leader_election.mixing_rw",
+            ),
+            bench="benchmarks/bench_e03_mixing_le.py",
+        ),
+        Experiment(
+            id="E4",
+            paper_result="Theorem 5.6 / Corollary 5.7",
+            claim=(
+                "Leader election on diameter-2 graphs: quantum Õ(k + n/√k), "
+                "optimized Õ(n^(2/3)), vs the tight classical Θ(n)."
+            ),
+            quantum_exponent=2.0 / 3.0,
+            classical_exponent=1.0,
+            modules=(
+                "repro.core.leader_election.diameter2",
+                "repro.classical.leader_election.diameter2_cpr",
+            ),
+            bench="benchmarks/bench_e04_diameter2_le.py",
+        ),
+        Experiment(
+            id="E5",
+            paper_result="Theorem 5.10",
+            claim=(
+                "Explicit leader election on general graphs: quantum Õ(√(mn)) "
+                "vs the tight classical Θ(m)."
+            ),
+            quantum_exponent=None,  # depends on (n, m) jointly; bench fits both
+            classical_exponent=None,
+            modules=(
+                "repro.core.leader_election.general",
+                "repro.classical.leader_election.general_ghs",
+            ),
+            bench="benchmarks/bench_e05_general_le.py",
+        ),
+        Experiment(
+            id="E6",
+            paper_result="Theorem 6.7 / Corollary 6.8",
+            claim=(
+                "Implicit agreement on complete graphs with a shared coin: "
+                "quantum expected Õ(n^(1/5)) vs classical Õ(n^(2/5))."
+            ),
+            quantum_exponent=1.0 / 5.0,
+            classical_exponent=2.0 / 5.0,
+            modules=(
+                "repro.core.agreement.quantum_agreement",
+                "repro.classical.agreement.amp18",
+            ),
+            bench="benchmarks/bench_e06_agreement.py",
+        ),
+        Experiment(
+            id="E7",
+            paper_result="Appendix B.2 (Searching)",
+            claim=(
+                "Star-graph search: quantum O(√n) messages vs classical Θ(n); "
+                "bucketed variant O(√(nk)) messages in O(√(n/k)) rounds."
+            ),
+            quantum_exponent=0.5,
+            classical_exponent=1.0,
+            modules=("repro.core.grover",),
+            bench="benchmarks/bench_e07_star_search.py",
+        ),
+        Experiment(
+            id="E8",
+            paper_result="Appendix B.2 (Counting) / Corollary 4.3",
+            claim=(
+                "Star-graph counting to ±εn: quantum O(1/ε) messages vs "
+                "classical Θ(1/ε²); estimates within the Theorem 4.2 bound."
+            ),
+            quantum_exponent=None,  # measured against 1/ε, not n
+            classical_exponent=None,
+            modules=("repro.core.counting",),
+            bench="benchmarks/bench_e08_star_counting.py",
+        ),
+        Experiment(
+            id="E9",
+            paper_result="Fact C.2",
+            claim=(
+                "Candidate sampling: 1 ≤ #candidates ≤ 24·ln n and all ranks "
+                "distinct, with probability ≥ 1 − 1/n²."
+            ),
+            quantum_exponent=None,
+            classical_exponent=None,
+            modules=("repro.core.candidates",),
+            bench="benchmarks/bench_e09_sampling.py",
+        ),
+        Experiment(
+            id="E10",
+            paper_result="Section 5.4 (MST remark)",
+            claim=(
+                "Minimum spanning tree via quantum tree merging: same Õ(√(mn)) "
+                "message envelope; produced tree is exactly the MST."
+            ),
+            quantum_exponent=None,
+            classical_exponent=None,
+            modules=("repro.core.leader_election.mst",),
+            bench="benchmarks/bench_e10_mst.py",
+        ),
+        Experiment(
+            id="E11",
+            paper_result="Theorem 4.1 vs classical sampling",
+            claim=(
+                "Subroutine message laws: Grover search costs ∝ 1/√ε vs the "
+                "classical 1/ε; quantum counting ∝ 1/c vs classical 1/c²."
+            ),
+            quantum_exponent=None,
+            classical_exponent=None,
+            modules=("repro.core.grover", "repro.core.counting"),
+            bench="benchmarks/bench_e11_subroutines.py",
+        ),
+        Experiment(
+            id="E12",
+            paper_result="Section 1.2 (diameter-2 design ablation)",
+            claim=(
+                "QWLE ablation: the quantum-walk layer improves the nested-"
+                "Grover-only design point Õ(n^(3/4)) to Õ(n^(2/3))."
+            ),
+            quantum_exponent=2.0 / 3.0,
+            classical_exponent=3.0 / 4.0,
+            modules=("repro.core.leader_election.diameter2",),
+            bench="benchmarks/bench_e12_qwle_ablation.py",
+        ),
+    ]
+}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None

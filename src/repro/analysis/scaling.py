@@ -1,0 +1,100 @@
+"""Scaling measurements: run a protocol across a size grid with trials."""
+
+from __future__ import annotations
+
+import statistics
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.analysis.fitting import PowerLawFit, fit_power_law
+from repro.util.rng import RandomSource
+
+__all__ = ["ScalingPoint", "ScalingSeries", "measure_scaling"]
+
+
+@dataclass
+class ScalingPoint:
+    """Aggregated measurements at one network size."""
+
+    n: int
+    messages_mean: float
+    messages_std: float
+    rounds_mean: float
+    success_rate: float
+    trials: int
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass
+class ScalingSeries:
+    """One protocol's measurements over the whole grid."""
+
+    label: str
+    points: list[ScalingPoint]
+
+    @property
+    def sizes(self) -> list[int]:
+        return [p.n for p in self.points]
+
+    @property
+    def messages(self) -> list[float]:
+        return [p.messages_mean for p in self.points]
+
+    def fit(self, polylog_power: float = 0.0) -> PowerLawFit:
+        return fit_power_law(self.sizes, self.messages, polylog_power)
+
+    def overall_success_rate(self) -> float:
+        total = sum(p.trials for p in self.points)
+        good = sum(p.success_rate * p.trials for p in self.points)
+        return good / total if total else 0.0
+
+
+#: A trial runner: (n, rng) -> (messages, rounds, success, extra-dict).
+TrialRunner = Callable[[int, RandomSource], tuple[int, int, bool, dict]]
+
+
+def measure_scaling(
+    label: str,
+    runner: TrialRunner,
+    sizes: list[int],
+    trials: int,
+    seed: int = 0,
+) -> ScalingSeries:
+    """Run ``runner`` ``trials`` times at every size; aggregate statistics.
+
+    Every (size, trial) pair gets an independent child RNG derived from
+    ``seed``, so quantum and classical series measured with the same seed
+    share nothing but are individually reproducible.
+    """
+    if trials < 1:
+        raise ValueError(f"need >= 1 trial, got {trials}")
+    root = RandomSource(seed)
+    points = []
+    for n in sizes:
+        messages: list[float] = []
+        rounds: list[float] = []
+        successes = 0
+        extras: list[dict] = []
+        for _ in range(trials):
+            msg, rnd, ok, extra = runner(n, root.spawn())
+            messages.append(float(msg))
+            rounds.append(float(rnd))
+            successes += bool(ok)
+            extras.append(extra)
+        merged_extra: dict = {}
+        for key in extras[0] if extras else ():
+            numeric = [e[key] for e in extras if isinstance(e.get(key), (int, float))]
+            if len(numeric) == len(extras):
+                merged_extra[key] = statistics.fmean(numeric)
+        points.append(
+            ScalingPoint(
+                n=n,
+                messages_mean=statistics.fmean(messages),
+                messages_std=statistics.pstdev(messages) if len(messages) > 1 else 0.0,
+                rounds_mean=statistics.fmean(rounds),
+                success_rate=successes / trials,
+                trials=trials,
+                extra=merged_extra,
+            )
+        )
+    return ScalingSeries(label=label, points=points)

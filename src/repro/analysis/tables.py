@@ -1,0 +1,60 @@
+"""Plain-text table rendering for the benchmark harness and examples."""
+
+from __future__ import annotations
+
+from repro.analysis.scaling import ScalingSeries
+
+__all__ = ["comparison_table", "render_table"]
+
+
+def render_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Render an aligned plain-text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def comparison_table(
+    quantum: ScalingSeries,
+    classical: ScalingSeries,
+    title: str = "",
+) -> str:
+    """Paper-style side-by-side message comparison over a shared size grid."""
+    if quantum.sizes != classical.sizes:
+        raise ValueError("series were measured on different size grids")
+    headers = [
+        "n",
+        f"{quantum.label} msgs",
+        f"{classical.label} msgs",
+        "ratio (c/q)",
+        "q success",
+        "c success",
+    ]
+    rows = []
+    for qp, cp in zip(quantum.points, classical.points):
+        ratio = cp.messages_mean / qp.messages_mean if qp.messages_mean else float("inf")
+        rows.append(
+            [
+                str(qp.n),
+                f"{qp.messages_mean:,.0f}",
+                f"{cp.messages_mean:,.0f}",
+                f"{ratio:.3f}",
+                f"{qp.success_rate:.2f}",
+                f"{cp.success_rate:.2f}",
+            ]
+        )
+    return render_table(headers, rows, title=title)

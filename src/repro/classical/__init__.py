@@ -1,0 +1,24 @@
+"""Classical baselines: every comparator the paper's results are measured against."""
+
+from repro.classical.agreement.amp18 import (
+    classical_agreement_private,
+    classical_agreement_shared,
+)
+from repro.classical.leader_election.complete_kpp import classical_le_complete
+from repro.classical.leader_election.diameter2_cpr import classical_le_diameter2
+from repro.classical.leader_election.general_ghs import classical_le_general
+from repro.classical.leader_election.mixing_rw import classical_le_mixing
+from repro.classical.leader_election.ring import hirschberg_sinclair_ring, lcr_ring
+from repro.classical.mst_boruvka import classical_mst
+
+__all__ = [
+    "classical_mst",
+    "classical_agreement_private",
+    "classical_agreement_shared",
+    "classical_le_complete",
+    "classical_le_diameter2",
+    "classical_le_general",
+    "classical_le_mixing",
+    "hirschberg_sinclair_ring",
+    "lcr_ring",
+]

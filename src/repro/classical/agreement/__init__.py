@@ -1,0 +1,15 @@
+"""Classical agreement baselines ([AMP18])."""
+
+from repro.classical.agreement.amp18 import (
+    classical_agreement_private,
+    classical_agreement_shared,
+    default_epsilon_classical,
+    default_inform_width_classical,
+)
+
+__all__ = [
+    "classical_agreement_private",
+    "classical_agreement_shared",
+    "default_epsilon_classical",
+    "default_inform_width_classical",
+]

@@ -1,0 +1,203 @@
+"""Classical implicit agreement — [AMP18] baselines.
+
+Two protocols, matching the two rows of the paper's comparison:
+
+* **private coins** — Õ(√n) (tight): agreement by leader election; the
+  elected node alone decides its own input (implicit agreement allows a
+  single decided node).
+* **shared coin** — Õ(n^{2/5}): the sampling-based protocol QuantumAgreement
+  quadratically improves.  Identical loop structure, with the two quantum
+  subroutines replaced by their classical counterparts:
+
+  - estimation by sampling Θ(log n / ε²) nodes (instead of ApproxCount's
+    Θ(log n / ε)),
+  - detection by probing Θ((n/s)·log n) random nodes (instead of Grover's
+    Θ(√(n/s)·log n)).
+
+  With ε = n^{−1/5} and s = n^{2/5} all three cost terms balance at Õ(n^{2/5})
+  in expectation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.classical.leader_election.complete_kpp import classical_le_complete
+from repro.core.candidates import draw_candidates
+from repro.core.results import AgreementResult
+from repro.network.metrics import MetricsRecorder
+from repro.util.fault import FaultInjector
+from repro.util.rng import RandomSource, SharedCoin
+
+__all__ = [
+    "classical_agreement_private",
+    "classical_agreement_shared",
+    "default_epsilon_classical",
+    "default_inform_width_classical",
+]
+
+
+def default_epsilon_classical(n: int) -> float:
+    """ε = n^{−1/5}, clamped to (Θ(1/n), 1/20] as in the quantum protocol."""
+    return float(min(1.0 / 20.0, max(1.0 / n, n ** (-1.0 / 5.0))))
+
+
+def default_inform_width_classical(n: int) -> int:
+    """s = n^{2/5}: the classical informing width balancing detection cost."""
+    return max(1, round(n ** (2.0 / 5.0)))
+
+
+def classical_agreement_private(
+    inputs: list[int],
+    rng: RandomSource,
+) -> AgreementResult:
+    """Õ(√n) agreement from leader election (private randomness only).
+
+    [AMP18] shows Θ̃(√n) is tight for private-coin agreement; electing a
+    leader who decides its own input realizes the upper bound.
+    """
+    n = len(inputs)
+    if n < 2:
+        raise ValueError(f"need n >= 2 nodes, got {n}")
+    if any(b not in (0, 1) for b in inputs):
+        raise ValueError("inputs must be 0/1")
+
+    election = classical_le_complete(n, rng)
+    decisions: dict[int, int | None] = {v: None for v in range(n)}
+    if election.leader is not None:
+        decisions[election.leader] = inputs[election.leader]
+    return AgreementResult(
+        n=n,
+        inputs={v: inputs[v] for v in range(n)},
+        decisions=decisions,
+        metrics=election.metrics,
+        meta={"protocol": "le-based", "leader": election.leader},
+    )
+
+
+def classical_agreement_shared(
+    inputs: list[int],
+    rng: RandomSource,
+    shared_coin: SharedCoin | None = None,
+    epsilon: float | None = None,
+    inform_width: int | None = None,
+    estimation_alpha: float | None = None,
+    detection_alpha: float | None = None,
+    faults: FaultInjector | None = None,
+) -> AgreementResult:
+    """Run the Õ(n^{2/5}) shared-coin agreement protocol of [AMP18]."""
+    n = len(inputs)
+    if n < 2:
+        raise ValueError(f"need n >= 2 nodes, got {n}")
+    if any(b not in (0, 1) for b in inputs):
+        raise ValueError("inputs must be 0/1")
+    if epsilon is None:
+        epsilon = default_epsilon_classical(n)
+    if inform_width is None:
+        inform_width = default_inform_width_classical(n)
+    if estimation_alpha is None:
+        estimation_alpha = 1.0 / (2.0 * n**2)
+    if detection_alpha is None:
+        detection_alpha = 1.0 / (4.0 * n**3)
+    if shared_coin is None:
+        shared_coin = SharedCoin(rng.spawn())
+
+    metrics = MetricsRecorder()
+    ones = sum(inputs)
+    q = ones / n
+    input_map = {v: inputs[v] for v in range(n)}
+    decisions: dict[int, int | None] = {v: None for v in range(n)}
+
+    draw = draw_candidates(n, rng, faults=faults)
+    metrics.advance_rounds("amp18.candidate-selection", 1)
+    if not draw.candidates:
+        return AgreementResult(
+            n=n, inputs=input_map, decisions=decisions, metrics=metrics,
+            meta={"candidates": 0},
+        )
+
+    # -- estimation by sampling (Hoeffding: k = ln(2/α)/(2ε²) samples) ---------
+    samples = max(1, math.ceil(math.log(2.0 / estimation_alpha) / (2.0 * epsilon**2)))
+    q_estimate: dict[int, float] = {}
+    for v in draw.candidates:
+        hits = int(rng.generator.binomial(samples, q))
+        q_estimate[v] = hits / samples
+    metrics.charge(
+        "amp18.estimation",
+        messages=len(draw.candidates) * samples * 2,
+        rounds=2,
+    )
+
+    # -- agreement loop ------------------------------------------------------------
+    iterations = max(1, math.ceil(math.log(4.0 * n) / math.log(5.0)))
+    probes = max(
+        1, math.ceil((n / inform_width) * math.log(1.0 / detection_alpha))
+    )
+
+    remaining = list(draw.candidates)
+    iterations_used = 0
+    for _ in range(iterations):
+        if not remaining:
+            break
+        iterations_used += 1
+        r = shared_coin.next_uniform()
+
+        decided_now: dict[int, int] = {}
+        undecided_now: list[int] = []
+        for v in remaining:
+            estimate = q_estimate[v]
+            if estimate < r - epsilon:
+                decided_now[v] = 0
+            elif estimate > r + epsilon:
+                decided_now[v] = 1
+            else:
+                undecided_now.append(v)
+
+        informed: dict[int, int] = {}
+        for v, value in decided_now.items():
+            for offset in range(1, inform_width + 1):
+                informed[(v + offset) % n] = value
+        metrics.charge(
+            "amp18.inform",
+            messages=len(decided_now) * inform_width,
+            rounds=1,
+        )
+
+        metrics.charge(
+            "amp18.detection",
+            messages=len(undecided_now) * probes * 2,
+            rounds=2,
+        )
+        informed_list = sorted(informed)
+        hit_fraction = len(informed) / n
+
+        next_remaining: list[int] = []
+        for v, value in decided_now.items():
+            decisions[v] = value
+        for v in undecided_now:
+            found = (
+                bool(informed_list)
+                and rng.uniform() < 1.0 - (1.0 - hit_fraction) ** probes
+            )
+            if found:
+                witness = informed_list[rng.uniform_int(0, len(informed_list) - 1)]
+                decisions[v] = informed[witness]
+            else:
+                next_remaining.append(v)
+        remaining = next_remaining
+
+    return AgreementResult(
+        n=n,
+        inputs=input_map,
+        decisions=decisions,
+        metrics=metrics,
+        meta={
+            "candidates": draw.count,
+            "epsilon": epsilon,
+            "inform_width": inform_width,
+            "samples": samples,
+            "probes": probes,
+            "iterations": iterations_used,
+            "undecided_at_end": len(remaining),
+        },
+    )

@@ -1,0 +1,24 @@
+"""Classical leader-election baselines."""
+
+from repro.classical.leader_election.complete_kpp import (
+    classical_le_complete,
+    default_referees_complete,
+)
+from repro.classical.leader_election.diameter2_cpr import classical_le_diameter2
+from repro.classical.leader_election.general_ghs import classical_le_general
+from repro.classical.leader_election.mixing_rw import (
+    classical_le_mixing,
+    default_walks_mixing,
+)
+from repro.classical.leader_election.ring import hirschberg_sinclair_ring, lcr_ring
+
+__all__ = [
+    "classical_le_complete",
+    "classical_le_diameter2",
+    "classical_le_general",
+    "classical_le_mixing",
+    "default_referees_complete",
+    "default_walks_mixing",
+    "hirschberg_sinclair_ring",
+    "lcr_ring",
+]

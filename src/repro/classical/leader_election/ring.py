@@ -1,0 +1,224 @@
+"""Classic ring leader election — Chang–Roberts (LCR) and Hirschberg–Sinclair.
+
+Not part of the paper's headline results, but the canonical substrate
+protocols for oriented rings, used to exercise (and regression-test) the
+synchronous engine with genuinely multi-round message-passing behaviour:
+
+* **LCR** — unidirectional, O(n²) worst-case / O(n·log n) expected messages;
+* **Hirschberg–Sinclair** — bidirectional doubling probes, O(n·log n)
+  worst-case messages.
+
+Identifiers come from private randomness (ranks in {1, …, n⁴}), matching the
+library-wide anonymous-network convention.
+"""
+
+from __future__ import annotations
+
+from repro.core.candidates import rank_space
+from repro.core.results import LeaderElectionResult
+from repro.network.engine import SynchronousEngine
+from repro.network.graphs import cycle
+from repro.network.message import Message
+from repro.network.metrics import MetricsRecorder
+from repro.network.node import Node, Status
+from repro.util.rng import RandomSource
+
+__all__ = ["lcr_ring", "hirschberg_sinclair_ring"]
+
+
+def _ring_ports(n: int, v: int) -> tuple[int, int]:
+    """(clockwise_port, counterclockwise_port) of node v on cycle(n).
+
+    The oriented-ring assumption: every node knows which port is clockwise.
+    """
+    topology = cycle(n)
+    cw = topology.port_to(v, (v + 1) % n)
+    ccw = topology.port_to(v, (v - 1) % n)
+    return cw, ccw
+
+
+class _LCRNode(Node):
+    """Chang–Roberts: forward larger ids clockwise; own id returning wins."""
+
+    def __init__(self, uid, degree, rng, ring_id: int, cw_port: int):
+        super().__init__(uid, degree, rng)
+        self.ring_id = ring_id
+        self.cw_port = cw_port
+        self.outbox: list[tuple[int, Message]] = []
+        self.started = False
+
+    def step(self, round_index: int, inbox):
+        out: list[tuple[int, Message]] = []
+        if not self.started:
+            self.started = True
+            out.append((self.cw_port, Message("probe", payload=self.ring_id)))
+        halting = False
+        best_probe = None
+        for _, message in inbox:
+            if message.kind == "probe":
+                if message.payload == self.ring_id:
+                    self.status = Status.ELECTED
+                    out.append((self.cw_port, Message("halt", payload=self.ring_id)))
+                elif message.payload > self.ring_id:
+                    if best_probe is None or message.payload > best_probe:
+                        best_probe = message.payload
+                # smaller ids are swallowed
+            elif message.kind == "halt":
+                if self.status is Status.ELECTED:
+                    halting = True  # own halt token came full circle
+                else:
+                    self.status = Status.NON_ELECTED
+                    out.append((self.cw_port, message))
+                    halting = True
+        if best_probe is not None and self.status is not Status.ELECTED:
+            out.append((self.cw_port, Message("probe", payload=best_probe)))
+        # CONGEST: collapse to one message per port per round (keep the most
+        # important: halt > probe with the largest id).
+        per_port: dict[int, Message] = {}
+        for port, message in out:
+            current = per_port.get(port)
+            if current is None:
+                per_port[port] = message
+            elif message.kind == "halt" or (
+                current.kind == "probe"
+                and message.kind == "probe"
+                and message.payload > current.payload
+            ):
+                per_port[port] = message
+        if halting:
+            self.halt()
+        return list(per_port.items())
+
+
+def lcr_ring(n: int, rng: RandomSource) -> LeaderElectionResult:
+    """Run Chang–Roberts on an oriented ring of n nodes."""
+    if n < 3:
+        raise ValueError(f"ring needs n >= 3 nodes, got {n}")
+    topology = cycle(n)
+    metrics = MetricsRecorder()
+    node_rngs = rng.spawn_many(n)
+    space = rank_space(n)
+    ids = [node_rngs[v].uniform_int(1, space) for v in range(n)]
+    nodes = []
+    for v in range(n):
+        cw, _ = _ring_ports(n, v)
+        nodes.append(_LCRNode(v, 2, node_rngs[v], ids[v], cw))
+    engine = SynchronousEngine(topology, nodes, metrics, label="lcr")
+    engine.run(max_rounds=3 * n + 4)
+    statuses = {v: nodes[v].status for v in range(n)}
+    for v in range(n):  # anyone still undecided (duplicate-id pathology)
+        if statuses[v] is Status.UNDECIDED:
+            statuses[v] = Status.NON_ELECTED
+    return LeaderElectionResult(
+        n=n, statuses=statuses, metrics=metrics,
+        meta={"unique_ids": len(set(ids)) == n},
+    )
+
+
+class _HSNode(Node):
+    """Hirschberg–Sinclair: doubling bidirectional probes."""
+
+    def __init__(self, uid, degree, rng, ring_id: int, cw_port: int, ccw_port: int):
+        super().__init__(uid, degree, rng)
+        self.ring_id = ring_id
+        self.ports = {"cw": cw_port, "ccw": ccw_port}
+        self.opposite = {cw_port: ccw_port, ccw_port: cw_port}
+        self.phase = 0
+        self.replies = 0
+        self.competing = True
+        self.started = False
+
+    def _probes(self) -> list[tuple[int, Message]]:
+        hops = 1 << self.phase
+        return [
+            (
+                self.ports[direction],
+                Message("probe", payload=(self.ring_id, hops)),
+            )
+            for direction in ("cw", "ccw")
+        ]
+
+    def step(self, round_index: int, inbox):
+        out: list[tuple[int, Message]] = []
+        if not self.started:
+            self.started = True
+            out.extend(self._probes())
+        halting = False
+        for port, message in inbox:
+            if message.kind == "probe":
+                probe_id, hops = message.payload
+                if probe_id == self.ring_id:
+                    if self.started and self.status is not Status.ELECTED:
+                        # Our own probe circled the whole ring: we win.
+                        self.status = Status.ELECTED
+                        out.append(
+                            (self.ports["cw"], Message("halt", payload=self.ring_id))
+                        )
+                elif probe_id > self.ring_id:
+                    self.competing = False
+                    if hops > 1:
+                        out.append(
+                            (
+                                self.opposite[port],
+                                Message("probe", payload=(probe_id, hops - 1)),
+                            )
+                        )
+                    else:
+                        out.append((port, Message("reply", payload=probe_id)))
+                # probes with smaller ids are swallowed
+            elif message.kind == "reply":
+                if message.payload == self.ring_id:
+                    self.replies += 1
+                    if self.replies == 2:
+                        self.replies = 0
+                        self.phase += 1
+                        out.extend(self._probes())
+                else:
+                    out.append((self.opposite[port], message))
+            elif message.kind == "halt":
+                if self.status is Status.ELECTED:
+                    halting = True
+                else:
+                    self.status = Status.NON_ELECTED
+                    out.append((self.ports["cw"], message))
+                    halting = True
+        # CONGEST: at most one message per port per round; prioritize halt,
+        # then replies, then the strongest probe.
+        rank = {"halt": 3, "reply": 2, "probe": 1}
+        per_port: dict[int, Message] = {}
+        for port, message in out:
+            current = per_port.get(port)
+            if current is None or rank[message.kind] > rank[current.kind] or (
+                message.kind == "probe"
+                and current.kind == "probe"
+                and message.payload[0] > current.payload[0]
+            ):
+                per_port[port] = message
+        if halting:
+            self.halt()
+        return list(per_port.items())
+
+
+def hirschberg_sinclair_ring(n: int, rng: RandomSource) -> LeaderElectionResult:
+    """Run Hirschberg–Sinclair on an oriented ring of n nodes."""
+    if n < 3:
+        raise ValueError(f"ring needs n >= 3 nodes, got {n}")
+    topology = cycle(n)
+    metrics = MetricsRecorder()
+    node_rngs = rng.spawn_many(n)
+    space = rank_space(n)
+    ids = [node_rngs[v].uniform_int(1, space) for v in range(n)]
+    nodes = []
+    for v in range(n):
+        cw, ccw = _ring_ports(n, v)
+        nodes.append(_HSNode(v, 2, node_rngs[v], ids[v], cw, ccw))
+    engine = SynchronousEngine(topology, nodes, metrics, label="hs")
+    engine.run(max_rounds=12 * n + 16)
+    statuses = {v: nodes[v].status for v in range(n)}
+    for v in range(n):
+        if statuses[v] is Status.UNDECIDED:
+            statuses[v] = Status.NON_ELECTED
+    return LeaderElectionResult(
+        n=n, statuses=statuses, metrics=metrics,
+        meta={"unique_ids": len(set(ids)) == n},
+    )

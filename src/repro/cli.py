@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``                      — list the reproduced experiments (E1–E12);
+* ``info E4``                   — show one experiment's claim and modules;
+* ``elect --topology complete`` — run a leader election and print the result;
+* ``agree``                     — run quantum vs classical agreement;
+* ``routing-demo``              — the Appendix-A superposed-send demo.
+
+The CLI is a thin veneer over the public API; anything it does is three
+lines of Python (see examples/).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.experiments import EXPERIMENTS, get_experiment
+
+__all__ = ["build_parser", "main"]
+
+TOPOLOGIES = ("complete", "hypercube", "diameter2", "general")
+
+
+def _cmd_list(_args) -> int:
+    width = max(len(e.paper_result) for e in EXPERIMENTS.values())
+    for key in sorted(EXPERIMENTS, key=lambda k: int(k[1:])):
+        experiment = EXPERIMENTS[key]
+        print(f"{key:>4}  {experiment.paper_result:<{width}}  {experiment.bench}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    try:
+        experiment = get_experiment(args.experiment)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+    print(f"{experiment.id} — {experiment.paper_result}")
+    print(f"\n{experiment.claim}\n")
+    if experiment.quantum_exponent is not None:
+        print(f"quantum exponent  : {experiment.quantum_exponent:.3f}")
+    if experiment.classical_exponent is not None:
+        print(f"classical exponent: {experiment.classical_exponent:.3f}")
+    print("modules           : " + ", ".join(experiment.modules))
+    print(f"benchmark         : {experiment.bench}")
+    return 0
+
+
+def _cmd_elect(args) -> int:
+    from repro import (
+        RandomSource,
+        classical_le_complete,
+        classical_le_diameter2,
+        classical_le_general,
+        classical_le_mixing,
+        quantum_general_le,
+        quantum_le_complete,
+        quantum_qwle,
+        quantum_rwle,
+    )
+    from repro.core.leader_election import QWLEParameters
+    from repro.network import graphs
+
+    rng = RandomSource(args.seed)
+    n = args.n
+    if args.topology == "complete":
+        quantum = quantum_le_complete(n, rng.spawn())
+        classical = classical_le_complete(n, rng.spawn())
+    elif args.topology == "hypercube":
+        dimension = max(2, (n - 1).bit_length())
+        topology = graphs.hypercube(dimension)
+        tau = 2 * dimension
+        quantum = quantum_rwle(topology, rng.spawn(), tau=tau)
+        classical = classical_le_mixing(topology, rng.spawn(), tau=tau)
+        n = topology.n
+    elif args.topology == "diameter2":
+        topology = graphs.erdos_renyi(n, 0.5, rng.spawn())
+        quantum = quantum_qwle(
+            topology, rng.spawn(), QWLEParameters(alpha=1 / 8, inner_alpha=1 / 8)
+        )
+        classical = classical_le_diameter2(topology, rng.spawn())
+    else:  # general
+        topology = graphs.erdos_renyi(n, 0.1, rng.spawn())
+        quantum = quantum_general_le(topology, rng.spawn(), alpha=1 / 8)
+        classical = classical_le_general(topology, rng.spawn())
+
+    print(f"leader election on {args.topology}, n={n}")
+    print(
+        f"  quantum  : leader={quantum.leader} messages={quantum.messages:,} "
+        f"rounds={quantum.rounds:,} success={quantum.success}"
+    )
+    print(
+        f"  classical: leader={classical.leader} messages={classical.messages:,} "
+        f"rounds={classical.rounds:,} success={classical.success}"
+    )
+    return 0 if quantum.success and classical.success else 1
+
+
+def _cmd_agree(args) -> int:
+    from repro import (
+        RandomSource,
+        classical_agreement_shared,
+        quantum_agreement,
+    )
+
+    rng = RandomSource(args.seed)
+    ones = int(args.fraction * args.n)
+    inputs = [1] * ones + [0] * (args.n - ones)
+    quantum = quantum_agreement(inputs, rng.spawn())
+    classical = classical_agreement_shared(inputs, rng.spawn())
+    print(f"implicit agreement on K_{args.n} ({ones} ones)")
+    print(
+        f"  quantum  : value={quantum.agreed_value} messages={quantum.messages:,} "
+        f"valid={quantum.success}"
+    )
+    print(
+        f"  classical: value={classical.agreed_value} "
+        f"messages={classical.messages:,} valid={classical.success}"
+    )
+    return 0 if quantum.success and classical.success else 1
+
+
+def _cmd_routing_demo(args) -> int:
+    import math
+
+    from repro.network import graphs
+    from repro.quantum.routing import QuantumRoutingNetwork
+
+    leaves = args.leaves
+    network = QuantumRoutingNetwork(graphs.star(leaves + 1), alphabet_size=1)
+    network.allocate_local(0, "ctl", max(leaves, 2))
+    network.build()
+    amplitude = 1.0 / math.sqrt(leaves)
+    network.prepare_recipient_superposition(
+        0, "ctl", {leaf: amplitude for leaf in range(1, leaves + 1)}
+    )
+    network.write_message_controlled(0, "ctl", symbol=1)
+    print(
+        f"superposed send to one of {leaves} leaves: message complexity = "
+        f"{network.round_message_complexity()} (classical broadcast: {leaves})"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Quantum Communication Advantage for "
+        "Leader Election and Agreement' (PODC 2025).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list reproduced experiments").set_defaults(
+        handler=_cmd_list
+    )
+
+    info = commands.add_parser("info", help="describe one experiment")
+    info.add_argument("experiment", help="experiment id, e.g. E4")
+    info.set_defaults(handler=_cmd_info)
+
+    elect = commands.add_parser("elect", help="run a leader election")
+    elect.add_argument("--topology", choices=TOPOLOGIES, default="complete")
+    elect.add_argument("--n", type=int, default=1024)
+    elect.add_argument("--seed", type=int, default=0)
+    elect.set_defaults(handler=_cmd_elect)
+
+    agree = commands.add_parser("agree", help="run implicit agreement")
+    agree.add_argument("--n", type=int, default=4096)
+    agree.add_argument("--fraction", type=float, default=0.3)
+    agree.add_argument("--seed", type=int, default=0)
+    agree.set_defaults(handler=_cmd_agree)
+
+    demo = commands.add_parser("routing-demo", help="Appendix-A superposed send")
+    demo.add_argument("--leaves", type=int, default=3)
+    demo.set_defaults(handler=_cmd_routing_demo)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)

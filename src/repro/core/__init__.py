@@ -1,0 +1,46 @@
+"""The paper's contribution: distributed quantum subroutines and protocols."""
+
+from repro.core.candidates import (
+    CandidateDraw,
+    candidate_probability,
+    draw_candidates,
+    rank_space,
+)
+from repro.core.counting import (
+    ApproxCountResult,
+    CountResult,
+    approx_count,
+    quantum_count,
+)
+from repro.core.grover import GroverSearchResult, distributed_grover_search
+from repro.core.minimum import MinimumOracle, MinimumResult, quantum_minimum
+from repro.core.parallel import run_in_parallel
+from repro.core.procedures import CountOracle, SearchOracle, SetOracle, uniform_charge
+from repro.core.results import AgreementResult, LeaderElectionResult
+from repro.core.walk_search import WalkSearchResult, WalkSearchSpec, walk_search
+
+__all__ = [
+    "AgreementResult",
+    "ApproxCountResult",
+    "CandidateDraw",
+    "CountOracle",
+    "CountResult",
+    "GroverSearchResult",
+    "LeaderElectionResult",
+    "MinimumOracle",
+    "MinimumResult",
+    "SearchOracle",
+    "SetOracle",
+    "WalkSearchResult",
+    "WalkSearchSpec",
+    "approx_count",
+    "candidate_probability",
+    "distributed_grover_search",
+    "draw_candidates",
+    "quantum_count",
+    "quantum_minimum",
+    "rank_space",
+    "run_in_parallel",
+    "uniform_charge",
+    "walk_search",
+]

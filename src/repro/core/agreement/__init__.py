@@ -1,0 +1,9 @@
+"""Quantum implicit agreement (Section 6)."""
+
+from repro.core.agreement.quantum_agreement import (
+    default_epsilon,
+    default_gamma,
+    quantum_agreement,
+)
+
+__all__ = ["default_epsilon", "default_gamma", "quantum_agreement"]

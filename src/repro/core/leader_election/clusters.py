@@ -1,0 +1,159 @@
+"""Cluster (fragment) machinery shared by QuantumGeneralLE and QuantumMST.
+
+A cluster is a set of nodes spanned by a tree (grown by merging, GHS-style).
+The helpers here maintain cluster trees under merges, compute heights for
+round accounting, and provide the fragment-graph maximal matching used by
+step (2) of Section 5.4 — a deterministic stand-in for Cole–Vishkin with the
+same guarantees (maximal matching on the proposal graph; every unmatched
+cluster's proposal target is matched, so merging at least halves the cluster
+count — Lemma 5.9).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Cluster",
+    "ClusterState",
+    "log_star",
+    "maximal_matching",
+]
+
+
+def log_star(n: int) -> int:
+    """Iterated logarithm (base 2), ≥ 1 — the Cole–Vishkin round count."""
+    count = 0
+    value = float(max(n, 2))
+    while value >= 2.0:
+        value = math.log2(value)
+        count += 1
+    return max(count, 1)
+
+
+@dataclass
+class Cluster:
+    """A tree-spanned fragment; ``tree`` maps node -> tree-neighbour list."""
+
+    center: int
+    members: set[int]
+    tree: dict[int, list[int]] = field(repr=False)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def height(self) -> int:
+        """Tree height from the center (BFS)."""
+        if self.size <= 1:
+            return 0
+        depth = {self.center: 0}
+        frontier = deque([self.center])
+        worst = 0
+        while frontier:
+            v = frontier.popleft()
+            for u in self.tree.get(v, ()):
+                if u not in depth:
+                    depth[u] = depth[v] + 1
+                    worst = max(worst, depth[u])
+                    frontier.append(u)
+        if len(depth) != self.size:
+            raise RuntimeError(
+                f"cluster tree of {self.center} is disconnected "
+                f"({len(depth)}/{self.size} reachable)"
+            )
+        return worst
+
+    def tree_edge_count(self) -> int:
+        return self.size - 1
+
+
+class ClusterState:
+    """All clusters of the network plus the node → cluster map."""
+
+    def __init__(self, n: int):
+        self.n = n
+        self.clusters: dict[int, Cluster] = {
+            v: Cluster(center=v, members={v}, tree={v: []}) for v in range(n)
+        }
+        self.cluster_of: list[int] = list(range(n))
+
+    @property
+    def count(self) -> int:
+        return len(self.clusters)
+
+    def cluster_id(self, node: int) -> int:
+        return self.cluster_of[node]
+
+    def same_cluster(self, u: int, v: int) -> bool:
+        return self.cluster_of[u] == self.cluster_of[v]
+
+    def merge(self, cid_a: int, cid_b: int, edge: tuple[int, int]) -> int:
+        """Merge cluster b into a (larger absorbs smaller) via tree ``edge``.
+
+        ``edge = (u, v)`` must connect the two clusters; it becomes a tree
+        edge of the merged cluster.  Returns the surviving cluster id.
+        """
+        if cid_a == cid_b:
+            raise ValueError(f"cannot merge cluster {cid_a} with itself")
+        a, b = self.clusters[cid_a], self.clusters[cid_b]
+        u, v = edge
+        if self.cluster_of[u] == cid_b:  # normalize: u in a, v in b
+            u, v = v, u
+        if self.cluster_of[u] != cid_a or self.cluster_of[v] != cid_b:
+            raise ValueError(f"edge {edge} does not connect clusters {cid_a}, {cid_b}")
+        if a.size < b.size:
+            a, b = b, a
+            cid_a, cid_b = cid_b, cid_a
+        # Absorb b into a.
+        for node in b.members:
+            self.cluster_of[node] = cid_a
+        a.members |= b.members
+        for node, neighbours in b.tree.items():
+            a.tree.setdefault(node, []).extend(neighbours)
+        a.tree.setdefault(u, []).append(v)
+        a.tree.setdefault(v, []).append(u)
+        del self.clusters[cid_b]
+        return cid_a
+
+    def max_height(self) -> int:
+        return max((c.height() for c in self.clusters.values()), default=0)
+
+    def total_tree_edges(self) -> int:
+        return sum(c.tree_edge_count() for c in self.clusters.values())
+
+
+def maximal_matching(
+    proposals: dict[int, tuple[int, tuple[int, int]]],
+) -> tuple[list[tuple[int, int, tuple[int, int]]], dict[int, int]]:
+    """Maximal matching on the (undirected) cluster proposal graph.
+
+    ``proposals`` maps cluster id -> (target cluster id, connecting edge).
+    Returns (matched pairs with their edges, attachment map for unmatched
+    clusters).  Deterministic greedy order stands in for Cole–Vishkin; by
+    maximality every unmatched cluster's proposal target is matched, which
+    is what the attachment map records.
+    """
+    matched: dict[int, int] = {}
+    pairs: list[tuple[int, int, tuple[int, int]]] = []
+    for cid in sorted(proposals):
+        target, edge = proposals[cid]
+        if cid in matched or target in matched or cid == target:
+            continue
+        matched[cid] = target
+        matched[target] = cid
+        pairs.append((cid, target, edge))
+    attachments: dict[int, int] = {}
+    for cid in sorted(proposals):
+        if cid in matched:
+            continue
+        target, _ = proposals[cid]
+        if target not in matched:
+            raise RuntimeError(
+                "maximal matching violated: unmatched cluster proposes to an "
+                "unmatched target"
+            )
+        attachments[cid] = target
+    return pairs, attachments

@@ -1,0 +1,43 @@
+"""Round accounting for node-parallel stages.
+
+Several protocols run the same quantum subroutine at many nodes
+simultaneously — e.g. every candidate of QuantumLE runs its own Grover search
+over edges disjoint from every other candidate's (proof of Theorem 5.2).
+Such a stage costs the *sum* of the participants' messages but only the
+*maximum* of their round counts.  ``run_in_parallel`` executes each
+participant against a scratch recorder and folds the costs accordingly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import TypeVar
+
+from repro.network.metrics import MetricsRecorder
+
+__all__ = ["run_in_parallel"]
+
+T = TypeVar("T")
+
+
+def run_in_parallel(
+    metrics: MetricsRecorder,
+    label: str,
+    tasks: list[Callable[[MetricsRecorder], T]],
+) -> list[T]:
+    """Run per-node tasks that are simultaneous in the synchronized schedule.
+
+    Messages from every task are charged (summed, keeping the tasks' own
+    ledger labels); rounds advance once, by the worst-case task duration.
+    """
+    results: list[T] = []
+    longest = 0
+    for task in tasks:
+        scratch = MetricsRecorder()
+        results.append(task(scratch))
+        for entry in scratch.ledger.entries:
+            metrics.charge_messages(entry.label, entry.messages)
+        longest = max(longest, scratch.rounds)
+    if longest:
+        metrics.advance_rounds(label, longest)
+    return results

@@ -1,0 +1,104 @@
+"""Result dataclasses returned by every protocol in the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.network.metrics import MetricsRecorder
+from repro.network.node import Status
+
+__all__ = ["AgreementResult", "LeaderElectionResult"]
+
+
+@dataclass
+class LeaderElectionResult:
+    """Outcome of one leader-election run.
+
+    ``success`` is the Section 2.2 condition: exactly one node ELECTED, all
+    others NON_ELECTED (implicit variant: non-leaders need not know the
+    leader's identity; ``explicit`` runs additionally populate
+    ``known_leader``).
+    """
+
+    n: int
+    statuses: dict[int, Status]
+    metrics: MetricsRecorder
+    meta: dict = field(default_factory=dict)
+    known_leader: dict[int, int] | None = None
+
+    @property
+    def elected(self) -> list[int]:
+        return [v for v, s in self.statuses.items() if s is Status.ELECTED]
+
+    @property
+    def leader(self) -> int | None:
+        winners = self.elected
+        return winners[0] if len(winners) == 1 else None
+
+    @property
+    def success(self) -> bool:
+        if len(self.elected) != 1:
+            return False
+        return all(
+            s in (Status.ELECTED, Status.NON_ELECTED) for s in self.statuses.values()
+        )
+
+    @property
+    def explicit_success(self) -> bool:
+        """Explicit LE: everyone additionally knows the unique leader."""
+        if not self.success or self.known_leader is None:
+            return False
+        leader = self.leader
+        return all(self.known_leader.get(v) == leader for v in self.statuses)
+
+    @property
+    def messages(self) -> int:
+        return self.metrics.messages
+
+    @property
+    def rounds(self) -> int:
+        return self.metrics.rounds
+
+
+@dataclass
+class AgreementResult:
+    """Outcome of one implicit-agreement run (Section 2.2).
+
+    ``decisions`` maps node → decided value, with None for ⊥ (undecided).
+    Validity requires every decided node to agree on a value that is some
+    node's input, and at least one node to be decided.
+    """
+
+    n: int
+    inputs: dict[int, int]
+    decisions: dict[int, int | None]
+    metrics: MetricsRecorder
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def decided_nodes(self) -> list[int]:
+        return [v for v, d in self.decisions.items() if d is not None]
+
+    @property
+    def agreed_value(self) -> int | None:
+        values = {self.decisions[v] for v in self.decided_nodes}
+        return values.pop() if len(values) == 1 else None
+
+    @property
+    def success(self) -> bool:
+        decided = self.decided_nodes
+        if not decided:
+            return False
+        values = {self.decisions[v] for v in decided}
+        if len(values) != 1:
+            return False
+        value = values.pop()
+        return value in set(self.inputs.values())
+
+    @property
+    def messages(self) -> int:
+        return self.metrics.messages
+
+    @property
+    def rounds(self) -> int:
+        return self.metrics.rounds

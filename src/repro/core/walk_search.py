@@ -1,0 +1,146 @@
+"""Distributed search via quantum walk — Theorem 4.4 (MNRS framework).
+
+``WalkSearch(P, δ, ε, α)`` searches for a marked state of a reversible Markov
+chain P with spectral gap δ, maintaining a *distributed database* through
+three procedures:
+
+* ``Setup``    — cost (T_S, M_S): build the database for the initial state;
+* ``Update``   — cost (T_U, M_U): move the database one chain step;
+* ``Checking`` — cost (T_C, M_C): decide whether the current state is marked.
+
+Cost contract (Theorem 4.4):
+
+    O(log(1/α) · (M_S + (1/√ε)·(M_U/√δ + M_C)))   messages,
+
+and the analogous round bound.  Outcome contract: returns a marked state with
+probability ≥ 1 − α when the stationary marked measure ε_f is ≥ ε.
+
+The schedule below mirrors the proof: per attempt, one Setup, then
+t₁ = ⌈1/√ε⌉ amplification iterations, each consisting of a reflection built
+from t₂ = ⌈1/√δ⌉ walk steps (one Update each, inside the phase-estimation of
+W(P)) plus one S_f (two coherent Checking calls).  Outcomes are sampled from
+the amplitude model in :mod:`repro.quantum.walk_model`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.network.metrics import MetricsRecorder
+from repro.quantum.amplitude import attempts_for_confidence, worst_case_iterations
+from repro.quantum.walk_model import sample_walk_attempt
+from repro.util.fault import FaultInjector
+from repro.util.rng import RandomSource
+
+__all__ = ["WalkSearchResult", "WalkSearchSpec", "walk_search"]
+
+#: Coherent Checking invocations per amplification iteration.
+CHECKS_PER_ITERATION = 2
+
+
+@dataclass
+class WalkSearchSpec:
+    """Chain parameters and the three distributed procedures' cost hooks.
+
+    The hooks receive (metrics, calls); `run_checking` may orchestrate nested
+    procedures (QuantumQWLE's decentralized + centralized Grover searches) —
+    whatever they charge is the Checking cost M_C of this WalkSearch.
+    """
+
+    marked_fraction: float  # ε_f: stationary measure of the marked states
+    epsilon: float  # ε: promise threshold
+    delta: float  # δ: spectral gap of the chain
+    charge_setup: Callable[[MetricsRecorder, int], None]
+    charge_update: Callable[[MetricsRecorder, int], None]
+    charge_checking: Callable[[MetricsRecorder, int], None]
+    sample_marked_state: Callable[[RandomSource], object]
+
+
+@dataclass
+class WalkSearchResult:
+    """Outcome of one WalkSearch invocation."""
+
+    found: object | None
+    attempts: int
+    amplification_iterations: int
+    walk_steps_per_iteration: int
+
+    @property
+    def succeeded(self) -> bool:
+        return self.found is not None
+
+
+def walk_search(
+    spec: WalkSearchSpec,
+    alpha: float,
+    metrics: MetricsRecorder,
+    rng: RandomSource,
+    faults: FaultInjector | None = None,
+    fault_site: str = "walk.false_negative",
+) -> WalkSearchResult:
+    """Run WalkSearch(P, δ, ε, α) and return the found marked state (if any)."""
+    if not 0.0 < spec.epsilon <= 1.0:
+        raise ValueError(f"epsilon must be in (0, 1], got {spec.epsilon}")
+    if not 0.0 < spec.delta <= 1.0:
+        raise ValueError(f"delta must be in (0, 1], got {spec.delta}")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    if not 0.0 <= spec.marked_fraction <= 1.0:
+        raise ValueError(
+            f"marked fraction must be in [0, 1], got {spec.marked_fraction}"
+        )
+
+    amplification = worst_case_iterations(spec.epsilon)  # t₁ = ⌈1/√ε⌉
+    walk_steps = worst_case_iterations(spec.delta)  # t₂ = ⌈1/√δ⌉
+    attempts = attempts_for_confidence(alpha)
+
+    # Probe per-call round costs so the post-success identity part of the
+    # schedule still advances rounds (Definition 4.1).
+    probe = MetricsRecorder()
+    spec.charge_setup(probe, 1)
+    setup_rounds = probe.rounds
+    probe = MetricsRecorder()
+    spec.charge_update(probe, 1)
+    update_rounds = probe.rounds
+    probe = MetricsRecorder()
+    spec.charge_checking(probe, 1)
+    checking_rounds = probe.rounds
+    rounds_per_attempt = setup_rounds + amplification * (
+        walk_steps * update_rounds + CHECKS_PER_ITERATION * checking_rounds
+    )
+
+    found = None
+    attempts_initiated = 0
+    for _ in range(attempts):
+        if found is None:
+            # u initiates the attempt: one Setup, then t₁ reflections of
+            # t₂ walk steps (Updates) and one S_f (two Checking calls) each.
+            spec.charge_setup(metrics, 1)
+            spec.charge_update(metrics, amplification * walk_steps)
+            spec.charge_checking(metrics, amplification * CHECKS_PER_ITERATION)
+            attempts_initiated += 1
+            success = sample_walk_attempt(
+                spec.marked_fraction,
+                spec.epsilon,
+                rng,
+                faults=faults,
+                fault_site=fault_site,
+            )
+            if success:
+                found = spec.sample_marked_state(rng)
+        # After success u goes silent; the synchronized rounds still elapse
+        # while the network transformation is the identity (no messages).
+
+    idle_attempts = attempts - attempts_initiated
+    if idle_attempts > 0 and rounds_per_attempt > 0:
+        metrics.advance_rounds(
+            "walk-search.synchronized-idle", idle_attempts * rounds_per_attempt
+        )
+
+    return WalkSearchResult(
+        found=found,
+        attempts=attempts,
+        amplification_iterations=amplification,
+        walk_steps_per_iteration=walk_steps,
+    )

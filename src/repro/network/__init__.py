@@ -1,0 +1,70 @@
+"""Classical CONGEST substrate: topologies, messages, metrics, engine, walks."""
+
+from repro.network.engine import CongestViolation, SynchronousEngine
+from repro.network.message import (
+    CONGEST_FACTOR,
+    Message,
+    congest_capacity_bits,
+    messages_for_bits,
+)
+from repro.network.metrics import MetricsRecorder, PhaseMetrics
+from repro.network.node import Node, Status
+from repro.network.random_walk import (
+    RandomWalk,
+    WalkToken,
+    estimate_mixing_time,
+    lazy_transition_matrix,
+    spectral_gap,
+    stationary_distribution,
+)
+from repro.network.spanning import (
+    SpanningTree,
+    bfs_tree,
+    charge_broadcast,
+    charge_convergecast,
+)
+from repro.network.topology import (
+    CompleteBipartiteTopology,
+    CompleteTopology,
+    ExplicitTopology,
+    HypercubeTopology,
+    StarTopology,
+    Topology,
+    bfs_distances,
+    diameter,
+    eccentricity,
+    is_connected,
+)
+
+__all__ = [
+    "CONGEST_FACTOR",
+    "CompleteBipartiteTopology",
+    "CompleteTopology",
+    "CongestViolation",
+    "ExplicitTopology",
+    "HypercubeTopology",
+    "Message",
+    "MetricsRecorder",
+    "Node",
+    "PhaseMetrics",
+    "RandomWalk",
+    "SpanningTree",
+    "StarTopology",
+    "Status",
+    "SynchronousEngine",
+    "Topology",
+    "WalkToken",
+    "bfs_distances",
+    "bfs_tree",
+    "charge_broadcast",
+    "charge_convergecast",
+    "congest_capacity_bits",
+    "diameter",
+    "eccentricity",
+    "estimate_mixing_time",
+    "is_connected",
+    "lazy_transition_matrix",
+    "messages_for_bits",
+    "spectral_gap",
+    "stationary_distribution",
+]

@@ -1,0 +1,65 @@
+"""CONGEST messages and bandwidth accounting.
+
+The CONGEST model (Section 2.1) allows one message of O(log n) bits per edge
+per round.  We fix the constant: a single message carries at most
+``CONGEST_FACTOR * ceil(log2 n)`` bits.  Payloads larger than that must be
+split and charged as multiple messages — this is exactly how the τ → τ²
+message blow-up of QuantumRWLE's Checking procedure arises (Section 5.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.mathx import ceil_div
+
+__all__ = [
+    "CONGEST_FACTOR",
+    "Message",
+    "congest_capacity_bits",
+    "messages_for_bits",
+]
+
+#: Number of log2(n)-bit words a single CONGEST message may carry.
+CONGEST_FACTOR = 8
+
+
+def congest_capacity_bits(n: int, factor: int = CONGEST_FACTOR) -> int:
+    """Capacity in bits of one CONGEST message in an n-node network."""
+    if n < 2:
+        raise ValueError(f"network must have at least 2 nodes, got {n}")
+    return factor * max(1, math.ceil(math.log2(n)))
+
+
+def messages_for_bits(bits: int, n: int, factor: int = CONGEST_FACTOR) -> int:
+    """Number of CONGEST messages needed to ship ``bits`` bits over one edge."""
+    if bits < 0:
+        raise ValueError(f"bits must be non-negative, got {bits}")
+    if bits == 0:
+        return 0
+    return ceil_div(bits, congest_capacity_bits(n, factor))
+
+
+@dataclass
+class Message:
+    """One message travelling over one edge in one round.
+
+    ``kind`` is a short protocol-level tag ("rank", "reply", ...), ``payload``
+    arbitrary simulation data, and ``bits`` the declared wire size used for
+    CONGEST accounting (defaults to one log-n word's worth, i.e. size 0 means
+    "fits trivially").
+    """
+
+    kind: str
+    payload: Any = None
+    bits: int = 0
+    sender: int = -1
+    sender_port: int = -1
+
+    meta: dict = field(default_factory=dict)
+
+    def message_units(self, n: int) -> int:
+        """How many CONGEST messages this logical message counts as."""
+        return max(1, messages_for_bits(self.bits, n))

@@ -1,0 +1,83 @@
+"""Message/round accounting shared by every protocol in the library.
+
+A :class:`MetricsRecorder` is the single point through which simulated
+protocols report cost.  Quantum charges follow the paper's rule (Section 3.1):
+a round of quantum communication in a superposition of configurations costs
+the *maximum* message count over the superposed branches — so one coherent
+Checking invocation is charged once, regardless of how many classical
+recipients appear in the superposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.ledger import CostLedger
+
+__all__ = ["MetricsRecorder", "PhaseMetrics"]
+
+
+@dataclass
+class PhaseMetrics:
+    """Cost snapshot of one named protocol phase."""
+
+    label: str
+    messages: int
+    rounds: int
+
+
+class MetricsRecorder:
+    """Accumulates message and round totals plus a labelled ledger."""
+
+    def __init__(self) -> None:
+        self.ledger = CostLedger()
+        self._message_total = 0
+        self._round_total = 0
+
+    # -- charging -------------------------------------------------------------
+
+    def charge(self, label: str, messages: int = 0, rounds: int = 0) -> None:
+        """Record ``messages`` CONGEST messages over ``rounds`` rounds."""
+        self.ledger.charge(label, messages=messages, rounds=rounds)
+        self._message_total += messages
+        self._round_total += rounds
+
+    def charge_messages(self, label: str, messages: int) -> None:
+        self.charge(label, messages=messages, rounds=0)
+
+    def advance_rounds(self, label: str, rounds: int) -> None:
+        self.charge(label, messages=0, rounds=rounds)
+
+    # -- reading --------------------------------------------------------------
+
+    @property
+    def messages(self) -> int:
+        """Total CONGEST messages charged so far."""
+        return self._message_total
+
+    @property
+    def rounds(self) -> int:
+        """Total synchronized rounds elapsed so far."""
+        return self._round_total
+
+    def snapshot(self) -> tuple[int, int]:
+        """(messages, rounds) pair, for measuring a phase with :meth:`delta`."""
+        return self._message_total, self._round_total
+
+    def delta(self, snapshot: tuple[int, int], label: str = "phase") -> PhaseMetrics:
+        """Cost accrued since ``snapshot``."""
+        messages, rounds = snapshot
+        return PhaseMetrics(
+            label=label,
+            messages=self._message_total - messages,
+            rounds=self._round_total - rounds,
+        )
+
+    def merge(self, other: "MetricsRecorder") -> None:
+        """Fold another recorder's ledger and totals into this one."""
+        self.ledger.merge(other.ledger)
+        self._message_total += other.messages
+        self._round_total += other.rounds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetricsRecorder(messages={self.messages}, rounds={self.rounds})"

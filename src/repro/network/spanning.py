@@ -1,0 +1,91 @@
+"""Spanning trees and the broadcast/convergecast primitives built on them.
+
+Section 4.1 recalls the standard primitives a coordinating node uses:
+broadcast and convergecast over a spanning tree, each costing one message per
+tree edge and a number of rounds equal to the tree height.  QuantumGeneralLE
+uses per-cluster trees (built incrementally by merging); the final explicit
+leader announcement uses a network-wide BFS tree.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.network.metrics import MetricsRecorder
+from repro.network.topology import Topology
+
+__all__ = [
+    "SpanningTree",
+    "bfs_tree",
+    "charge_broadcast",
+    "charge_convergecast",
+]
+
+
+@dataclass
+class SpanningTree:
+    """Rooted spanning tree of (a connected subset of) a topology."""
+
+    root: int
+    parent: dict[int, int]  # node -> parent; root maps to -1
+    depth: dict[int, int]
+
+    @property
+    def size(self) -> int:
+        return len(self.parent)
+
+    @property
+    def edge_total(self) -> int:
+        return self.size - 1
+
+    @property
+    def height(self) -> int:
+        return max(self.depth.values()) if self.depth else 0
+
+    def children(self) -> dict[int, list[int]]:
+        """Child lists derived from the parent map."""
+        result: dict[int, list[int]] = {v: [] for v in self.parent}
+        for v, p in self.parent.items():
+            if p >= 0:
+                result[p].append(v)
+        return result
+
+    def path_to_root(self, v: int) -> list[int]:
+        """Nodes from v up to (and including) the root."""
+        path = [v]
+        while self.parent[path[-1]] >= 0:
+            path.append(self.parent[path[-1]])
+        return path
+
+
+def bfs_tree(topology: Topology, root: int) -> SpanningTree:
+    """Breadth-first spanning tree of the (connected) topology."""
+    topology.validate_node(root)
+    parent = {root: -1}
+    depth = {root: 0}
+    frontier = deque([root])
+    while frontier:
+        v = frontier.popleft()
+        for u in topology.neighbors(v):
+            if u not in parent:
+                parent[u] = v
+                depth[u] = depth[v] + 1
+                frontier.append(u)
+    if len(parent) != topology.n:
+        raise ValueError("topology is disconnected; spanning tree incomplete")
+    return SpanningTree(root=root, parent=parent, depth=depth)
+
+
+def charge_broadcast(
+    tree: SpanningTree, metrics: MetricsRecorder, label: str = "broadcast"
+) -> None:
+    """Charge a root-to-leaves broadcast: one message per tree edge."""
+    metrics.charge(label, messages=tree.edge_total, rounds=max(tree.height, 1))
+
+
+def charge_convergecast(
+    tree: SpanningTree, metrics: MetricsRecorder, label: str = "convergecast"
+) -> None:
+    """Charge a leaves-to-root aggregation: one message per tree edge."""
+    metrics.charge(label, messages=tree.edge_total, rounds=max(tree.height, 1))

@@ -1,0 +1,98 @@
+"""Rotation algebra of Grover's iterate — the library's quantum ground truth.
+
+Grover's operator R = D·S_f acts on the span of the uniform superpositions of
+marked and unmarked elements as a rotation by 2θ, where sin²θ = ε_f is the
+marked fraction.  Everything the paper's Theorem 4.1 needs — success
+probabilities, iteration counts, the Boyer–Brassard–Høyer–Tapp (BBHT) law for
+an unknown number of solutions — follows from this two-dimensional picture and
+is computed here *exactly*.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.mathx import ceil_div
+
+__all__ = [
+    "attempts_for_confidence",
+    "bbht_average_success",
+    "grover_angle",
+    "grover_success_probability",
+    "optimal_iterations",
+    "worst_case_iterations",
+]
+
+
+def grover_angle(marked_fraction: float) -> float:
+    """θ = asin(√ε_f): rotation half-angle of the Grover iterate."""
+    if not 0.0 <= marked_fraction <= 1.0:
+        raise ValueError(f"marked fraction must be in [0, 1], got {marked_fraction}")
+    return math.asin(math.sqrt(marked_fraction))
+
+
+def grover_success_probability(iterations: int, marked_fraction: float) -> float:
+    """P[measuring a marked element] after ``iterations`` Grover iterations.
+
+    Exactly sin²((2j+1)θ) — the textbook law, valid for every j ≥ 0 and
+    every ε_f ∈ [0, 1].
+    """
+    if iterations < 0:
+        raise ValueError(f"iterations must be non-negative, got {iterations}")
+    theta = grover_angle(marked_fraction)
+    return math.sin((2 * iterations + 1) * theta) ** 2
+
+
+def optimal_iterations(marked_fraction: float) -> int:
+    """⌊π/(4θ)⌋ — the iteration count maximizing the success probability."""
+    if marked_fraction <= 0.0:
+        raise ValueError("no marked elements: optimal iteration count undefined")
+    theta = grover_angle(marked_fraction)
+    return max(0, math.floor(math.pi / (4.0 * theta)))
+
+
+def worst_case_iterations(epsilon: float) -> int:
+    """m = ⌈1/√ε⌉ — the BBHT iteration cap under the promise ε_f ≥ ε.
+
+    This is the per-attempt bound the synchronized network assumes
+    (Theorem 4.1's proof: the network runs Checking for the worst possible
+    number of iterations).
+    """
+    if not 0.0 < epsilon <= 1.0:
+        raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+    return max(1, math.ceil(1.0 / math.sqrt(epsilon)))
+
+
+def bbht_average_success(iteration_cap: int, marked_fraction: float) -> float:
+    """Success probability of one BBHT attempt with j ~ U[0, iteration_cap).
+
+    Closed form: E_j[sin²((2j+1)θ)] = 1/2 − sin(4mθ) / (4m·sin(2θ)).
+    For m ≥ 1/sin(2θ) this is at least 1/4 ([BBHT98, Lemma 2]).
+    """
+    if iteration_cap < 1:
+        raise ValueError(f"iteration cap must be >= 1, got {iteration_cap}")
+    theta = grover_angle(marked_fraction)
+    if theta == 0.0:
+        return 0.0
+    sin_2theta = math.sin(2.0 * theta)
+    if abs(sin_2theta) < 1e-9:  # ε_f ≈ 1: sin²((2j+1)·π/2) = 1 for every j
+        return 1.0
+    m = iteration_cap
+    return 0.5 - math.sin(4.0 * m * theta) / (4.0 * m * sin_2theta)
+
+
+def attempts_for_confidence(alpha: float, per_attempt_success: float = 0.25) -> int:
+    """Attempts needed so that all-fail probability is at most ``alpha``.
+
+    ⌈ln(1/α) / ln(1/(1−p))⌉ with p the per-attempt success floor; this is the
+    ⌊a·log(1/α)⌋ attempt budget of Theorem 4.1's proof.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    if not 0.0 < per_attempt_success < 1.0:
+        raise ValueError(
+            f"per-attempt success must be in (0, 1), got {per_attempt_success}"
+        )
+    numerator = math.log(1.0 / alpha)
+    denominator = -math.log(1.0 - per_attempt_success)
+    return max(1, math.ceil(numerator / denominator))

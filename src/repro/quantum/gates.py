@@ -1,0 +1,107 @@
+"""Small gate library for the dense state-vector simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "controlled",
+    "hadamard",
+    "identity",
+    "pauli_x",
+    "pauli_z",
+    "phase_flip_on",
+    "state_preparation",
+    "swap_gate",
+]
+
+
+def identity(dimension: int) -> np.ndarray:
+    return np.eye(dimension, dtype=complex)
+
+
+def hadamard() -> np.ndarray:
+    return np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2.0)
+
+
+def pauli_x() -> np.ndarray:
+    return np.array([[0, 1], [1, 0]], dtype=complex)
+
+
+def pauli_z() -> np.ndarray:
+    return np.array([[1, 0], [0, -1]], dtype=complex)
+
+
+def swap_gate(dimension: int) -> np.ndarray:
+    """SWAP of two subsystems of equal ``dimension`` (d² × d² matrix)."""
+    d = dimension
+    matrix = np.zeros((d * d, d * d), dtype=complex)
+    for a in range(d):
+        for b in range(d):
+            matrix[b * d + a, a * d + b] = 1.0
+    return matrix
+
+
+def controlled(unitary: np.ndarray, control_dimension: int, active: int) -> np.ndarray:
+    """Control ``unitary`` on the control qudit being in state ``active``.
+
+    Returns a (c·d) × (c·d) block-diagonal unitary: identity on every control
+    value except ``active``, where ``unitary`` is applied to the target.
+    """
+    if not 0 <= active < control_dimension:
+        raise ValueError(
+            f"active control value {active} outside [0, {control_dimension})"
+        )
+    d = unitary.shape[0]
+    blocks = [
+        unitary if value == active else identity(d)
+        for value in range(control_dimension)
+    ]
+    result = np.zeros((control_dimension * d, control_dimension * d), dtype=complex)
+    for value, block in enumerate(blocks):
+        result[value * d : (value + 1) * d, value * d : (value + 1) * d] = block
+    return result
+
+
+def phase_flip_on(dimension: int, flipped: set[int]) -> np.ndarray:
+    """Diagonal unitary putting a (−1) phase on the listed basis states."""
+    diagonal = np.ones(dimension, dtype=complex)
+    for index in flipped:
+        if not 0 <= index < dimension:
+            raise ValueError(f"basis index {index} outside [0, {dimension})")
+        diagonal[index] = -1.0
+    return np.diag(diagonal)
+
+
+def state_preparation(target: np.ndarray) -> np.ndarray:
+    """A unitary whose first column is the given (normalized) state.
+
+    Used to prepare arbitrary superpositions — e.g. the superposed recipient
+    register of Appendix A.2 — from the |0⟩ state.  Built by completing the
+    target vector to an orthonormal basis via QR.
+    """
+    vector = np.asarray(target, dtype=complex).reshape(-1)
+    norm = np.linalg.norm(vector)
+    if not np.isclose(norm, 1.0, atol=1e-9):
+        raise ValueError(f"state must be normalized, got norm {norm}")
+    dimension = vector.shape[0]
+    basis = np.eye(dimension, dtype=complex)
+    basis[:, 0] = vector
+    q, r = np.linalg.qr(basis)
+    # QR fixes phases only up to signs on the diagonal of R; align column 0.
+    phase = r[0, 0] / abs(r[0, 0])
+    q = q * phase.conjugate()
+    if not np.allclose(q[:, 0], vector, atol=1e-9):
+        # Fall back to an explicit Gram-Schmidt completion.
+        columns = [vector]
+        for e in np.eye(dimension, dtype=complex).T:
+            candidate = e.copy()
+            for column in columns:
+                candidate = candidate - np.vdot(column, candidate) * column
+            norm = np.linalg.norm(candidate)
+            if norm > 1e-9:
+                columns.append(candidate / norm)
+            if len(columns) == dimension:
+                break
+        q = np.stack(columns, axis=1)
+    return q

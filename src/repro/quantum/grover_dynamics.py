@@ -1,0 +1,54 @@
+"""Exact sampling of Grover measurement outcomes.
+
+The distributed Grover search of Theorem 4.1 is, from the measurement's point
+of view, a sequence of *attempts*: pick an iteration count j, rotate, measure.
+The measurement statistics live in the two-dimensional invariant subspace, so
+they can be sampled exactly without a state vector:
+
+* with probability sin²((2j+1)θ) the outcome is a uniformly random *marked*
+  element,
+* otherwise a uniformly random *unmarked* element.
+
+This module samples those outcomes; the message/round accounting lives with
+the distributed procedure in :mod:`repro.core.grover`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.quantum.amplitude import grover_success_probability
+from repro.util.fault import FaultInjector
+from repro.util.rng import RandomSource
+
+__all__ = ["AttemptOutcome", "sample_attempt"]
+
+
+@dataclass(frozen=True)
+class AttemptOutcome:
+    """Result of one Grover attempt: measured element class + success flag."""
+
+    measured_marked: bool
+    iterations: int
+
+
+def sample_attempt(
+    marked_fraction: float,
+    iterations: int,
+    rng: RandomSource,
+    faults: FaultInjector | None = None,
+    fault_site: str = "grover.false_negative",
+) -> AttemptOutcome:
+    """Sample the measurement outcome of one Grover attempt.
+
+    ``faults`` may force a false negative (measurement lands on an unmarked
+    element regardless of the true amplitude) so tests can exercise the
+    surrounding protocol's failure branches deterministically.
+    """
+    if faults is not None and faults.should_fail(fault_site):
+        return AttemptOutcome(measured_marked=False, iterations=iterations)
+    probability = grover_success_probability(iterations, marked_fraction)
+    return AttemptOutcome(
+        measured_marked=rng.bernoulli(probability),
+        iterations=iterations,
+    )

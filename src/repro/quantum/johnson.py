@@ -1,0 +1,160 @@
+"""Johnson graphs J(n, k) — the quantum walk's state space in QuantumQWLE.
+
+Algorithm 3 walks on J(deg(v), k): vertices are the k-subsets of v's
+neighbourhood, and two subsets are adjacent when they differ in exactly one
+element.  The walk is uniform, its stationary distribution is uniform over
+subsets, and its spectral gap is exactly δ = n / (k·(n−k)) — which is Θ(1/k)
+for k = o(n), the value Theorem 5.6's analysis uses.
+
+Subsets are represented as ``frozenset`` of *universe indices*; the caller
+maps indices to actual neighbour ids.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.rng import RandomSource
+
+__all__ = ["JohnsonGraph"]
+
+
+class JohnsonGraph:
+    """The Johnson graph J(universe_size, subset_size)."""
+
+    def __init__(self, universe_size: int, subset_size: int):
+        if universe_size < 2:
+            raise ValueError(f"universe must have >= 2 elements, got {universe_size}")
+        if not 1 <= subset_size < universe_size:
+            raise ValueError(
+                f"subset size must be in [1, {universe_size}), got {subset_size}"
+            )
+        self.universe_size = universe_size
+        self.subset_size = subset_size
+
+    # -- structure --------------------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        """Every vertex has degree k·(n−k)."""
+        return self.subset_size * (self.universe_size - self.subset_size)
+
+    def vertex_count(self) -> int:
+        """C(n, k) vertices."""
+        return math.comb(self.universe_size, self.subset_size)
+
+    def spectral_gap(self) -> float:
+        """Exact gap of the uniform walk: δ = n / (k·(n−k)).
+
+        The adjacency eigenvalues of J(n,k) are (k−j)(n−k−j) − j; dividing
+        the second-largest (j = 1) by the degree and subtracting from 1
+        gives n / (k(n−k)).
+        """
+        return self.universe_size / self.degree
+
+    def are_adjacent(self, a: frozenset[int], b: frozenset[int]) -> bool:
+        """Adjacent iff the subsets differ in exactly one element."""
+        self._validate(a)
+        self._validate(b)
+        return len(a & b) == self.subset_size - 1
+
+    # -- sampling ---------------------------------------------------------------
+
+    def random_vertex(self, rng: RandomSource) -> frozenset[int]:
+        """Uniform k-subset of the universe (the stationary distribution)."""
+        chosen = rng.sample_without_replacement(self.universe_size, self.subset_size)
+        return frozenset(int(i) for i in chosen)
+
+    def random_neighbor(
+        self, vertex: frozenset[int], rng: RandomSource
+    ) -> tuple[frozenset[int], int, int]:
+        """Uniform neighbour of ``vertex``; returns (W', removed, added)."""
+        self._validate(vertex)
+        inside = sorted(vertex)
+        outside = [i for i in range(self.universe_size) if i not in vertex]
+        removed = inside[rng.uniform_int(0, len(inside) - 1)]
+        added = outside[rng.uniform_int(0, len(outside) - 1)]
+        neighbour = frozenset((vertex - {removed}) | {added})
+        return neighbour, removed, added
+
+    # -- marked-set measure -------------------------------------------------------
+
+    def hitting_fraction(self, good_count: int) -> float:
+        """π-measure of {W : W ∩ G ≠ ∅} for a good set of size ``good_count``.
+
+        Exactly 1 − C(n−g, k)/C(n, k), computed stably as a product of ratios.
+        For g = 1 this is k/n — the ε = k/deg(v) requirement of Algorithm 3.
+        """
+        if not 0 <= good_count <= self.universe_size:
+            raise ValueError(
+                f"good count must be in [0, {self.universe_size}], got {good_count}"
+            )
+        if good_count == 0:
+            return 0.0
+        miss_probability = 1.0
+        n, k, g = self.universe_size, self.subset_size, good_count
+        if n - g < k:
+            return 1.0  # every k-subset must intersect the good set
+        for i in range(k):
+            miss_probability *= (n - g - i) / (n - i)
+        return 1.0 - miss_probability
+
+    def sample_hitting_subset(
+        self, good_indices: set[int], rng: RandomSource, max_rejections: int = 64
+    ) -> frozenset[int]:
+        """Uniform k-subset conditioned on intersecting ``good_indices``.
+
+        Rejection-samples from the stationary distribution; after
+        ``max_rejections`` misses falls back to exact conditional construction
+        (choose the number of good elements j ≥ 1 with its true conditional
+        weight, then uniform good/bad complements).
+        """
+        if not good_indices:
+            raise ValueError("good set is empty; no hitting subset exists")
+        for _ in range(max_rejections):
+            candidate = self.random_vertex(rng)
+            if candidate & good_indices:
+                return candidate
+        return self._exact_conditional_sample(good_indices, rng)
+
+    def _exact_conditional_sample(
+        self, good_indices: set[int], rng: RandomSource
+    ) -> frozenset[int]:
+        n, k = self.universe_size, self.subset_size
+        good = sorted(good_indices)
+        bad = [i for i in range(n) if i not in good_indices]
+        g = len(good)
+        weights = []
+        supports = []
+        for j in range(1, min(g, k) + 1):
+            if k - j > len(bad):
+                continue
+            weights.append(math.comb(g, j) * math.comb(len(bad), k - j))
+            supports.append(j)
+        total = sum(weights)
+        pick = rng.uniform() * total
+        cumulative = 0.0
+        chosen_j = supports[-1]
+        for j, weight in zip(supports, weights):
+            cumulative += weight
+            if pick < cumulative:
+                chosen_j = j
+                break
+        good_part = rng.choice(good, size=chosen_j, replace=False)
+        bad_part = (
+            rng.choice(bad, size=k - chosen_j, replace=False)
+            if k - chosen_j > 0
+            else []
+        )
+        return frozenset(int(i) for i in list(good_part) + list(bad_part))
+
+    def _validate(self, vertex: frozenset[int]) -> None:
+        if len(vertex) != self.subset_size:
+            raise ValueError(
+                f"vertex must have {self.subset_size} elements, got {len(vertex)}"
+            )
+        if any(not 0 <= i < self.universe_size for i in vertex):
+            raise ValueError("vertex contains indices outside the universe")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JohnsonGraph(n={self.universe_size}, k={self.subset_size})"

@@ -1,0 +1,181 @@
+"""Exact implementation of the quantum routing model (Appendix A).
+
+Every port p = (u, v) owns an *emission* register (u→v) and a *reception*
+register (u←v), each a qudit with basis {|⊥⟩, |m₁⟩, …, |m_A⟩} where |⊥⟩ is
+the vacuum.  The round boundary applies
+
+    Send_{u→v} : |m⟩_{u→v} |⊥⟩_{v←u} ↦ |⊥⟩_{u→v} |m⟩_{v←u}
+
+on every directed pair simultaneously (the global ``Send`` operator).  A node
+may choose its recipient *in superposition* via a local control register —
+the superposition-of-trajectories mechanism of Section 3 — and the message
+complexity of a round is the **maximum number of non-vacuum emission
+registers over the superposed branches** (Section 3.1).
+
+This module is exact but dense, so it is meant for small demonstration
+networks (the star-graph example of Appendix A.2, tests).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.network.topology import Topology
+from repro.quantum.gates import controlled, state_preparation
+from repro.quantum.statevector import DenseState
+from repro.util.rng import RandomSource
+
+__all__ = ["QuantumRoutingNetwork", "VACUUM"]
+
+#: Basis index of the vacuum state |⊥⟩ in every port register.
+VACUUM = 0
+
+
+class QuantumRoutingNetwork:
+    """Dense simulation of a network with quantum port registers."""
+
+    def __init__(self, topology: Topology, alphabet_size: int = 1):
+        if alphabet_size < 1:
+            raise ValueError(f"need at least one message symbol, got {alphabet_size}")
+        self.topology = topology
+        self.alphabet_size = alphabet_size
+        self.register_dim = alphabet_size + 1  # vacuum + symbols
+
+        self._local_dims: list[int] = []
+        self._local_index: dict[tuple[int, str], int] = {}
+        self._emission_index: dict[tuple[int, int], int] = {}
+        self._reception_index: dict[tuple[int, int], int] = {}
+        self._state: DenseState | None = None
+
+    # -- construction ------------------------------------------------------------
+
+    def allocate_local(self, node: int, name: str, dimension: int) -> None:
+        """Reserve a local register for ``node`` (before :meth:`build`)."""
+        if self._state is not None:
+            raise RuntimeError("cannot allocate registers after build()")
+        key = (node, name)
+        if key in self._local_index:
+            raise ValueError(f"register {name!r} already allocated at node {node}")
+        self._local_index[key] = len(self._local_dims)
+        self._local_dims.append(dimension)
+
+    def build(self) -> None:
+        """Materialize the dense state (all registers in vacuum / |0⟩)."""
+        dims = list(self._local_dims)
+        offset = len(dims)
+        position = offset
+        for u, v in self.topology.edges():
+            for a, b in ((u, v), (v, u)):
+                self._emission_index[(a, b)] = position
+                dims.append(self.register_dim)
+                position += 1
+                self._reception_index[(b, a)] = position
+                dims.append(self.register_dim)
+                position += 1
+        self._state = DenseState(dims)
+
+    # -- register handles ------------------------------------------------------------
+
+    @property
+    def state(self) -> DenseState:
+        if self._state is None:
+            raise RuntimeError("call build() first")
+        return self._state
+
+    def local(self, node: int, name: str) -> int:
+        return self._local_index[(node, name)]
+
+    def emission(self, sender: int, receiver: int) -> int:
+        """Subsystem index of the emission register sender→receiver."""
+        return self._emission_index[(sender, receiver)]
+
+    def reception(self, receiver: int, sender: int) -> int:
+        """Subsystem index of the reception register receiver←sender."""
+        return self._reception_index[(receiver, sender)]
+
+    # -- operations ----------------------------------------------------------------------
+
+    def prepare_recipient_superposition(
+        self, node: int, name: str, amplitudes: dict[int, complex]
+    ) -> None:
+        """Load a local register with a superposition over neighbour ports.
+
+        ``amplitudes`` maps neighbour ids to amplitudes; port order indexes
+        the register's basis.  This is step (1) of Appendix A.2.
+        """
+        degree = self.topology.degree(node)
+        register = self.local(node, name)
+        if self.state.dims[register] < degree:
+            raise ValueError(
+                f"control register of dimension {self.state.dims[register]} cannot "
+                f"address {degree} ports"
+            )
+        vector = np.zeros(self.state.dims[register], dtype=complex)
+        for neighbour, amplitude in amplitudes.items():
+            port = self.topology.port_to(node, neighbour)
+            vector[port] = amplitude
+        norm = np.linalg.norm(vector)
+        if not math.isclose(norm, 1.0, rel_tol=1e-9):
+            raise ValueError(f"amplitudes must be normalized, got norm {norm}")
+        self.state.apply(state_preparation(vector), [register])
+
+    def write_message_controlled(self, node: int, name: str, symbol: int) -> None:
+        """Controlled-write of ``symbol`` into the port selected by a register.
+
+        For each port j of ``node``, applies (controlled on the local register
+        holding j) the permutation swapping |⊥⟩ ↔ |symbol⟩ on the emission
+        register of port j — the control-swap of Appendix A.2 step (1).
+        """
+        if not 1 <= symbol <= self.alphabet_size:
+            raise ValueError(f"symbol must be in [1, {self.alphabet_size}], got {symbol}")
+        control = self.local(node, name)
+        control_dim = self.state.dims[control]
+        permutation = np.eye(self.register_dim, dtype=complex)
+        permutation[[VACUUM, symbol]] = permutation[[symbol, VACUUM]]
+        for port in range(self.topology.degree(node)):
+            neighbour = self.topology.neighbor_at_port(node, port)
+            target = self.emission(node, neighbour)
+            gate = controlled(permutation, control_dim, active=port)
+            self.state.apply(gate, [control, target])
+
+    def write_message(self, sender: int, receiver: int, symbol: int) -> None:
+        """Deterministic (classical-recipient) message write."""
+        if not 1 <= symbol <= self.alphabet_size:
+            raise ValueError(f"symbol must be in [1, {self.alphabet_size}], got {symbol}")
+        permutation = np.eye(self.register_dim, dtype=complex)
+        permutation[[VACUUM, symbol]] = permutation[[symbol, VACUUM]]
+        self.state.apply(permutation, [self.emission(sender, receiver)])
+
+    def send_all(self) -> None:
+        """The global Send operator: swap every (u→v) with (v←u)."""
+        for (sender, receiver), emission in self._emission_index.items():
+            reception = self._reception_index[(receiver, sender)]
+            self.state.swap_subsystems(emission, reception)
+
+    def round_message_complexity(self, tolerance: float = 1e-12) -> int:
+        """Message complexity of sending now (Section 3.1's max-over-branches).
+
+        Counts, for each computational basis state with non-negligible
+        amplitude, the number of non-vacuum *emission* registers, and returns
+        the maximum.
+        """
+        emission_positions = sorted(self._emission_index.values())
+        dims = self.state.dims
+        probabilities = self.state.probabilities()
+        support = np.nonzero(probabilities > tolerance)[0]
+        if support.size == 0:
+            return 0
+        unraveled = np.array(np.unravel_index(support, dims)).T
+        worst = 0
+        for basis_indices in unraveled:
+            occupied = sum(
+                1 for position in emission_positions if basis_indices[position] != VACUUM
+            )
+            worst = max(worst, occupied)
+        return worst
+
+    def measure_reception(self, receiver: int, sender: int, rng: RandomSource) -> int:
+        """Measure the reception register receiver←sender (0 means vacuum)."""
+        return self.state.measure(self.reception(receiver, sender), rng)

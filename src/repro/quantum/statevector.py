@@ -1,0 +1,138 @@
+"""Dense state-vector simulator over mixed-dimension subsystems (qudits).
+
+Used to validate the *formal model* of non-oblivious quantum routing
+(Appendix A) exactly, on networks small enough for dense simulation.  The
+registers of that model are qudits: a port register's basis is
+{|⊥⟩, |m₁⟩, …}, so a qubit-only simulator would not fit naturally.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.util.rng import RandomSource
+
+__all__ = ["DenseState"]
+
+
+class DenseState:
+    """A pure state over subsystems with arbitrary finite dimensions."""
+
+    def __init__(self, dims: list[int]):
+        if not dims:
+            raise ValueError("need at least one subsystem")
+        if any(d < 2 for d in dims):
+            raise ValueError(f"every subsystem needs dimension >= 2, got {dims}")
+        total = math.prod(dims)
+        if total > 1 << 22:
+            raise ValueError(
+                f"state space of size {total} is too large for dense simulation"
+            )
+        self.dims = list(dims)
+        self._state = np.zeros(total, dtype=complex)
+        self._state[0] = 1.0
+
+    # -- inspection --------------------------------------------------------------
+
+    @property
+    def subsystem_count(self) -> int:
+        return len(self.dims)
+
+    def amplitude(self, indices: tuple[int, ...]) -> complex:
+        """Amplitude of the computational basis state |indices⟩."""
+        return complex(self._state[self._flatten(indices)])
+
+    def probabilities(self) -> np.ndarray:
+        """|amplitude|² over the full computational basis."""
+        return np.abs(self._state) ** 2
+
+    def probability_of(self, indices: tuple[int, ...]) -> float:
+        return float(abs(self.amplitude(indices)) ** 2)
+
+    def marginal(self, targets: list[int]) -> np.ndarray:
+        """Joint outcome distribution of the listed subsystems."""
+        tensor = self._state.reshape(self.dims)
+        axes = [i for i in range(len(self.dims)) if i not in targets]
+        probabilities = np.abs(tensor) ** 2
+        marginal = probabilities.sum(axis=tuple(axes)) if axes else probabilities
+        order = np.argsort(np.argsort(targets))
+        return np.transpose(marginal, axes=order) if marginal.ndim > 1 else marginal
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self._state))
+
+    # -- preparation ---------------------------------------------------------------
+
+    def set_basis_state(self, indices: tuple[int, ...]) -> None:
+        """Reset to the computational basis state |indices⟩."""
+        self._state[:] = 0.0
+        self._state[self._flatten(indices)] = 1.0
+
+    # -- evolution -------------------------------------------------------------------
+
+    def apply(self, unitary: np.ndarray, targets: list[int]) -> None:
+        """Apply a unitary to the listed subsystems (in the given order)."""
+        if len(set(targets)) != len(targets):
+            raise ValueError(f"duplicate targets in {targets}")
+        for t in targets:
+            if not 0 <= t < len(self.dims):
+                raise ValueError(f"target {t} outside subsystem range")
+        target_dim = math.prod(self.dims[t] for t in targets)
+        if unitary.shape != (target_dim, target_dim):
+            raise ValueError(
+                f"unitary shape {unitary.shape} does not match target dimension "
+                f"{target_dim}"
+            )
+        tensor = self._state.reshape(self.dims)
+        rest = [i for i in range(len(self.dims)) if i not in targets]
+        permuted = np.transpose(tensor, axes=targets + rest)
+        folded = permuted.reshape(target_dim, -1)
+        folded = unitary @ folded
+        restored = folded.reshape([self.dims[t] for t in targets] + [self.dims[r] for r in rest])
+        inverse = np.argsort(targets + rest)
+        self._state = np.transpose(restored, axes=inverse).reshape(-1)
+
+    def swap_subsystems(self, a: int, b: int) -> None:
+        """Exchange two subsystems of equal dimension (used by Send)."""
+        if self.dims[a] != self.dims[b]:
+            raise ValueError(
+                f"cannot swap subsystems of dimensions {self.dims[a]} and {self.dims[b]}"
+            )
+        tensor = self._state.reshape(self.dims)
+        self._state = np.swapaxes(tensor, a, b).reshape(-1)
+
+    # -- measurement --------------------------------------------------------------------
+
+    def measure(self, target: int, rng: RandomSource) -> int:
+        """Projectively measure one subsystem; collapses the state."""
+        tensor = self._state.reshape(self.dims)
+        probabilities = np.abs(tensor) ** 2
+        axes = tuple(i for i in range(len(self.dims)) if i != target)
+        outcome_distribution = probabilities.sum(axis=axes)
+        outcome_distribution = outcome_distribution / outcome_distribution.sum()
+        outcome = int(rng.generator.choice(self.dims[target], p=outcome_distribution))
+        projector = [slice(None)] * len(self.dims)
+        mask = np.zeros(self.dims[target])
+        mask[outcome] = 1.0
+        shape = [1] * len(self.dims)
+        shape[target] = self.dims[target]
+        tensor = tensor * mask.reshape(shape)
+        tensor = tensor / np.linalg.norm(tensor)
+        self._state = tensor.reshape(-1)
+        return outcome
+
+    # -- internals -------------------------------------------------------------------------
+
+    def _flatten(self, indices: tuple[int, ...]) -> int:
+        if len(indices) != len(self.dims):
+            raise ValueError(
+                f"need {len(self.dims)} indices, got {len(indices)}"
+            )
+        flat = 0
+        for index, dim in zip(indices, self.dims):
+            if not 0 <= index < dim:
+                raise ValueError(f"index {index} outside subsystem dimension {dim}")
+            flat = flat * dim + index
+        return flat

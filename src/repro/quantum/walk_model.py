@@ -1,0 +1,52 @@
+"""Outcome model for MNRS-style search via quantum walk (Theorem 4.4).
+
+The MNRS framework amplifies the marked measure ε_f of a reversible Markov
+chain using ~1/√ε phase-estimation-based reflections, each built from ~1/√δ
+walk steps.  Its guarantee is a *constant* per-attempt success probability
+whenever ε_f ≥ ε.
+
+We model a WalkSearch attempt exactly like a randomized-iteration amplitude
+amplification (the same rotation algebra as Grover, driven by the marked
+measure of the chain's stationary distribution):
+
+* per-attempt success probability = BBHT average law at cap m = ⌈1/√ε⌉,
+  which is ≥ 1/4 whenever ε_f ≥ ε and exactly 0 when ε_f = 0;
+* attempts are repeated O(log 1/α) times (Theorem 4.4's boosting).
+
+This reproduces the theorem's guarantee (success ≥ 1 − α for ε_f ≥ ε, never a
+false positive for ε_f = 0) while degrading gracefully — proportionally to
+ε_f/ε — below the promise, as the real dynamics would.  The documented
+modelling constant is the 1/4 BBHT floor.
+"""
+
+from __future__ import annotations
+
+from repro.quantum.amplitude import bbht_average_success, worst_case_iterations
+from repro.util.fault import FaultInjector
+from repro.util.rng import RandomSource
+
+__all__ = ["walk_attempt_success_probability", "sample_walk_attempt"]
+
+
+def walk_attempt_success_probability(marked_fraction: float, epsilon: float) -> float:
+    """Per-attempt success probability of a WalkSearch attempt."""
+    if not 0.0 <= marked_fraction <= 1.0:
+        raise ValueError(f"marked fraction must be in [0, 1], got {marked_fraction}")
+    if marked_fraction == 0.0:
+        return 0.0
+    cap = worst_case_iterations(epsilon)
+    return bbht_average_success(cap, marked_fraction)
+
+
+def sample_walk_attempt(
+    marked_fraction: float,
+    epsilon: float,
+    rng: RandomSource,
+    faults: FaultInjector | None = None,
+    fault_site: str = "walk.false_negative",
+) -> bool:
+    """Sample whether one WalkSearch attempt lands on a marked chain state."""
+    if faults is not None and faults.should_fail(fault_site):
+        return False
+    probability = walk_attempt_success_probability(marked_fraction, epsilon)
+    return rng.bernoulli(probability)

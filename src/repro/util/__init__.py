@@ -1,0 +1,29 @@
+"""Shared utilities: seeded randomness, math helpers, cost ledger, fault injection."""
+
+from repro.util.fault import FaultInjector
+from repro.util.ledger import CostLedger, LedgerEntry
+from repro.util.mathx import (
+    binomial,
+    ceil_div,
+    ceil_log2,
+    ceil_sqrt,
+    is_power_of_two,
+    log_ceil,
+    polylog,
+)
+from repro.util.rng import RandomSource, SharedCoin
+
+__all__ = [
+    "CostLedger",
+    "FaultInjector",
+    "LedgerEntry",
+    "RandomSource",
+    "SharedCoin",
+    "binomial",
+    "ceil_div",
+    "ceil_log2",
+    "ceil_sqrt",
+    "is_power_of_two",
+    "log_ceil",
+    "polylog",
+]

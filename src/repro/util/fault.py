@@ -1,0 +1,72 @@
+"""Deterministic fault injection for exercising low-probability code paths.
+
+The protocols in this library fail only with probability O(1/n); tests would
+need astronomically many trials to hit those branches naturally.  A
+``FaultInjector`` lets a test force specific subroutine failures (for example
+"the next Grover search returns a false negative") so the surrounding
+protocol's error handling is exercised deterministically.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Registry of forced failures keyed by site label.
+
+    Usage::
+
+        faults = FaultInjector()
+        faults.force("grover.false_negative", times=1)
+        ...
+        if faults.should_fail("grover.false_negative"):
+            # pretend the measurement missed the marked element
+    """
+
+    def __init__(self) -> None:
+        self._pending: dict[str, int] = defaultdict(int)
+        self._always: set[str] = set()
+        self.triggered: dict[str, int] = defaultdict(int)
+
+    def force(self, site: str, times: int = 1) -> None:
+        """Arm ``times`` failures at ``site`` (use ``always`` for unbounded)."""
+        if times < 1:
+            raise ValueError(f"times must be >= 1, got {times}")
+        self._pending[site] += times
+
+    def force_always(self, site: str) -> None:
+        """Arm unbounded failures at ``site``."""
+        self._always.add(site)
+
+    def clear(self, site: str | None = None) -> None:
+        """Disarm one site, or everything when site is None."""
+        if site is None:
+            self._pending.clear()
+            self._always.clear()
+        else:
+            self._pending.pop(site, None)
+            self._always.discard(site)
+
+    def should_fail(self, site: str) -> bool:
+        """Consume one armed failure at ``site`` if present."""
+        if site in self._always:
+            self.triggered[site] += 1
+            return True
+        if self._pending.get(site, 0) > 0:
+            self._pending[site] -= 1
+            self.triggered[site] += 1
+            return True
+        return False
+
+    @property
+    def armed_sites(self) -> set[str]:
+        """Sites that still have at least one armed failure."""
+        armed = {site for site, count in self._pending.items() if count > 0}
+        return armed | set(self._always)
+
+
+#: A module-level injector that never fails, used as the default everywhere.
+NULL_INJECTOR = FaultInjector()

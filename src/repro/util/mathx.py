@@ -1,0 +1,65 @@
+"""Small integer and logarithm helpers used throughout the library."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "binomial",
+    "ceil_div",
+    "ceil_log2",
+    "ceil_sqrt",
+    "is_power_of_two",
+    "log_ceil",
+    "polylog",
+]
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division."""
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    return -(-numerator // denominator)
+
+
+def ceil_sqrt(value: float) -> int:
+    """Smallest integer at least sqrt(value); at least 1 for positive input."""
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    if value == 0:
+        return 0
+    root = math.isqrt(int(value))
+    if root * root < value:
+        root += 1
+    return max(root, 1)
+
+
+def ceil_log2(value: int) -> int:
+    """Smallest integer k with 2**k >= value (value >= 1)."""
+    if value < 1:
+        raise ValueError(f"value must be >= 1, got {value}")
+    return (value - 1).bit_length()
+
+
+def log_ceil(value: float, minimum: int = 1) -> int:
+    """``max(minimum, ceil(ln(value)))`` — the paper's ubiquitous Θ(log) knob."""
+    if value <= 0:
+        raise ValueError(f"value must be positive, got {value}")
+    return max(minimum, math.ceil(math.log(max(value, 1.0 + 1e-12))))
+
+
+def polylog(n: int, power: float = 1.0) -> float:
+    """``(ln n)**power`` with n clamped at 2 so the result is never zero."""
+    return math.log(max(n, 2)) ** power
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when value is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def binomial(n: int, k: int) -> int:
+    """Binomial coefficient C(n, k); zero outside the valid range."""
+    if k < 0 or k > n or n < 0:
+        return 0
+    return math.comb(n, k)

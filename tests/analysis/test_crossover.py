@@ -1,0 +1,45 @@
+"""Tests for crossover prediction between fitted power laws."""
+
+import math
+
+import pytest
+
+from repro.analysis.fitting import crossover_estimate, fit_power_law
+
+
+def _fit(exponent, constant, polylog=0.0):
+    sizes = [2**k for k in range(8, 16)]
+    values = [
+        constant * n**exponent * math.log(n) ** polylog for n in sizes
+    ]
+    return fit_power_law(sizes, values, polylog_power=polylog)
+
+
+class TestCrossoverEstimate:
+    def test_exact_crossover_recovered(self):
+        """C·n^{1/3} crosses n^{1/2} at n = C^6."""
+        quantum = _fit(1 / 3, 10.0)
+        classical = _fit(1 / 2, 1.0)
+        crossover = crossover_estimate(quantum, classical)
+        assert crossover == pytest.approx(10.0**6, rel=0.01)
+
+    def test_already_cheaper_returns_small_n(self):
+        quantum = _fit(1 / 3, 1.0)
+        classical = _fit(1 / 2, 5.0)
+        crossover = crossover_estimate(quantum, classical)
+        assert crossover is not None and crossover < 10
+
+    def test_wrong_exponent_ordering_returns_none(self):
+        assert crossover_estimate(_fit(0.9, 1.0), _fit(0.5, 1.0)) is None
+
+    def test_beyond_horizon_returns_none(self):
+        quantum = _fit(0.499, 1e12)
+        classical = _fit(0.5, 1.0)
+        assert crossover_estimate(quantum, classical, max_log10=6.0) is None
+
+    def test_polylog_terms_respected(self):
+        """A (ln n)² factor on the cheap side delays the crossover (possibly
+        past the horizon, in which case None is the correct answer)."""
+        plain = crossover_estimate(_fit(1 / 3, 10.0), _fit(1 / 2, 1.0))
+        loggy = crossover_estimate(_fit(1 / 3, 10.0, polylog=2.0), _fit(1 / 2, 1.0))
+        assert loggy is None or loggy > plain

@@ -1,0 +1,37 @@
+"""Tests for the experiment registry."""
+
+import importlib
+import pathlib
+
+import pytest
+
+from repro.analysis.experiments import EXPERIMENTS, get_experiment
+
+
+class TestRegistry:
+    def test_all_twelve_present(self):
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 13)}
+
+    def test_lookup(self):
+        e1 = get_experiment("E1")
+        assert "5.2" in e1.paper_result
+        assert e1.quantum_exponent == pytest.approx(1 / 3)
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("E99")
+
+    def test_modules_exist(self):
+        for experiment in EXPERIMENTS.values():
+            for module in experiment.modules:
+                importlib.import_module(module)
+
+    def test_bench_files_exist(self):
+        root = pathlib.Path(__file__).resolve().parents[2]
+        for experiment in EXPERIMENTS.values():
+            assert (root / experiment.bench).exists(), experiment.bench
+
+    def test_every_claim_mentions_paper_quantity(self):
+        for experiment in EXPERIMENTS.values():
+            assert len(experiment.claim) > 30
+            assert experiment.paper_result

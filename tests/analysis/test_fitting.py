@@ -1,0 +1,57 @@
+"""Tests for power-law fitting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import fit_power_law
+
+
+class TestFitPowerLaw:
+    def test_recovers_exact_exponent(self):
+        sizes = [64, 128, 256, 512, 1024]
+        values = [7.0 * n**0.5 for n in sizes]
+        fit = fit_power_law(sizes, values)
+        assert fit.exponent == pytest.approx(0.5, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_recovers_intercept(self):
+        sizes = [10, 100, 1000]
+        values = [3.0 * n for n in sizes]
+        fit = fit_power_law(sizes, values)
+        assert math.exp(fit.intercept) == pytest.approx(3.0, rel=1e-6)
+
+    def test_polylog_correction(self):
+        sizes = [2**k for k in range(6, 14)]
+        values = [5.0 * n ** (1 / 3) * math.log(n) ** 2 for n in sizes]
+        uncorrected = fit_power_law(sizes, values)
+        corrected = fit_power_law(sizes, values, polylog_power=2.0)
+        assert corrected.exponent == pytest.approx(1 / 3, abs=1e-6)
+        assert abs(uncorrected.exponent - 1 / 3) > 0.05  # logs masquerade as slope
+
+    def test_predict_inverts_fit(self):
+        sizes = [32, 64, 128]
+        values = [2.0 * n**0.75 for n in sizes]
+        fit = fit_power_law(sizes, values)
+        assert fit.predict(256) == pytest.approx(2.0 * 256**0.75, rel=1e-6)
+
+    def test_noisy_data_reasonable_r2(self):
+        rng = np.random.default_rng(0)
+        sizes = [2**k for k in range(6, 14)]
+        values = [n**0.6 * math.exp(rng.normal(0, 0.05)) for n in sizes]
+        fit = fit_power_law(sizes, values)
+        assert fit.exponent == pytest.approx(0.6, abs=0.1)
+        assert fit.r_squared > 0.95
+
+    def test_rejects_insufficient_data(self):
+        with pytest.raises(ValueError):
+            fit_power_law([10], [5.0])
+
+    def test_rejects_nonpositive_values(self):
+        with pytest.raises(ValueError):
+            fit_power_law([10, 20], [1.0, 0.0])
+
+    def test_str_format(self):
+        fit = fit_power_law([10, 100], [10.0, 100.0])
+        assert "n^1.000" in str(fit)

@@ -1,0 +1,52 @@
+"""Tests for the scaling measurement harness."""
+
+import pytest
+
+from repro.analysis.scaling import measure_scaling
+
+
+def _runner_linear(n, rng):
+    """Deterministic pseudo-protocol: messages = 3n, rounds = 2, success."""
+    return 3 * n, 2, True, {"candidates": 5}
+
+
+def _runner_noisy(n, rng):
+    noise = rng.uniform_int(0, n // 10)
+    return n + noise, 1, rng.bernoulli(0.9), {}
+
+
+class TestMeasureScaling:
+    def test_points_cover_grid(self):
+        series = measure_scaling("lin", _runner_linear, [16, 32, 64], trials=3)
+        assert series.sizes == [16, 32, 64]
+        assert all(p.trials == 3 for p in series.points)
+
+    def test_deterministic_runner_zero_std(self):
+        series = measure_scaling("lin", _runner_linear, [10, 20], trials=4)
+        assert all(p.messages_std == 0.0 for p in series.points)
+        assert series.points[0].messages_mean == 30.0
+
+    def test_success_rate_aggregation(self):
+        series = measure_scaling("noisy", _runner_noisy, [100], trials=50, seed=1)
+        assert 0.7 <= series.points[0].success_rate <= 1.0
+
+    def test_fit_recovers_linear_exponent(self):
+        series = measure_scaling("lin", _runner_linear, [32, 64, 128, 256], trials=2)
+        assert series.fit().exponent == pytest.approx(1.0, abs=1e-9)
+
+    def test_extra_metadata_averaged(self):
+        series = measure_scaling("lin", _runner_linear, [16], trials=3)
+        assert series.points[0].extra["candidates"] == 5
+
+    def test_reproducible_across_calls(self):
+        a = measure_scaling("noisy", _runner_noisy, [64], trials=5, seed=9)
+        b = measure_scaling("noisy", _runner_noisy, [64], trials=5, seed=9)
+        assert a.points[0].messages_mean == b.points[0].messages_mean
+
+    def test_overall_success_rate(self):
+        series = measure_scaling("lin", _runner_linear, [8, 16], trials=2)
+        assert series.overall_success_rate() == 1.0
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            measure_scaling("x", _runner_linear, [8], trials=0)

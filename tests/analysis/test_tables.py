@@ -1,0 +1,47 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.analysis.scaling import measure_scaling
+from repro.analysis.tables import comparison_table, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            ["n", "msgs"], [["64", "123"], ["128", "4567"]], title="demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "n" in lines[1] and "msgs" in lines[1]
+        assert "4567" in lines[-1]
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["1"]])
+
+    def test_no_title(self):
+        text = render_table(["x"], [["1"]])
+        assert not text.startswith("\n")
+
+
+class TestComparisonTable:
+    def _series(self, label, scale):
+        return measure_scaling(
+            label, lambda n, rng: (scale * n, 1, True, {}), [16, 32], trials=1
+        )
+
+    def test_ratio_column(self):
+        quantum = self._series("q", 1)
+        classical = self._series("c", 3)
+        text = comparison_table(quantum, classical)
+        assert "3.000" in text
+        assert "q msgs" in text and "c msgs" in text
+
+    def test_rejects_mismatched_grids(self):
+        quantum = self._series("q", 1)
+        classical = measure_scaling(
+            "c", lambda n, rng: (n, 1, True, {}), [16, 64], trials=1
+        )
+        with pytest.raises(ValueError):
+            comparison_table(quantum, classical)

@@ -1,0 +1,98 @@
+"""Tests for the classical AMP18 agreement baselines."""
+
+import pytest
+
+from repro.classical.agreement.amp18 import (
+    classical_agreement_private,
+    classical_agreement_shared,
+    default_epsilon_classical,
+    default_inform_width_classical,
+)
+from repro.util.fault import FaultInjector
+from repro.util.rng import RandomSource, SharedCoin
+
+
+def _inputs(n, ones):
+    return [1] * ones + [0] * (n - ones)
+
+
+class TestPrivateCoinProtocol:
+    def test_valid_agreement(self):
+        successes = sum(
+            classical_agreement_private(_inputs(128, 40), RandomSource(s)).success
+            for s in range(20)
+        )
+        assert successes >= 19
+
+    def test_single_decider(self):
+        result = classical_agreement_private(_inputs(64, 20), RandomSource(0))
+        assert len(result.decided_nodes) <= 1
+
+    def test_decided_value_is_leaders_input(self):
+        result = classical_agreement_private(_inputs(64, 20), RandomSource(1))
+        if result.decided_nodes:
+            leader = result.meta["leader"]
+            assert result.decisions[leader] == result.inputs[leader]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            classical_agreement_private([0, 2], RandomSource(0))
+
+
+class TestSharedCoinProtocol:
+    def test_valid_agreement_many_seeds(self):
+        successes = sum(
+            classical_agreement_shared(_inputs(128, 40), RandomSource(s)).success
+            for s in range(20)
+        )
+        assert successes >= 19
+
+    def test_unanimous_validity(self):
+        for seed in range(10):
+            result = classical_agreement_shared(_inputs(64, 64), RandomSource(seed))
+            if result.decided_nodes:
+                assert result.agreed_value == 1
+
+    def test_reproducible_with_explicit_coin(self):
+        a = classical_agreement_shared(
+            _inputs(64, 30), RandomSource(4), shared_coin=SharedCoin(RandomSource(8))
+        )
+        b = classical_agreement_shared(
+            _inputs(64, 30), RandomSource(4), shared_coin=SharedCoin(RandomSource(8))
+        )
+        assert a.decisions == b.decisions
+
+    def test_defaults(self):
+        # Large n: ε = n^(−1/5); small n: clamped at 1/20.
+        assert default_epsilon_classical(10**10) == pytest.approx(0.01)
+        assert default_epsilon_classical(32) <= 1 / 20
+        assert default_inform_width_classical(1024) == pytest.approx(
+            round(1024**0.4), abs=1
+        )
+
+    def test_estimation_cost_is_inverse_epsilon_squared(self):
+        costs = {}
+        for eps in (0.05, 0.025):
+            result = classical_agreement_shared(
+                _inputs(256, 100),
+                RandomSource(5),
+                epsilon=eps,
+                estimation_alpha=0.1,
+                detection_alpha=0.1,
+            )
+            costs[eps] = result.meta["samples"]
+        assert costs[0.025] == pytest.approx(4 * costs[0.05], rel=0.1)
+
+    def test_zero_candidates_fault(self):
+        faults = FaultInjector()
+        faults.force("candidates.force_empty")
+        result = classical_agreement_shared(
+            _inputs(64, 20), RandomSource(0), faults=faults
+        )
+        assert not result.success
+
+    def test_ledger_phases(self):
+        result = classical_agreement_shared(_inputs(128, 50), RandomSource(6))
+        labels = result.metrics.ledger.messages_by_label()
+        assert "amp18.estimation" in labels
+        assert "amp18.inform" in labels

@@ -1,0 +1,70 @@
+"""Tests for the classical KPP+15b complete-graph LE baseline."""
+
+import math
+
+import pytest
+
+from repro.classical.leader_election.complete_kpp import (
+    classical_le_complete,
+    default_referees_complete,
+)
+from repro.util.rng import RandomSource
+
+
+class TestCorrectness:
+    def test_unique_leader_many_seeds(self):
+        successes = sum(
+            classical_le_complete(128, RandomSource(seed)).success
+            for seed in range(30)
+        )
+        assert successes >= 29
+
+    def test_statuses_all_terminal(self):
+        from repro.network.node import Status
+
+        result = classical_le_complete(64, RandomSource(0))
+        assert all(
+            s in (Status.ELECTED, Status.NON_ELECTED)
+            for s in result.statuses.values()
+        )
+
+    def test_small_network(self):
+        result = classical_le_complete(4, RandomSource(1))
+        assert len(result.elected) <= 1
+
+
+class TestCost:
+    def test_runs_in_three_rounds(self):
+        result = classical_le_complete(256, RandomSource(2))
+        assert result.rounds == 3
+
+    def test_message_count_near_candidates_times_referees(self):
+        result = classical_le_complete(512, RandomSource(3))
+        candidates = result.meta["candidates"]
+        referees = result.meta["referees"]
+        # rank messages + replies: candidates × referees ≤ msgs ≤ 2 × that
+        assert candidates * referees <= result.messages <= 2 * candidates * referees
+
+    def test_default_referee_count_scales_sqrt(self):
+        assert default_referees_complete(10_000) == pytest.approx(
+            2 * math.sqrt(10_000 * math.log(10_000)), abs=2
+        )
+
+    def test_sqrt_scaling_of_messages(self):
+        small = classical_le_complete(256, RandomSource(4))
+        large = classical_le_complete(4096, RandomSource(4))
+        per_candidate_small = small.messages / max(1, small.meta["candidates"])
+        per_candidate_large = large.messages / max(1, large.meta["candidates"])
+        ratio = per_candidate_large / per_candidate_small
+        # √(4096·ln4096)/√(256·ln256) ≈ 4.9
+        assert 3.5 < ratio < 6.5
+
+
+class TestValidation:
+    def test_rejects_tiny_network(self):
+        with pytest.raises(ValueError):
+            classical_le_complete(1, RandomSource(0))
+
+    def test_rejects_bad_referee_count(self):
+        with pytest.raises(ValueError):
+            classical_le_complete(8, RandomSource(0), referees=8)

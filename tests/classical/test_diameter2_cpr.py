@@ -1,0 +1,52 @@
+"""Tests for the classical diameter-2 LE baseline."""
+
+from repro.classical.leader_election.diameter2_cpr import classical_le_diameter2
+from repro.network import graphs
+from repro.util.rng import RandomSource
+
+
+class TestCorrectness:
+    def test_dense_random_diameter2(self):
+        successes = 0
+        for seed in range(15):
+            rng = RandomSource(seed)
+            topology = graphs.diameter_two_gnp(64, rng.spawn())
+            successes += classical_le_diameter2(topology, rng.spawn()).success
+        assert successes >= 14
+
+    def test_wheel(self):
+        result = classical_le_diameter2(graphs.wheel(30), RandomSource(1))
+        assert len(result.elected) == 1
+
+    def test_star_adjacent_candidates(self):
+        """On a star every pair of leaves shares the hub; the hub itself is
+        adjacent to everyone."""
+        successes = sum(
+            classical_le_diameter2(graphs.star(40), RandomSource(seed)).success
+            for seed in range(10)
+        )
+        assert successes >= 9
+
+    def test_complete_bipartite(self):
+        result = classical_le_diameter2(
+            graphs.complete_bipartite(20, 20), RandomSource(2)
+        )
+        assert len(result.elected) == 1
+
+
+class TestCost:
+    def test_three_rounds(self):
+        rng = RandomSource(3)
+        topology = graphs.diameter_two_gnp(48, rng.spawn())
+        assert classical_le_diameter2(topology, rng.spawn()).rounds == 3
+
+    def test_messages_scale_with_candidate_degrees(self):
+        """Θ(n) per candidate on dense diameter-2 graphs."""
+        rng = RandomSource(4)
+        topology = graphs.erdos_renyi(128, 0.5, rng.spawn())
+        result = classical_le_diameter2(topology, rng.spawn())
+        candidates = result.meta["candidates"]
+        if candidates:
+            per_candidate = result.messages / candidates
+            # every candidate floods ~deg ≈ n/2 and gets as many replies
+            assert 0.5 * 128 * 0.5 < per_candidate < 2.5 * 128

@@ -1,0 +1,40 @@
+"""Tests for the classical GHS-style general-graph LE baseline."""
+
+from repro.classical.leader_election.general_ghs import classical_le_general
+from repro.network import graphs
+from repro.util.rng import RandomSource
+
+
+class TestCorrectness:
+    def test_random_graphs(self):
+        for seed in range(8):
+            rng = RandomSource(seed)
+            topology = graphs.erdos_renyi(48, 0.15, rng.spawn())
+            result = classical_le_general(topology, rng.spawn())
+            assert result.success
+            assert result.explicit_success
+
+    def test_path_and_cycle(self):
+        assert classical_le_general(graphs.path(20), RandomSource(0)).explicit_success
+        assert classical_le_general(graphs.cycle(20), RandomSource(1)).explicit_success
+
+    def test_deterministic_structure_same_leader_for_same_seed(self):
+        a = classical_le_general(graphs.torus(4, 4), RandomSource(5))
+        b = classical_le_general(graphs.torus(4, 4), RandomSource(5))
+        assert a.leader == b.leader
+        assert a.messages == b.messages
+
+
+class TestCost:
+    def test_messages_theta_m_per_phase(self):
+        rng = RandomSource(2)
+        topology = graphs.erdos_renyi(64, 0.3, rng.spawn())
+        result = classical_le_general(topology, rng.spawn())
+        m = topology.edge_count()
+        phases = result.meta["phases"]
+        probe = result.metrics.ledger.messages_by_label()["ghs-le.probe-all-ports"]
+        assert probe == 4 * m * phases
+
+    def test_phases_logarithmic(self):
+        result = classical_le_general(graphs.cycle(64), RandomSource(3))
+        assert result.meta["phases"] <= 10

@@ -1,0 +1,61 @@
+"""Tests for the classical random-walk LE baseline."""
+
+from repro.classical.leader_election.mixing_rw import (
+    classical_le_mixing,
+    default_walks_mixing,
+)
+from repro.network import graphs
+from repro.util.fault import FaultInjector
+from repro.util.rng import RandomSource
+
+
+class TestCorrectness:
+    def test_hypercube_many_seeds(self):
+        successes = sum(
+            classical_le_mixing(
+                graphs.hypercube(6), RandomSource(seed), tau=15
+            ).success
+            for seed in range(20)
+        )
+        assert successes >= 19
+
+    def test_expander(self):
+        rng = RandomSource(1)
+        topology = graphs.random_regular(80, 6, rng.spawn())
+        result = classical_le_mixing(topology, rng.spawn(), tau=20)
+        assert result.success
+
+    def test_leader_is_top_candidate(self):
+        result = classical_le_mixing(graphs.hypercube(6), RandomSource(2), tau=15)
+        if result.success:
+            assert result.leader == result.meta["highest_ranked"]
+
+
+class TestCost:
+    def test_walk_count_default(self):
+        assert default_walks_mixing(100) >= 2 * 10  # ≥ 2√n
+
+    def test_messages_scale_linearly_with_tau(self):
+        costs = {}
+        for tau in (8, 16):
+            result = classical_le_mixing(
+                graphs.hypercube(6), RandomSource(3), tau=tau, walks=10
+            )
+            costs[tau] = result.messages
+        assert 1.7 < costs[16] / costs[8] < 2.3
+
+    def test_ledger_has_both_walk_phases(self):
+        result = classical_le_mixing(graphs.hypercube(5), RandomSource(4), tau=8)
+        labels = result.metrics.ledger.messages_by_label()
+        assert "rw-le.referee-walks" in labels
+        assert "rw-le.query-walks" in labels
+
+
+class TestFaults:
+    def test_zero_candidates(self):
+        faults = FaultInjector()
+        faults.force("candidates.force_empty")
+        result = classical_le_mixing(
+            graphs.hypercube(4), RandomSource(0), tau=5, faults=faults
+        )
+        assert result.elected == []

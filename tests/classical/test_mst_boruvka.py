@@ -1,0 +1,69 @@
+"""Tests for the classical Borůvka MST baseline."""
+
+import networkx as nx
+import pytest
+
+from repro.classical.mst_boruvka import classical_mst
+from repro.network import graphs
+from repro.util.rng import RandomSource
+
+
+def _weights(topology, rng):
+    return {e: float(rng.uniform_int(1, 10**6)) for e in topology.edges()}
+
+
+def _truth(weights):
+    g = nx.Graph()
+    for (u, v), w in weights.items():
+        g.add_edge(u, v, weight=w)
+    return sum(
+        d["weight"] for _, _, d in nx.minimum_spanning_tree(g).edges(data=True)
+    )
+
+
+class TestClassicalMST:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exact_mst_on_random_graphs(self, seed):
+        rng = RandomSource(seed)
+        topology = graphs.erdos_renyi(36, 0.2, rng.spawn())
+        weights = _weights(topology, rng.spawn())
+        result = classical_mst(topology, weights, rng.spawn())
+        assert result.is_spanning
+        assert result.total_weight == pytest.approx(_truth(weights))
+
+    def test_deterministic_given_weights(self):
+        rng = RandomSource(9)
+        topology = graphs.torus(4, 4)
+        weights = _weights(topology, rng.spawn())
+        a = classical_mst(topology, weights, RandomSource(1))
+        b = classical_mst(topology, weights, RandomSource(2))
+        assert a.total_weight == b.total_weight
+        assert a.messages == b.messages  # probe-all-ports is deterministic
+
+    def test_probe_cost_is_theta_m_per_phase(self):
+        rng = RandomSource(3)
+        topology = graphs.erdos_renyi(48, 0.3, rng.spawn())
+        weights = _weights(topology, rng.spawn())
+        result = classical_mst(topology, weights, rng.spawn())
+        probes = result.metrics.ledger.messages_by_label()[
+            "classical-mst.probe-all-ports"
+        ]
+        assert probes == 4 * topology.edge_count() * result.meta["phases"]
+
+    def test_rejects_missing_weights(self):
+        with pytest.raises(ValueError):
+            classical_mst(graphs.path(3), {}, RandomSource(0))
+
+    def test_quantum_cheaper_on_dense_graphs(self):
+        """The E10 claim, at unit-test scale: √m vs m per phase."""
+        from repro.core.leader_election.mst import quantum_mst
+
+        rng = RandomSource(4)
+        topology = graphs.erdos_renyi(96, 0.8, rng.spawn())
+        weights = _weights(topology, rng.spawn())
+        quantum = quantum_mst(topology, weights, rng.spawn(), alpha=1 / 8)
+        classical = classical_mst(topology, weights, rng.spawn())
+        assert quantum.total_weight == pytest.approx(classical.total_weight)
+        q_rate = quantum.messages / quantum.meta["phases"]
+        c_rate = classical.messages / classical.meta["phases"]
+        assert q_rate < c_rate

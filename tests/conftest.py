@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.rng import RandomSource
+
+
+@pytest.fixture
+def rng() -> RandomSource:
+    """A fixed-seed random source; tests needing other seeds build their own."""
+    return RandomSource(12345)
+
+
+@pytest.fixture
+def make_rng():
+    """Factory for seeded random sources."""
+
+    def factory(seed: int = 0) -> RandomSource:
+        return RandomSource(seed)
+
+    return factory

@@ -1,0 +1,141 @@
+"""Tests for QuantumAgreement (Algorithm 4)."""
+
+import pytest
+
+from repro.core.agreement.quantum_agreement import (
+    default_epsilon,
+    quantum_agreement,
+)
+from repro.util.fault import FaultInjector
+from repro.util.rng import RandomSource, SharedCoin
+
+
+def _inputs(n, ones):
+    return [1] * ones + [0] * (n - ones)
+
+
+class TestCorrectness:
+    def test_valid_agreement_many_seeds(self):
+        successes = 0
+        for seed in range(25):
+            rng = RandomSource(seed)
+            result = quantum_agreement(_inputs(128, 40), rng)
+            successes += result.success
+        assert successes >= 24
+
+    def test_all_ones_cannot_decide_zero(self):
+        """Validity: unanimous input 1 must never yield decision 0."""
+        for seed in range(20):
+            result = quantum_agreement(_inputs(64, 64), RandomSource(seed))
+            if result.decided_nodes:
+                assert result.agreed_value == 1
+
+    def test_all_zeros_cannot_decide_one(self):
+        for seed in range(20):
+            result = quantum_agreement(_inputs(64, 0), RandomSource(seed))
+            if result.decided_nodes:
+                assert result.agreed_value == 0
+
+    def test_balanced_inputs_agree_on_something(self):
+        result = quantum_agreement(_inputs(128, 64), RandomSource(5))
+        assert result.success
+        assert result.agreed_value in (0, 1)
+
+    def test_decided_value_is_input_value(self):
+        for seed in range(10):
+            result = quantum_agreement(_inputs(96, 30), RandomSource(seed))
+            if result.decided_nodes:
+                assert result.agreed_value in set(result.inputs.values())
+
+    def test_non_candidates_stay_undecided(self):
+        result = quantum_agreement(_inputs(128, 50), RandomSource(1))
+        undecided = [v for v, d in result.decisions.items() if d is None]
+        assert len(undecided) >= 128 - result.meta["candidates"]
+
+
+class TestSharedCoin:
+    def test_explicit_coin_reproducibility(self):
+        a = quantum_agreement(
+            _inputs(64, 20), RandomSource(3), shared_coin=SharedCoin(RandomSource(9))
+        )
+        b = quantum_agreement(
+            _inputs(64, 20), RandomSource(3), shared_coin=SharedCoin(RandomSource(9))
+        )
+        assert a.decisions == b.decisions
+        assert a.messages == b.messages
+
+    def test_coin_flips_bounded_by_iterations(self):
+        coin = SharedCoin(RandomSource(0))
+        result = quantum_agreement(_inputs(64, 20), RandomSource(4), shared_coin=coin)
+        assert coin.flips == result.meta["iterations"]
+
+
+class TestParameters:
+    def test_default_epsilon_clamped(self):
+        assert default_epsilon(10**6) == pytest.approx(1 / 20)
+        assert 0 < default_epsilon(32) <= 1 / 20
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            quantum_agreement([0, 2], RandomSource(0))
+        with pytest.raises(ValueError):
+            quantum_agreement([1], RandomSource(0))
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            quantum_agreement(_inputs(32, 8), RandomSource(0), epsilon=0.3)
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            quantum_agreement(_inputs(32, 8), RandomSource(0), gamma=0.5)
+
+    def test_lean_alphas_for_benchmarks(self):
+        result = quantum_agreement(
+            _inputs(128, 40),
+            RandomSource(6),
+            estimation_alpha=0.05,
+            detection_alpha=0.01,
+        )
+        assert result.meta["candidates"] >= 0  # runs to completion
+
+
+class TestCostStructure:
+    def test_ledger_phases(self):
+        result = quantum_agreement(_inputs(128, 40), RandomSource(7))
+        labels = result.metrics.ledger.messages_by_label()
+        assert "agreement.counting.checking" in labels
+        # inform/detect appear unless the first iteration decided everyone
+        # without undecided candidates; inform always fires when deciding.
+        assert "agreement.inform" in labels
+
+    def test_estimation_cost_scales_inverse_epsilon(self):
+        costs = {}
+        for eps in (0.05, 0.025):
+            result = quantum_agreement(
+                _inputs(256, 100),
+                RandomSource(8),
+                epsilon=eps,
+                estimation_alpha=0.1,
+                detection_alpha=0.1,
+            )
+            labels = result.metrics.ledger.messages_by_label()
+            costs[eps] = labels["agreement.counting.checking"] / result.meta[
+                "candidates"
+            ]
+        assert costs[0.025] == pytest.approx(2 * costs[0.05], rel=0.15)
+
+
+class TestFaultPaths:
+    def test_zero_candidates_nobody_decides(self):
+        faults = FaultInjector()
+        faults.force("candidates.force_empty")
+        result = quantum_agreement(_inputs(64, 20), RandomSource(0), faults=faults)
+        assert not result.success
+        assert result.decided_nodes == []
+
+    def test_detection_false_negative_keeps_candidate_running(self):
+        faults = FaultInjector()
+        faults.force("agreement.detect.false_negative", times=3)
+        result = quantum_agreement(_inputs(64, 20), RandomSource(1), faults=faults)
+        # Protocol still terminates within the iteration budget.
+        assert result.meta["iterations"] <= result.meta["iteration_budget"]

@@ -1,0 +1,98 @@
+"""Tests for candidate sampling (Fact C.2 machinery)."""
+
+import math
+
+import pytest
+
+from repro.core.candidates import (
+    candidate_probability,
+    draw_candidates,
+    rank_space,
+)
+from repro.util.fault import FaultInjector
+from repro.util.rng import RandomSource
+
+
+class TestParameters:
+    def test_probability_formula(self):
+        n = 1000
+        assert candidate_probability(n) == pytest.approx(12 * math.log(n) / n)
+
+    def test_probability_clamped_for_tiny_n(self):
+        assert candidate_probability(4) == 1.0
+
+    def test_rank_space_is_n_fourth(self):
+        assert rank_space(10) == 10_000
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            candidate_probability(1)
+
+
+class TestDraw:
+    def test_candidates_sorted_and_in_range(self):
+        draw = draw_candidates(500, RandomSource(0))
+        assert all(0 <= v < 500 for v in draw.candidates)
+        assert draw.candidates == sorted(draw.candidates)
+
+    def test_ranks_in_space(self):
+        draw = draw_candidates(100, RandomSource(1))
+        assert all(1 <= r <= rank_space(100) for r in draw.ranks.values())
+
+    def test_fact_c2_holds_with_high_probability(self):
+        """Over 200 draws at n = 512, the Fact C.2 event should essentially
+        always hold (failure probability ≤ 1/n² each)."""
+        holds = sum(
+            draw_candidates(512, RandomSource(seed)).within_fact_c2()
+            for seed in range(200)
+        )
+        assert holds >= 198
+
+    def test_expected_candidate_count(self):
+        n = 2048
+        counts = [draw_candidates(n, RandomSource(s)).count for s in range(100)]
+        mean = sum(counts) / len(counts)
+        assert 12 * math.log(n) * 0.7 < mean < 12 * math.log(n) * 1.3
+
+    def test_highest_ranked_is_argmax(self):
+        draw = draw_candidates(300, RandomSource(3))
+        top = draw.highest_ranked()
+        assert draw.ranks[top] == max(draw.ranks.values())
+
+    def test_highest_ranked_raises_when_empty(self):
+        faults = FaultInjector()
+        faults.force("candidates.force_empty")
+        draw = draw_candidates(50, RandomSource(4), faults=faults)
+        assert draw.count == 0
+        with pytest.raises(ValueError):
+            draw.highest_ranked()
+
+    def test_custom_probability(self):
+        draw = draw_candidates(100, RandomSource(5), probability=1.0)
+        assert draw.count == 100
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            draw_candidates(10, RandomSource(0), probability=2.0)
+
+
+class TestFaultPaths:
+    def test_force_empty(self):
+        faults = FaultInjector()
+        faults.force("candidates.force_empty")
+        draw = draw_candidates(64, RandomSource(0), faults=faults)
+        assert draw.candidates == []
+
+    def test_force_tie(self):
+        faults = FaultInjector()
+        faults.force("candidates.force_tie")
+        draw = draw_candidates(64, RandomSource(1), probability=0.5, faults=faults)
+        assert not draw.has_unique_ranks
+        ranks = sorted(draw.ranks.values())
+        assert ranks[-1] == ranks[-2]  # the top two tie
+
+    def test_tie_noop_with_single_candidate(self):
+        faults = FaultInjector()
+        faults.force("candidates.force_tie")
+        draw = draw_candidates(64, RandomSource(2), probability=0.0, faults=faults)
+        assert draw.count == 0  # nothing to tie; no crash

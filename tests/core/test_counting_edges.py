@@ -1,0 +1,72 @@
+"""Edge-case tests for quantum counting."""
+
+import pytest
+
+from repro.core.counting import approx_count, quantum_count
+from repro.core.procedures import SetOracle, uniform_charge
+from repro.network.metrics import MetricsRecorder
+from repro.util.rng import RandomSource
+
+
+def _oracle(n, marked_count):
+    return SetOracle(
+        domain=range(n),
+        marked=set(range(marked_count)),
+        charge_checking=uniform_charge(2, 2, "edge.checking"),
+    )
+
+
+class TestCountingEdgeCases:
+    def test_empty_domain_count_zero(self):
+        """t = 0: the eigenphase is exactly 0, every estimate is 0."""
+        for seed in range(10):
+            result = approx_count(
+                _oracle(50, 0), 0.1, 0.1, MetricsRecorder(), RandomSource(seed)
+            )
+            assert result.estimate == pytest.approx(0.0)
+
+    def test_full_domain_estimates_near_n(self):
+        """t = N (above N/2): the doubled-domain trick must still deliver
+        estimates within c·N."""
+        n = 64
+        errors = [
+            abs(
+                approx_count(
+                    _oracle(n, n), 0.1, 0.1, MetricsRecorder(), RandomSource(s)
+                ).estimate
+                - n
+            )
+            for s in range(20)
+        ]
+        assert sorted(errors)[10] < 0.1 * n  # median within budget
+
+    def test_single_marked_element(self):
+        n = 256
+        errors = [
+            abs(
+                approx_count(
+                    _oracle(n, 1), 0.05, 0.1, MetricsRecorder(), RandomSource(s)
+                ).estimate
+                - 1
+            )
+            for s in range(20)
+        ]
+        assert sorted(errors)[10] < 0.05 * n
+
+    def test_tiny_domain(self):
+        result = quantum_count(_oracle(2, 1), 8, MetricsRecorder(), RandomSource(0))
+        assert 0.0 <= result.estimate <= 2.0
+
+    def test_accuracy_one_is_trivially_satisfied(self):
+        result = approx_count(
+            _oracle(10, 4), 1.0, 0.1, MetricsRecorder(), RandomSource(1)
+        )
+        assert abs(result.estimate - 4) < 10  # error < c·N = N
+
+    def test_runs_always_odd(self):
+        """Median boosting keeps the run count odd for a unique median."""
+        for alpha in (0.4, 0.1, 0.01, 1e-4):
+            result = approx_count(
+                _oracle(20, 5), 0.2, alpha, MetricsRecorder(), RandomSource(2)
+            )
+            assert result.runs % 2 == 1

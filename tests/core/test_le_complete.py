@@ -1,0 +1,140 @@
+"""Tests for QuantumLE (Algorithm 1) on complete networks."""
+
+import math
+
+import pytest
+
+from repro.core.leader_election.complete import (
+    default_k_complete,
+    quantum_le_complete,
+    theoretical_message_bound,
+)
+from repro.network.node import Status
+from repro.util.fault import FaultInjector
+from repro.util.rng import RandomSource
+
+
+class TestCorrectness:
+    def test_unique_leader_many_seeds(self):
+        successes = sum(
+            quantum_le_complete(128, RandomSource(seed)).success
+            for seed in range(40)
+        )
+        assert successes >= 39  # failure probability ≤ 1/n per run
+
+    def test_leader_is_highest_ranked_candidate(self):
+        result = quantum_le_complete(256, RandomSource(7))
+        assert result.success
+        assert result.leader == result.meta["highest_ranked"]
+
+    def test_all_nodes_reach_terminal_status(self):
+        result = quantum_le_complete(64, RandomSource(1))
+        assert all(
+            s in (Status.ELECTED, Status.NON_ELECTED)
+            for s in result.statuses.values()
+        )
+        assert len(result.statuses) == 64
+
+    def test_small_network(self):
+        result = quantum_le_complete(4, RandomSource(3))
+        assert len(result.elected) <= 1
+
+    def test_relaxed_alpha_still_mostly_correct(self):
+        """Constant α weakens the per-candidate union bound (the theorem
+        needs α = 1/n²); a clear majority of runs still succeed."""
+        successes = sum(
+            quantum_le_complete(128, RandomSource(seed), alpha=1 / 8).success
+            for seed in range(40)
+        )
+        assert successes >= 24
+
+
+class TestParameters:
+    def test_default_k_is_cube_root(self):
+        assert default_k_complete(1000) == 10
+        assert default_k_complete(2) == 1
+
+    def test_custom_k_changes_tradeoff(self):
+        small_k = quantum_le_complete(512, RandomSource(0), k=2)
+        large_k = quantum_le_complete(512, RandomSource(0), k=64)
+        # Fewer referees → more Grover iterations → more rounds.
+        assert small_k.rounds > large_k.rounds
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            quantum_le_complete(16, RandomSource(0), k=0)
+        with pytest.raises(ValueError):
+            quantum_le_complete(16, RandomSource(0), k=16)
+
+    def test_rejects_tiny_network(self):
+        with pytest.raises(ValueError):
+            quantum_le_complete(1, RandomSource(0))
+
+    def test_theoretical_bound_helper(self):
+        assert theoretical_message_bound(1000) == pytest.approx(
+            10 + math.sqrt(100), rel=0.01
+        )
+
+
+class TestCostAccounting:
+    def test_ledger_has_expected_phases(self):
+        result = quantum_le_complete(128, RandomSource(2))
+        prefixes = result.metrics.ledger.messages_by_prefix()
+        assert "quantum-le" in prefixes
+        labels = result.metrics.ledger.messages_by_label()
+        assert "quantum-le.referees" in labels
+        assert "quantum-le.grover.checking" in labels
+
+    def test_referee_messages_equal_candidates_times_k(self):
+        result = quantum_le_complete(256, RandomSource(4), k=5)
+        labels = result.metrics.ledger.messages_by_label()
+        assert labels["quantum-le.referees"] == result.meta["candidates"] * 5
+
+    def test_per_candidate_grover_cost_scales_with_sqrt_n_over_k(self):
+        """Expected messages/candidate ∝ √(n/k): a 16× growth in n at fixed k
+        should quadruple the per-candidate Grover cost (averaged over
+        seeds — early stopping randomizes individual runs)."""
+        runs = {}
+        for n in (256, 4096):
+            totals = []
+            for seed in range(12):
+                result = quantum_le_complete(n, RandomSource(seed), k=4, alpha=0.1)
+                grover = result.metrics.ledger.messages_by_label()[
+                    "quantum-le.grover.checking"
+                ]
+                totals.append(grover / result.meta["candidates"])
+            runs[n] = sum(totals) / len(totals)
+        assert runs[4096] / runs[256] == pytest.approx(4.0, rel=0.4)
+
+    def test_rounds_deterministic_for_fixed_parameters(self):
+        rounds = {
+            quantum_le_complete(128, RandomSource(seed)).rounds
+            for seed in range(5)
+        }
+        assert len(rounds) == 1  # Definition 4.1: synchronized schedule
+
+
+class TestFaultPaths:
+    def test_zero_candidates_elects_nobody(self):
+        faults = FaultInjector()
+        faults.force("candidates.force_empty")
+        result = quantum_le_complete(64, RandomSource(0), faults=faults)
+        assert not result.success
+        assert result.elected == []
+        assert result.meta["candidates"] == 0
+
+    def test_rank_tie_can_produce_two_leaders(self):
+        faults = FaultInjector()
+        faults.force("candidates.force_tie")
+        # With the two top candidates tied, neither sees a strictly higher
+        # rank, so both become leaders: the Fact C.2 failure mode.
+        result = quantum_le_complete(64, RandomSource(5), faults=faults)
+        assert len(result.elected) == 2
+        assert not result.success
+
+    def test_grover_false_negative_creates_extra_leader(self):
+        faults = FaultInjector()
+        faults.force_always("grover.false_negative")
+        result = quantum_le_complete(64, RandomSource(6), faults=faults)
+        # Every candidate fails to find a higher rank → all become leaders.
+        assert len(result.elected) == result.meta["candidates"]

@@ -1,0 +1,130 @@
+"""Tests for QuantumQWLE (Algorithm 3) on diameter-2 networks."""
+
+import pytest
+
+from repro.core.leader_election.diameter2 import (
+    QWLEParameters,
+    default_k_diameter2,
+    quantum_qwle,
+)
+from repro.network import graphs
+from repro.util.fault import FaultInjector
+from repro.util.rng import RandomSource
+
+#: Lightened schedule for fast tests — same structure, smaller constants.
+LEAN = QWLEParameters(alpha=1 / 64, inner_alpha=1 / 64)
+
+
+class TestCorrectness:
+    def test_random_diameter2_graphs_many_seeds(self):
+        successes = 0
+        for seed in range(15):
+            rng = RandomSource(seed)
+            topology = graphs.diameter_two_gnp(48, rng.spawn())
+            result = quantum_qwle(topology, rng.spawn())
+            successes += result.success
+        assert successes >= 14
+
+    def test_wheel_graph(self):
+        rng = RandomSource(3)
+        result = quantum_qwle(graphs.wheel(40), rng)
+        assert len(result.elected) == 1
+
+    def test_complete_bipartite(self):
+        rng = RandomSource(4)
+        result = quantum_qwle(graphs.complete_bipartite(24, 24), rng)
+        assert len(result.elected) == 1
+
+    def test_star_graph_leaf_candidates(self):
+        """Star: leaves have degree 1 (< 2), so they cannot referee and stay
+        candidates; the protocol still terminates with >= 1 leader among
+        them."""
+        rng = RandomSource(5)
+        result = quantum_qwle(graphs.star(32), rng)
+        assert len(result.elected) >= 1
+
+    def test_top_candidate_never_eliminated(self):
+        for seed in range(10):
+            rng = RandomSource(seed)
+            topology = graphs.diameter_two_gnp(40, rng.spawn())
+            result = quantum_qwle(topology, rng.spawn(), LEAN)
+            if result.success:
+                assert result.leader == result.meta["highest_ranked"]
+
+
+class TestParameters:
+    def test_default_k(self):
+        assert default_k_diameter2(1000) == 100
+
+    def test_resolve_fills_defaults(self):
+        params = QWLEParameters().resolve(256)
+        assert params.k == default_k_diameter2(256)
+        assert params.alpha == pytest.approx(1 / 256**2)
+        assert params.inner_alpha == pytest.approx(1 / 256**3)
+        assert params.outer_iterations >= 8
+        assert 0 < params.activation <= 0.5
+
+    def test_explicit_overrides_respected(self):
+        params = QWLEParameters(k=7, outer_iterations=3).resolve(100)
+        assert params.k == 7
+        assert params.outer_iterations == 3
+
+    def test_rejects_tiny_network(self):
+        with pytest.raises(ValueError):
+            quantum_qwle(graphs.path(2), RandomSource(0))
+
+    def test_rounds_deterministic_schedule(self):
+        rng1 = RandomSource(1)
+        topology = graphs.diameter_two_gnp(32, rng1.spawn())
+        rounds = set()
+        params = QWLEParameters(outer_iterations=20)
+        for seed in range(3):
+            result = quantum_qwle(topology, RandomSource(seed), params)
+            if result.meta.get("candidates", 0) > 0:
+                rounds.add(result.rounds)
+        # Schedule is iteration-count × worst-case; candidate-set dependence
+        # enters only through degrees, identical here.
+        assert len(rounds) <= 2
+
+
+class TestCostStructure:
+    def test_ledger_contains_walk_phases(self):
+        rng = RandomSource(8)
+        topology = graphs.diameter_two_gnp(48, rng.spawn())
+        result = quantum_qwle(topology, rng.spawn(), LEAN)
+        labels = result.metrics.ledger.messages_by_label()
+        assert "qwle.walk.checking.decentralized" in labels
+        if result.meta["walk_searches"] > 0:
+            assert "qwle.walk.setup" in labels
+            assert "qwle.walk.update" in labels
+            assert "qwle.walk.checking.centralized" in labels
+
+    def test_decentralized_cost_charged_even_when_idle(self):
+        """Passive candidates run their searches without being notified."""
+        rng = RandomSource(9)
+        topology = graphs.diameter_two_gnp(40, rng.spawn())
+        params = QWLEParameters(
+            alpha=1 / 64, inner_alpha=1 / 64, activation=0.0, outer_iterations=5
+        )
+        result = quantum_qwle(topology, rng.spawn(), params)
+        labels = result.metrics.ledger.messages_by_label()
+        assert result.meta["walk_searches"] == 0
+        assert labels.get("qwle.walk.checking.decentralized", 0) > 0
+
+
+class TestFaultPaths:
+    def test_zero_candidates(self):
+        faults = FaultInjector()
+        faults.force("candidates.force_empty")
+        rng = RandomSource(0)
+        topology = graphs.diameter_two_gnp(32, rng.spawn())
+        result = quantum_qwle(topology, rng.spawn(), faults=faults)
+        assert result.elected == []
+
+    def test_walk_false_negatives_leave_all_candidates(self):
+        faults = FaultInjector()
+        faults.force_always("walk.false_negative")
+        rng = RandomSource(1)
+        topology = graphs.diameter_two_gnp(32, rng.spawn())
+        result = quantum_qwle(topology, rng.spawn(), LEAN, faults=faults)
+        assert len(result.elected) == result.meta["candidates"]

@@ -1,0 +1,147 @@
+"""Tests for QuantumGeneralLE (Section 5.4) and the cluster machinery."""
+
+import pytest
+
+from repro.core.leader_election.clusters import ClusterState, log_star, maximal_matching
+from repro.core.leader_election.general import quantum_general_le
+from repro.network import graphs
+from repro.util.fault import FaultInjector
+from repro.util.rng import RandomSource
+
+
+class TestLogStar:
+    def test_small_values(self):
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+
+    def test_clamped_minimum(self):
+        assert log_star(1) == 1
+
+
+class TestClusterState:
+    def test_initial_singletons(self):
+        state = ClusterState(5)
+        assert state.count == 5
+        assert all(state.cluster_id(v) == v for v in range(5))
+
+    def test_merge_absorbs_smaller(self):
+        state = ClusterState(4)
+        state.merge(0, 1, (0, 1))
+        assert state.count == 3
+        assert state.same_cluster(0, 1)
+
+    def test_merge_keeps_tree_connected(self):
+        state = ClusterState(6)
+        state.merge(0, 1, (0, 1))
+        state.merge(2, 3, (2, 3))
+        cid = state.cluster_id(0)
+        cid2 = state.cluster_id(2)
+        merged = state.merge(cid, cid2, (1, 2))
+        cluster = state.clusters[merged]
+        assert cluster.size == 4
+        assert cluster.height() >= 1  # connected tree, positive height
+
+    def test_merge_validates_edge(self):
+        state = ClusterState(4)
+        with pytest.raises(ValueError):
+            state.merge(0, 1, (2, 3))
+
+    def test_merge_rejects_self(self):
+        state = ClusterState(3)
+        with pytest.raises(ValueError):
+            state.merge(0, 0, (0, 1))
+
+    def test_total_tree_edges(self):
+        state = ClusterState(5)
+        state.merge(0, 1, (0, 1))
+        state.merge(2, 3, (2, 3))
+        assert state.total_tree_edges() == 2
+
+
+class TestMaximalMatching:
+    def test_mutual_proposals_pair(self):
+        proposals = {0: (1, (0, 1)), 1: (0, (1, 0))}
+        pairs, attachments = maximal_matching(proposals)
+        assert len(pairs) == 1
+        assert not attachments
+
+    def test_chain_proposals(self):
+        proposals = {0: (1, (0, 1)), 1: (2, (1, 2)), 2: (1, (2, 1))}
+        pairs, attachments = maximal_matching(proposals)
+        matched = {c for a, b, _ in pairs for c in (a, b)}
+        # every unmatched cluster attaches to a matched one
+        for cid, target in attachments.items():
+            assert cid not in matched
+            assert target in matched
+
+    def test_halving_guarantee(self):
+        """Matching + attachment merges every cluster into a group of >= 2."""
+        proposals = {i: ((i + 1) % 10, (i, (i + 1) % 10)) for i in range(10)}
+        pairs, attachments = maximal_matching(proposals)
+        group_count = len(pairs)  # attachments join existing groups
+        assert len(pairs) * 2 + len(attachments) == 10
+        assert group_count <= 5
+
+
+class TestQuantumGeneralLE:
+    def test_random_graph_explicit_success(self):
+        for seed in range(10):
+            rng = RandomSource(seed)
+            topology = graphs.erdos_renyi(48, 0.15, rng.spawn())
+            result = quantum_general_le(topology, rng.spawn())
+            assert result.success
+            assert result.explicit_success
+
+    def test_path_graph(self):
+        result = quantum_general_le(graphs.path(16), RandomSource(0))
+        assert result.explicit_success
+
+    def test_cycle_graph(self):
+        result = quantum_general_le(graphs.cycle(20), RandomSource(1))
+        assert result.explicit_success
+
+    def test_torus(self):
+        result = quantum_general_le(graphs.torus(5, 5), RandomSource(2))
+        assert result.explicit_success
+
+    def test_two_node_graph(self):
+        result = quantum_general_le(graphs.path(2), RandomSource(3))
+        assert result.explicit_success
+
+    def test_phases_logarithmic(self):
+        result = quantum_general_le(graphs.cycle(64), RandomSource(4))
+        assert result.meta["phases"] <= 10  # ceil(log2 64) + slack
+
+    def test_ledger_phases_present(self):
+        result = quantum_general_le(graphs.torus(4, 4), RandomSource(5))
+        labels = result.metrics.ledger.messages_by_label()
+        assert "general-le.grover.checking" in labels
+        assert "general-le.convergecast" in labels
+        assert "general-le.matching" in labels
+        assert "general-le.leader-broadcast" in labels
+
+    def test_message_advantage_on_dense_graphs(self):
+        """Õ(√(mn)) beats Θ(m) once degrees are large enough for the √deg
+        saving to dominate the attempt constants (crossover ≈ deg 270 with
+        α = 1/8)."""
+        from repro.classical.leader_election.general_ghs import classical_le_general
+
+        rng = RandomSource(6)
+        topology = graphs.erdos_renyi(512, 0.9, rng.spawn())
+        quantum = quantum_general_le(topology, rng.spawn(), alpha=1 / 8)
+        classical = classical_le_general(topology, rng.spawn())
+        assert quantum.success and classical.success
+        per_phase_quantum = quantum.messages / quantum.meta["phases"]
+        per_phase_classical = classical.messages / classical.meta["phases"]
+        assert per_phase_quantum < per_phase_classical
+
+    def test_fault_grover_failures_slow_but_survive(self):
+        faults = FaultInjector()
+        faults.force("grover.false_negative", times=50)
+        result = quantum_general_le(
+            graphs.cycle(12), RandomSource(7), faults=faults
+        )
+        # Some phases lose proposals, but the phase limit absorbs it.
+        assert len(result.elected) <= 1

@@ -1,0 +1,102 @@
+"""Tests for QuantumRWLE (Algorithm 2) on graphs with mixing time τ."""
+
+import pytest
+
+from repro.core.leader_election.mixing import default_k_mixing, quantum_rwle
+from repro.network import graphs
+from repro.util.fault import FaultInjector
+from repro.util.rng import RandomSource
+
+
+class TestCorrectness:
+    def test_hypercube_many_seeds(self):
+        successes = 0
+        for seed in range(25):
+            rng = RandomSource(seed)
+            result = quantum_rwle(graphs.hypercube(6), rng, tau=15)
+            successes += result.success
+        assert successes >= 23
+
+    def test_expander_leader_is_top_candidate(self):
+        rng = RandomSource(11)
+        topology = graphs.random_regular(96, 6, rng.spawn())
+        result = quantum_rwle(topology, rng.spawn(), tau=25)
+        assert result.success
+        assert result.leader == result.meta["highest_ranked"]
+
+    def test_tau_estimated_when_omitted(self):
+        rng = RandomSource(0)
+        result = quantum_rwle(graphs.complete(32), rng)
+        assert result.meta["tau"] >= 1
+        assert result.success or len(result.elected) != 1
+
+    def test_works_on_slow_mixing_graph(self):
+        """Barbell: correctness holds, τ is just large."""
+        rng = RandomSource(21)
+        result = quantum_rwle(graphs.barbell(12), rng, tau=120)
+        assert len(result.elected) == 1
+
+
+class TestParameters:
+    def test_default_k_formula(self):
+        assert default_k_mixing(1000, 8) == pytest.approx(
+            round(8 ** (2 / 3) * 10), abs=1
+        )
+
+    def test_rejects_bad_tau(self):
+        with pytest.raises(ValueError):
+            quantum_rwle(graphs.cycle(8), RandomSource(0), tau=0)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            quantum_rwle(graphs.cycle(8), RandomSource(0), tau=4, k=0)
+
+
+class TestCostAccounting:
+    def test_referee_walk_messages(self):
+        rng = RandomSource(5)
+        result = quantum_rwle(graphs.hypercube(5), rng, tau=10, k=3)
+        labels = result.metrics.ledger.messages_by_label()
+        expected = result.meta["candidates"] * 3 * 10
+        assert labels["quantum-rwle.referee-walks"] == expected
+
+    def test_checking_cost_grows_quadratically_with_tau(self):
+        """The τ → τ² blow-up: per-candidate quantum-phase cost at τ vs 4τ
+        grows ≈ 16× (up to CONGEST word-packing granularity)."""
+        costs = {}
+        for tau in (16, 64):
+            rng = RandomSource(9)
+            result = quantum_rwle(graphs.hypercube(6), rng, tau=tau, k=4, alpha=0.1)
+            grover = result.metrics.ledger.messages_by_label()[
+                "quantum-rwle.grover.checking"
+            ]
+            costs[tau] = grover / result.meta["candidates"]
+        ratio = costs[64] / costs[16]
+        assert 10 < ratio < 22  # ideal 16, quantized by word packing
+
+    def test_rounds_deterministic(self):
+        rounds = set()
+        for seed in range(4):
+            result = quantum_rwle(
+                graphs.hypercube(5), RandomSource(seed), tau=8, k=4
+            )
+            rounds.add(result.rounds)
+        assert len(rounds) == 1
+
+
+class TestFaultPaths:
+    def test_zero_candidates(self):
+        faults = FaultInjector()
+        faults.force("candidates.force_empty")
+        result = quantum_rwle(
+            graphs.hypercube(4), RandomSource(0), tau=6, faults=faults
+        )
+        assert result.elected == []
+
+    def test_grover_false_negatives_inflate_leaders(self):
+        faults = FaultInjector()
+        faults.force_always("grover.false_negative")
+        result = quantum_rwle(
+            graphs.hypercube(5), RandomSource(1), tau=8, faults=faults
+        )
+        assert len(result.elected) == result.meta["candidates"]

@@ -1,0 +1,113 @@
+"""Tests for distributed Dürr–Høyer minimum finding."""
+
+import pytest
+
+from repro.core.minimum import MinimumOracle, quantum_minimum
+from repro.network.metrics import MetricsRecorder
+from repro.util.rng import RandomSource
+
+
+def _oracle_for(values: list[float], messages: int = 2):
+    indexed = list(range(len(values)))
+
+    def count_below(threshold):
+        if threshold is None:
+            return len(indexed)
+        return sum(1 for i in indexed if values[i] < threshold)
+
+    def sample_below(threshold, rng):
+        pool = (
+            indexed
+            if threshold is None
+            else [i for i in indexed if values[i] < threshold]
+        )
+        return pool[rng.uniform_int(0, len(pool) - 1)]
+
+    return MinimumOracle(
+        domain_size=len(values),
+        count_below=count_below,
+        sample_below=sample_below,
+        value_of=lambda i: values[i],
+        charge_checking=lambda m, c: m.charge("min.checking", messages=messages * c),
+    )
+
+
+class TestCorrectness:
+    def test_finds_unique_minimum(self):
+        values = [5.0, 2.0, 9.0, 1.0, 7.0]
+        for seed in range(30):
+            result = quantum_minimum(
+                _oracle_for(values), 0.01, MetricsRecorder(), RandomSource(seed)
+            )
+            assert result.minimizer == 3
+            assert result.value == 1.0
+
+    def test_single_element_domain(self):
+        result = quantum_minimum(
+            _oracle_for([4.2]), 0.1, MetricsRecorder(), RandomSource(0)
+        )
+        assert result.minimizer == 0
+
+    def test_larger_domain(self):
+        rng = RandomSource(3)
+        values = [float(v) for v in rng.generator.permutation(200)]
+        result = quantum_minimum(
+            _oracle_for(values), 0.01, MetricsRecorder(), RandomSource(9)
+        )
+        assert values[result.minimizer] == 0.0
+
+    def test_duplicate_minima_any_is_fine(self):
+        values = [3.0, 1.0, 1.0, 5.0]
+        result = quantum_minimum(
+            _oracle_for(values), 0.05, MetricsRecorder(), RandomSource(2)
+        )
+        assert result.minimizer in (1, 2)
+
+
+class TestCost:
+    def test_messages_match_charged_calls(self):
+        metrics = MetricsRecorder()
+        result = quantum_minimum(
+            _oracle_for(list(map(float, range(64)))), 0.1, metrics, RandomSource(0)
+        )
+        assert metrics.messages == 2 * result.checking_calls
+
+    def test_messages_bounded_by_budget(self):
+        """Adaptive messaging never exceeds the Dürr–Høyer budget ~22.5√N."""
+        import math
+
+        from repro.quantum.amplitude import attempts_for_confidence
+
+        size = 100
+        metrics = MetricsRecorder()
+        quantum_minimum(
+            _oracle_for(list(map(float, range(size)))), 0.1, metrics, RandomSource(2)
+        )
+        budget = math.ceil(22.5 * math.sqrt(size)) * attempts_for_confidence(0.1)
+        assert metrics.messages <= 2 * 2 * budget
+
+    def test_cost_grows_sublinearly_in_domain(self):
+        """Average spent iterations grow like √N, not N."""
+        def average_cost(size):
+            total = 0
+            for seed in range(20):
+                metrics = MetricsRecorder()
+                quantum_minimum(
+                    _oracle_for(list(map(float, range(size)))),
+                    0.1,
+                    metrics,
+                    RandomSource(seed),
+                )
+                total += metrics.messages
+            return total / 20
+
+        small, large = average_cost(16), average_cost(256)
+        growth = large / small
+        assert growth < 16  # strictly sublinear in the 16x domain growth
+        assert growth > 1.2  # but not flat either
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            quantum_minimum(
+                _oracle_for([1.0]), 1.5, MetricsRecorder(), RandomSource(0)
+            )

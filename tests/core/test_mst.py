@@ -1,0 +1,91 @@
+"""Tests for QuantumMST (Section 5.4 extension)."""
+
+import networkx as nx
+import pytest
+
+from repro.core.leader_election.mst import quantum_mst
+from repro.network import graphs
+from repro.util.rng import RandomSource
+
+
+def _random_weights(topology, rng):
+    return {
+        (u, v): float(rng.uniform_int(1, 10**6))
+        for u, v in topology.edges()
+    }
+
+
+def _networkx_mst_weight(topology, weights):
+    g = nx.Graph()
+    for (u, v), w in weights.items():
+        g.add_edge(u, v, weight=w)
+    tree = nx.minimum_spanning_tree(g, algorithm="boruvka")
+    return sum(d["weight"] for _, _, d in tree.edges(data=True))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx_on_random_graphs(self, seed):
+        rng = RandomSource(seed)
+        topology = graphs.erdos_renyi(40, 0.2, rng.spawn())
+        weights = _random_weights(topology, rng.spawn())
+        result = quantum_mst(topology, weights, rng.spawn())
+        assert result.is_spanning
+        assert result.total_weight == pytest.approx(
+            _networkx_mst_weight(topology, weights)
+        )
+
+    def test_path_graph_trivial_mst(self):
+        topology = graphs.path(10)
+        weights = {e: 1.0 for e in topology.edges()}
+        result = quantum_mst(topology, weights, RandomSource(0))
+        assert result.is_spanning
+        assert result.total_weight == 9.0
+
+    def test_handles_duplicate_weights(self):
+        """Lexicographic tie-breaking keeps Borůvka cycle-free."""
+        topology = graphs.complete(12)
+        weights = {e: 5.0 for e in topology.edges()}
+        result = quantum_mst(topology, weights, RandomSource(1))
+        assert result.is_spanning
+        assert result.total_weight == 55.0
+
+    def test_tree_edges_are_graph_edges(self):
+        rng = RandomSource(2)
+        topology = graphs.torus(4, 4)
+        weights = _random_weights(topology, rng.spawn())
+        result = quantum_mst(topology, weights, rng.spawn())
+        for u, v in result.edges:
+            assert topology.has_edge(u, v)
+
+    def test_mst_edges_form_spanning_tree(self):
+        rng = RandomSource(3)
+        topology = graphs.erdos_renyi(30, 0.25, rng.spawn())
+        weights = _random_weights(topology, rng.spawn())
+        result = quantum_mst(topology, weights, rng.spawn())
+        g = nx.Graph(result.edges)
+        assert g.number_of_nodes() == 30
+        assert nx.is_tree(g)
+
+
+class TestValidationAndCost:
+    def test_missing_weight_rejected(self):
+        topology = graphs.path(3)
+        with pytest.raises(ValueError):
+            quantum_mst(topology, {}, RandomSource(0))
+
+    def test_phases_logarithmic(self):
+        rng = RandomSource(4)
+        topology = graphs.erdos_renyi(64, 0.15, rng.spawn())
+        weights = _random_weights(topology, rng.spawn())
+        result = quantum_mst(topology, weights, rng.spawn())
+        assert result.meta["phases"] <= 8
+
+    def test_ledger_structure(self):
+        rng = RandomSource(5)
+        topology = graphs.cycle(16)
+        weights = _random_weights(topology, rng.spawn())
+        result = quantum_mst(topology, weights, rng.spawn())
+        labels = result.metrics.ledger.messages_by_label()
+        assert "mst.durr-hoyer.checking" in labels
+        assert "mst.convergecast" in labels

@@ -1,0 +1,44 @@
+"""Tests for parallel stage accounting."""
+
+from repro.core.parallel import run_in_parallel
+from repro.network.metrics import MetricsRecorder
+
+
+class TestRunInParallel:
+    def test_messages_sum_rounds_max(self):
+        metrics = MetricsRecorder()
+
+        def task_a(scratch):
+            scratch.charge("a", messages=5, rounds=3)
+            return "a"
+
+        def task_b(scratch):
+            scratch.charge("b", messages=7, rounds=10)
+            return "b"
+
+        results = run_in_parallel(metrics, "stage", [task_a, task_b])
+        assert results == ["a", "b"]
+        assert metrics.messages == 12
+        assert metrics.rounds == 10  # max, not sum
+
+    def test_labels_preserved(self):
+        metrics = MetricsRecorder()
+        run_in_parallel(
+            metrics,
+            "stage",
+            [lambda s: s.charge("x.inner", messages=2, rounds=1)],
+        )
+        assert metrics.ledger.messages_by_label()["x.inner"] == 2
+
+    def test_empty_task_list(self):
+        metrics = MetricsRecorder()
+        assert run_in_parallel(metrics, "stage", []) == []
+        assert metrics.rounds == 0
+
+    def test_zero_round_tasks_add_no_rounds(self):
+        metrics = MetricsRecorder()
+        run_in_parallel(
+            metrics, "stage", [lambda s: s.charge_messages("m", 1)]
+        )
+        assert metrics.rounds == 0
+        assert metrics.messages == 1

@@ -1,0 +1,84 @@
+"""Unit tests for the QWLE walk-ablation variant (Section 1.2 / E12)."""
+
+import math
+
+import pytest
+
+from repro.core.leader_election.diameter2 import QWLEParameters, quantum_qwle
+from repro.network import graphs
+from repro.util.rng import RandomSource
+
+LEAN = dict(alpha=1 / 8, inner_alpha=1 / 8, outer_iterations=40, activation=0.25)
+
+
+class TestAblationParameters:
+    def test_default_k_becomes_sqrt_n(self):
+        params = QWLEParameters(ablate_walk=True).resolve(400)
+        assert params.k == 20  # √400
+
+    def test_walk_default_k_is_two_thirds(self):
+        params = QWLEParameters(ablate_walk=False).resolve(1000)
+        assert params.k == 100  # 1000^(2/3)
+
+    def test_flag_survives_resolution(self):
+        assert QWLEParameters(ablate_walk=True).resolve(64).ablate_walk
+        assert not QWLEParameters().resolve(64).ablate_walk
+
+
+class TestAblationBehaviour:
+    def test_still_elects_unique_leader(self):
+        successes = 0
+        for seed in range(10):
+            rng = RandomSource(seed)
+            topology = graphs.diameter_two_gnp(48, rng.spawn())
+            result = quantum_qwle(
+                topology, rng.spawn(), QWLEParameters(ablate_walk=True, **LEAN)
+            )
+            successes += result.success
+        assert successes >= 9
+
+    def test_ablated_ledger_has_setup_not_update(self):
+        rng = RandomSource(3)
+        topology = graphs.diameter_two_gnp(48, rng.spawn())
+        result = quantum_qwle(
+            topology, rng.spawn(), QWLEParameters(ablate_walk=True, **LEAN)
+        )
+        labels = result.metrics.ledger.messages_by_label()
+        if result.meta["walk_searches"] > 0:
+            assert "qwle.walk.setup-ablated" in labels
+            assert "qwle.walk.update" not in labels
+
+    def test_walk_ledger_has_update_not_ablated(self):
+        rng = RandomSource(4)
+        topology = graphs.diameter_two_gnp(48, rng.spawn())
+        result = quantum_qwle(topology, rng.spawn(), QWLEParameters(**LEAN))
+        labels = result.metrics.ledger.messages_by_label()
+        if result.meta["walk_searches"] > 0:
+            assert "qwle.walk.update" in labels
+            assert "qwle.walk.setup-ablated" not in labels
+
+    def test_ablation_costs_more_on_dense_graphs(self):
+        """At matching n, fresh-Setup amplification must outspend Updates
+        (on average across seeds; both sides use their own optimal k)."""
+        rng_top = RandomSource(77)
+        topology = graphs.erdos_renyi(512, 0.5, rng_top)
+        walk_total, ablated_total = 0, 0
+        for seed in range(3):
+            walk_total += quantum_qwle(
+                topology, RandomSource(seed), QWLEParameters(**LEAN)
+            ).messages
+            ablated_total += quantum_qwle(
+                topology,
+                RandomSource(seed),
+                QWLEParameters(ablate_walk=True, **LEAN),
+            ).messages
+        assert ablated_total > walk_total
+
+
+class TestAblationArithmetic:
+    def test_amortized_setup_cost_formula(self):
+        """calls·k/t2 with ceil: charging t1·t2 update calls must total
+        ≈ t1 fresh Setups."""
+        k, t2, t1 = 30, 6, 4
+        calls = t1 * t2
+        assert math.ceil(calls * k / t2) == t1 * k

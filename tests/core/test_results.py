@@ -1,0 +1,89 @@
+"""Tests for result dataclasses."""
+
+from repro.core.results import AgreementResult, LeaderElectionResult
+from repro.network.metrics import MetricsRecorder
+from repro.network.node import Status
+
+
+def _statuses(n, elected=()):
+    return {
+        v: (Status.ELECTED if v in elected else Status.NON_ELECTED)
+        for v in range(n)
+    }
+
+
+class TestLeaderElectionResult:
+    def test_unique_leader_success(self):
+        result = LeaderElectionResult(4, _statuses(4, {2}), MetricsRecorder())
+        assert result.success
+        assert result.leader == 2
+        assert result.elected == [2]
+
+    def test_no_leader_fails(self):
+        result = LeaderElectionResult(3, _statuses(3), MetricsRecorder())
+        assert not result.success
+        assert result.leader is None
+
+    def test_two_leaders_fail(self):
+        result = LeaderElectionResult(4, _statuses(4, {0, 1}), MetricsRecorder())
+        assert not result.success
+        assert result.leader is None
+
+    def test_undecided_node_fails(self):
+        statuses = _statuses(3, {0})
+        statuses[2] = Status.UNDECIDED
+        result = LeaderElectionResult(3, statuses, MetricsRecorder())
+        assert not result.success
+
+    def test_explicit_success_requires_known_leader(self):
+        result = LeaderElectionResult(3, _statuses(3, {1}), MetricsRecorder())
+        assert not result.explicit_success
+        result.known_leader = {0: 1, 1: 1, 2: 1}
+        assert result.explicit_success
+
+    def test_explicit_fails_on_wrong_knowledge(self):
+        result = LeaderElectionResult(
+            3, _statuses(3, {1}), MetricsRecorder(), known_leader={0: 1, 1: 1, 2: 0}
+        )
+        assert not result.explicit_success
+
+    def test_messages_and_rounds_proxy_metrics(self):
+        metrics = MetricsRecorder()
+        metrics.charge("x", messages=5, rounds=2)
+        result = LeaderElectionResult(2, _statuses(2, {0}), metrics)
+        assert result.messages == 5
+        assert result.rounds == 2
+
+
+class TestAgreementResult:
+    def _result(self, inputs, decisions):
+        return AgreementResult(
+            n=len(inputs),
+            inputs={v: b for v, b in enumerate(inputs)},
+            decisions={v: decisions.get(v) for v in range(len(inputs))},
+            metrics=MetricsRecorder(),
+        )
+
+    def test_valid_agreement(self):
+        result = self._result([0, 1, 1], {0: 1, 2: 1})
+        assert result.success
+        assert result.agreed_value == 1
+        assert sorted(result.decided_nodes) == [0, 2]
+
+    def test_single_decider_is_valid(self):
+        result = self._result([0, 1], {1: 0})
+        assert result.success
+
+    def test_nobody_decided_fails(self):
+        result = self._result([0, 1], {})
+        assert not result.success
+
+    def test_disagreement_fails(self):
+        result = self._result([0, 1], {0: 0, 1: 1})
+        assert not result.success
+        assert result.agreed_value is None
+
+    def test_validity_violation_fails(self):
+        """Deciding a value nobody held as input is invalid."""
+        result = self._result([0, 0, 0], {1: 1})
+        assert not result.success

@@ -1,0 +1,68 @@
+"""Tests for the conjectured τ-linear RWLE variant (Conclusion's open question)."""
+
+import pytest
+
+from repro.core.leader_election.mixing import CHECKING_MODES, quantum_rwle
+from repro.network import graphs
+from repro.util.rng import RandomSource
+
+
+class TestConjecturedVariant:
+    def test_modes_registry(self):
+        assert "centralized" in CHECKING_MODES
+        assert "conjectured-decentralized" in CHECKING_MODES
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            quantum_rwle(
+                graphs.hypercube(4), RandomSource(0), tau=4, checking_mode="bogus"
+            )
+
+    def test_still_elects_unique_leader(self):
+        successes = sum(
+            quantum_rwle(
+                graphs.hypercube(6),
+                RandomSource(seed),
+                tau=12,
+                checking_mode="conjectured-decentralized",
+            ).success
+            for seed in range(15)
+        )
+        assert successes >= 14
+
+    def test_cheaper_than_proven_protocol(self):
+        """Linear-in-τ Checking must undercut the τ² centralized one."""
+        topology = graphs.hypercube(7)
+        proven = quantum_rwle(topology, RandomSource(0), tau=40, k=8)
+        conjectured = quantum_rwle(
+            topology,
+            RandomSource(0),
+            tau=40,
+            k=8,
+            checking_mode="conjectured-decentralized",
+        )
+        assert conjectured.messages < proven.messages
+        assert conjectured.meta["checking_mode"] == "conjectured-decentralized"
+
+    def test_tau_growth_is_linear_not_quadratic(self):
+        """Per-candidate quantum-phase cost grows ≈ τ, not ≈ τ²."""
+        costs = {}
+        for tau in (16, 64):
+            result = quantum_rwle(
+                graphs.hypercube(6),
+                RandomSource(1),
+                tau=tau,
+                k=4,
+                alpha=0.1,
+                checking_mode="conjectured-decentralized",
+            )
+            grover = result.metrics.ledger.messages_by_label()[
+                "quantum-rwle.grover.checking"
+            ]
+            costs[tau] = grover / result.meta["candidates"]
+        ratio = costs[64] / costs[16]
+        assert 2.5 < ratio < 6.5  # ~4x for 4x tau (quadratic would be ~16x)
+
+    def test_default_mode_is_the_proven_one(self):
+        result = quantum_rwle(graphs.hypercube(4), RandomSource(2), tau=4)
+        assert result.meta["checking_mode"] == "centralized"

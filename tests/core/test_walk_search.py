@@ -1,0 +1,105 @@
+"""Tests for the distributed walk search (Theorem 4.4)."""
+
+import pytest
+
+from repro.core.walk_search import WalkSearchSpec, walk_search
+from repro.network.metrics import MetricsRecorder
+from repro.quantum.amplitude import attempts_for_confidence, worst_case_iterations
+from repro.util.fault import FaultInjector
+from repro.util.rng import RandomSource
+
+
+def _spec(marked_fraction, epsilon=0.05, delta=0.1, setup=10, update=2, checking=6):
+    return WalkSearchSpec(
+        marked_fraction=marked_fraction,
+        epsilon=epsilon,
+        delta=delta,
+        charge_setup=lambda m, c: m.charge("walk.setup", messages=setup * c),
+        charge_update=lambda m, c: m.charge("walk.update", messages=update * c),
+        charge_checking=lambda m, c: m.charge("walk.checking", messages=checking * c),
+        sample_marked_state=lambda r: "marked-state",
+    )
+
+
+@pytest.fixture
+def rng():
+    return RandomSource(55)
+
+
+class TestOutcome:
+    def test_finds_marked_state_under_promise(self, rng):
+        result = walk_search(_spec(0.05), 0.01, MetricsRecorder(), rng)
+        assert result.succeeded
+        assert result.found == "marked-state"
+
+    def test_empty_marked_set_never_found(self):
+        for seed in range(40):
+            result = walk_search(
+                _spec(0.0), 0.25, MetricsRecorder(), RandomSource(seed)
+            )
+            assert not result.succeeded
+
+    def test_failure_rate_within_alpha(self):
+        alpha = 0.05
+        failures = sum(
+            not walk_search(
+                _spec(0.05), alpha, MetricsRecorder(), RandomSource(seed)
+            ).succeeded
+            for seed in range(200)
+        )
+        assert failures / 200 <= alpha + 0.03
+
+
+class TestCostAccounting:
+    def test_schedule_charges_match_theorem_shape(self, rng):
+        """On the never-success path every attempt is initiated, so the
+        charges equal the full Theorem 4.4 schedule exactly."""
+        metrics = MetricsRecorder()
+        epsilon, delta, alpha = 0.04, 0.1, 0.05
+        result = walk_search(_spec(0.0, epsilon, delta), alpha, metrics, rng)
+        t1 = worst_case_iterations(epsilon)
+        t2 = worst_case_iterations(delta)
+        attempts = attempts_for_confidence(alpha)
+        by_label = metrics.ledger.messages_by_label()
+        assert by_label["walk.setup"] == 10 * attempts
+        assert by_label["walk.update"] == 2 * attempts * t1 * t2
+        assert by_label["walk.checking"] == 6 * attempts * t1 * 2
+        assert result.amplification_iterations == t1
+        assert result.walk_steps_per_iteration == t2
+
+    def test_rounds_independent_of_outcome(self):
+        """Hit stops messaging early, but the synchronized rounds match."""
+        hit = MetricsRecorder()
+        walk_search(_spec(0.5), 0.1, hit, RandomSource(0))
+        miss = MetricsRecorder()
+        walk_search(_spec(0.0), 0.1, miss, RandomSource(0))
+        assert hit.messages <= miss.messages
+        assert hit.rounds == miss.rounds
+
+    def test_smaller_delta_more_updates(self, rng):
+        fine = MetricsRecorder()
+        walk_search(_spec(0.05, delta=0.01), 0.1, fine, RandomSource(1))
+        coarse = MetricsRecorder()
+        walk_search(_spec(0.05, delta=0.25), 0.1, coarse, RandomSource(1))
+        assert (
+            fine.ledger.messages_by_label()["walk.update"]
+            > coarse.ledger.messages_by_label()["walk.update"]
+        )
+
+
+class TestValidationAndFaults:
+    def test_rejects_bad_parameters(self, rng):
+        with pytest.raises(ValueError):
+            walk_search(_spec(0.1, epsilon=0.0), 0.1, MetricsRecorder(), rng)
+        with pytest.raises(ValueError):
+            walk_search(_spec(0.1, delta=2.0), 0.1, MetricsRecorder(), rng)
+        with pytest.raises(ValueError):
+            walk_search(_spec(1.5), 0.1, MetricsRecorder(), rng)
+        with pytest.raises(ValueError):
+            walk_search(_spec(0.1), 0.0, MetricsRecorder(), rng)
+
+    def test_forced_false_negative(self, rng):
+        faults = FaultInjector()
+        faults.force_always("walk.false_negative")
+        result = walk_search(_spec(1.0), 0.01, MetricsRecorder(), rng, faults=faults)
+        assert not result.succeeded

@@ -1,0 +1,56 @@
+"""Round-accounting tests for WalkSearch with round-charging hooks."""
+
+from repro.core.walk_search import WalkSearchSpec, walk_search
+from repro.network.metrics import MetricsRecorder
+from repro.quantum.amplitude import attempts_for_confidence, worst_case_iterations
+from repro.util.rng import RandomSource
+
+
+def _spec_with_rounds(marked_fraction, epsilon=0.04, delta=0.1):
+    """Hooks that charge both messages and rounds (like QWLE's real ones)."""
+    return WalkSearchSpec(
+        marked_fraction=marked_fraction,
+        epsilon=epsilon,
+        delta=delta,
+        charge_setup=lambda m, c: m.charge("w.setup", messages=5 * c, rounds=1 * c),
+        charge_update=lambda m, c: m.charge("w.update", messages=2 * c, rounds=2 * c),
+        charge_checking=lambda m, c: m.charge("w.check", messages=4 * c, rounds=3 * c),
+        sample_marked_state=lambda r: "state",
+    )
+
+
+class TestRoundDeterminism:
+    def test_rounds_equal_full_schedule_regardless_of_outcome(self):
+        epsilon, delta, alpha = 0.04, 0.1, 0.1
+        t1 = worst_case_iterations(epsilon)
+        t2 = worst_case_iterations(delta)
+        attempts = attempts_for_confidence(alpha)
+        expected_rounds = attempts * (1 + t1 * (2 * t2 + 2 * 3))
+
+        for marked in (0.0, 0.04, 1.0):
+            for seed in range(5):
+                metrics = MetricsRecorder()
+                walk_search(
+                    _spec_with_rounds(marked, epsilon, delta),
+                    alpha,
+                    metrics,
+                    RandomSource(seed),
+                )
+                assert metrics.rounds == expected_rounds, (marked, seed)
+
+    def test_idle_rounds_carry_no_messages(self):
+        """A hit on the first attempt leaves later attempts message-free."""
+        metrics = MetricsRecorder()
+        walk_search(_spec_with_rounds(1.0), 0.01, metrics, RandomSource(0))
+        labels = metrics.ledger.messages_by_label()
+        t1 = worst_case_iterations(0.04)
+        # exactly one attempt's worth of setup messages
+        assert labels["w.setup"] == 5
+        assert labels["w.check"] == 4 * t1 * 2
+        idle = [
+            entry
+            for entry in metrics.ledger.entries
+            if entry.label == "walk-search.synchronized-idle"
+        ]
+        assert idle and all(e.messages == 0 for e in idle)
+        assert all(e.rounds > 0 for e in idle)

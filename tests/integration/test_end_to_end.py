@@ -1,0 +1,121 @@
+"""End-to-end integration: every protocol × several topologies × seeds.
+
+These are the "does the whole stack hold together" tests: quantum protocol,
+classical baseline, shared candidate machinery, metrics, and results all
+exercised through the public API exactly as the examples and benchmarks use
+them.
+"""
+
+import pytest
+
+from repro import (
+    RandomSource,
+    classical_agreement_shared,
+    classical_le_complete,
+    classical_le_diameter2,
+    classical_le_general,
+    classical_le_mixing,
+    quantum_agreement,
+    quantum_general_le,
+    quantum_le_complete,
+    quantum_qwle,
+    quantum_rwle,
+)
+from repro.core.leader_election import QWLEParameters
+from repro.network import graphs
+
+
+class TestQuantumVsClassicalSameProblem:
+    """Both sides must solve the same instance; quantum must not require
+    anything classical does not."""
+
+    def test_complete_graph_pair(self):
+        for seed in range(5):
+            q = quantum_le_complete(256, RandomSource(seed))
+            c = classical_le_complete(256, RandomSource(seed + 1000))
+            assert q.success and c.success
+
+    def test_mixing_pair_on_hypercube(self):
+        topology = graphs.hypercube(6)
+        for seed in range(5):
+            q = quantum_rwle(topology, RandomSource(seed), tau=15)
+            c = classical_le_mixing(topology, RandomSource(seed + 1000), tau=15)
+            assert q.success and c.success
+
+    def test_diameter2_pair(self):
+        rng = RandomSource(77)
+        topology = graphs.diameter_two_gnp(48, rng.spawn())
+        q = quantum_qwle(topology, rng.spawn())
+        c = classical_le_diameter2(topology, rng.spawn())
+        assert q.success and c.success
+
+    def test_general_pair(self):
+        rng = RandomSource(78)
+        topology = graphs.erdos_renyi(48, 0.2, rng.spawn())
+        q = quantum_general_le(topology, rng.spawn())
+        c = classical_le_general(topology, rng.spawn())
+        assert q.explicit_success and c.explicit_success
+
+    def test_agreement_pair(self):
+        inputs = [1] * 30 + [0] * 98
+        for seed in range(5):
+            q = quantum_agreement(inputs, RandomSource(seed))
+            c = classical_agreement_shared(inputs, RandomSource(seed + 1000))
+            assert q.success and c.success
+
+
+class TestMessageAdvantageAtScale:
+    """'Who wins' checks at laptop scale with α matched across sides."""
+
+    def test_complete_graph_quantum_beats_classical(self):
+        """Cor 5.3 vs Θ̃(√n): at n = 16384 with matched constant α the
+        per-candidate quantum cost must be lower."""
+        n = 16384
+        q = quantum_le_complete(n, RandomSource(0), alpha=1 / 8)
+        c = classical_le_complete(n, RandomSource(1))
+        q_per = q.messages / max(1, q.meta["candidates"])
+        c_per = c.messages / max(1, c.meta["candidates"])
+        assert q_per < c_per
+
+    def test_exponent_gap_visible_on_grid(self):
+        """Quantum per-candidate message growth is visibly slower."""
+        sizes = [1024, 4096, 16384]
+        q_costs, c_costs = [], []
+        for n in sizes:
+            q = quantum_le_complete(n, RandomSource(2), alpha=1 / 8)
+            c = classical_le_complete(n, RandomSource(3))
+            q_costs.append(q.messages / max(1, q.meta["candidates"]))
+            c_costs.append(c.messages / max(1, c.meta["candidates"]))
+        q_growth = q_costs[-1] / q_costs[0]
+        c_growth = c_costs[-1] / c_costs[0]
+        # n^{1/3} growth ≈ 2.5× vs n^{1/2} growth ≈ 4× over 16×
+        assert q_growth < c_growth
+
+
+class TestCrossProtocolConsistency:
+    def test_all_leader_elections_agree_on_result_shape(self):
+        rng = RandomSource(5)
+        topology = graphs.diameter_two_gnp(32, rng.spawn())
+        results = [
+            quantum_le_complete(32, rng.spawn()),
+            quantum_qwle(topology, rng.spawn(), QWLEParameters(outer_iterations=80)),
+            quantum_general_le(topology, rng.spawn()),
+        ]
+        for result in results:
+            assert result.n == 32
+            assert set(result.statuses) == set(range(32))
+            assert result.messages > 0
+            assert result.rounds > 0
+
+    def test_metrics_ledger_totals_consistent_everywhere(self):
+        rng = RandomSource(6)
+        result = quantum_le_complete(128, rng)
+        assert result.metrics.messages == result.metrics.ledger.total_messages
+        assert result.metrics.rounds == result.metrics.ledger.total_rounds
+
+    def test_reproducibility_of_full_protocol_runs(self):
+        a = quantum_le_complete(128, RandomSource(9))
+        b = quantum_le_complete(128, RandomSource(9))
+        assert a.leader == b.leader
+        assert a.messages == b.messages
+        assert a.statuses == b.statuses

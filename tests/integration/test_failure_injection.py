@@ -1,0 +1,102 @@
+"""Failure-injection integration tests.
+
+The paper's protocols fail with probability O(1/n); these tests force the
+failure modes deterministically and verify the library *detects and reports*
+them faithfully rather than masking them.
+"""
+
+from repro import (
+    FaultInjector,
+    RandomSource,
+    quantum_agreement,
+    quantum_le_complete,
+    quantum_qwle,
+    quantum_rwle,
+)
+from repro.core.leader_election import QWLEParameters
+from repro.network import graphs
+from repro.network.node import Status
+
+
+class TestLeaderElectionFailureModes:
+    def test_no_candidates_reported_not_masked(self):
+        faults = FaultInjector()
+        faults.force("candidates.force_empty")
+        result = quantum_le_complete(64, RandomSource(0), faults=faults)
+        assert not result.success
+        assert all(s is Status.NON_ELECTED for s in result.statuses.values())
+
+    def test_rank_tie_produces_detectable_dual_leaders(self):
+        faults = FaultInjector()
+        faults.force("candidates.force_tie")
+        result = quantum_le_complete(64, RandomSource(1), faults=faults)
+        assert len(result.elected) == 2
+        assert not result.success
+        assert not result.meta["unique_ranks"]
+
+    def test_single_grover_failure_single_extra_leader(self):
+        """Killing exactly one candidate's full search → ≤ one extra leader."""
+        from repro.quantum.amplitude import attempts_for_confidence
+
+        faults = FaultInjector()
+        # Arm exactly one search's worth of attempts: the first candidate's
+        # whole schedule fails, every later search runs clean.
+        faults.force(
+            "grover.false_negative", times=attempts_for_confidence(1.0 / 64**2)
+        )
+        result = quantum_le_complete(64, RandomSource(2), faults=faults)
+        assert 1 <= len(result.elected) <= 2
+
+    def test_rwle_walk_failures(self):
+        faults = FaultInjector()
+        faults.force_always("grover.false_negative")
+        result = quantum_rwle(
+            graphs.hypercube(5), RandomSource(3), tau=8, faults=faults
+        )
+        # all candidates fail to find higher ranks → all elected
+        assert len(result.elected) == result.meta["candidates"]
+        assert not result.success or result.meta["candidates"] == 1
+
+    def test_qwle_walk_failures_leave_candidates(self):
+        faults = FaultInjector()
+        faults.force_always("walk.false_negative")
+        rng = RandomSource(4)
+        topology = graphs.diameter_two_gnp(32, rng.spawn())
+        params = QWLEParameters(alpha=1 / 16, inner_alpha=1 / 16, outer_iterations=20)
+        result = quantum_qwle(topology, rng.spawn(), params, faults=faults)
+        assert len(result.elected) == result.meta["candidates"]
+
+
+class TestAgreementFailureModes:
+    def test_no_candidates_no_decision(self):
+        faults = FaultInjector()
+        faults.force("candidates.force_empty")
+        result = quantum_agreement(
+            [1] * 20 + [0] * 44, RandomSource(5), faults=faults
+        )
+        assert result.decided_nodes == []
+        assert not result.success
+
+    def test_detection_failures_exhaust_iterations_gracefully(self):
+        faults = FaultInjector()
+        faults.force_always("agreement.detect.false_negative")
+        result = quantum_agreement(
+            [1] * 20 + [0] * 44, RandomSource(6), faults=faults
+        )
+        # Candidates that decide do so consistently; stragglers may stay ⊥.
+        assert result.meta["iterations"] <= result.meta["iteration_budget"]
+        if result.decided_nodes:
+            values = {result.decisions[v] for v in result.decided_nodes}
+            assert len(values) == 1
+
+
+class TestFaultAccountingUnaffected:
+    def test_rounds_identical_and_failures_cost_more_messages(self):
+        """Faults flip outcomes, not the synchronized round schedule; forced
+        failures keep nodes searching, so messages can only go up."""
+        faults = FaultInjector()
+        faults.force_always("grover.false_negative")
+        clean = quantum_le_complete(64, RandomSource(7))
+        faulty = quantum_le_complete(64, RandomSource(7), faults=faults)
+        assert clean.rounds == faulty.rounds
+        assert faulty.messages >= clean.messages

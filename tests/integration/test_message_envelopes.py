@@ -1,0 +1,122 @@
+"""Message-envelope integration tests: measured costs track the theorems.
+
+Each test measures a protocol on a small size grid and checks the *growth*
+against the paper's envelope (with polylog corrections divided out using the
+known schedule structure).  Exact exponent recovery is the benchmarks' job;
+these tests pin down the coarse shape so regressions in the accounting are
+caught by `pytest tests/`.
+"""
+
+import math
+
+import pytest
+
+from repro import (
+    RandomSource,
+    classical_le_complete,
+    quantum_le_complete,
+    quantum_rwle,
+)
+from repro.analysis.fitting import fit_power_law
+from repro.analysis.scaling import measure_scaling
+from repro.network import graphs
+
+
+class TestCompleteGraphEnvelope:
+    def test_quantum_exponent_near_one_third(self):
+        """Per-candidate messages ≈ k + √(n/k)·2·attempts: with constant α
+        and k = n^{1/3} this is Θ(n^{1/3})."""
+
+        def runner(n, rng):
+            result = quantum_le_complete(n, rng, alpha=1 / 8)
+            per_candidate = result.messages / max(1, result.meta["candidates"])
+            return round(per_candidate), result.rounds, result.success, {}
+
+        series = measure_scaling(
+            "qle", runner, [512, 2048, 8192, 32768], trials=3, seed=0
+        )
+        fit = series.fit()
+        assert fit.exponent == pytest.approx(1 / 3, abs=0.08)
+
+    def test_classical_exponent_near_one_half(self):
+        def runner(n, rng):
+            result = classical_le_complete(n, rng)
+            per_candidate = result.messages / max(1, result.meta["candidates"])
+            return round(per_candidate), result.rounds, result.success, {}
+
+        series = measure_scaling(
+            "kpp", runner, [512, 2048, 8192, 32768], trials=3, seed=1
+        )
+        # messages/candidate ∝ √(n ln n): divide one half-log out via polylog.
+        fit = series.fit(polylog_power=0.5)
+        assert fit.exponent == pytest.approx(0.5, abs=0.08)
+
+    def test_trade_off_monotonicity(self):
+        """Theorem 5.2: rounds fall and referee messages rise as k grows."""
+        n = 4096
+        rounds, referee_msgs = [], []
+        for k in (4, 16, 64):
+            result = quantum_le_complete(n, RandomSource(3), k=k, alpha=1 / 8)
+            rounds.append(result.rounds)
+            referee_msgs.append(
+                result.metrics.ledger.messages_by_label()["quantum-le.referees"]
+            )
+        assert rounds[0] > rounds[1] > rounds[2]
+        assert referee_msgs[0] < referee_msgs[1] < referee_msgs[2]
+
+
+class TestMixingEnvelope:
+    def test_tau_dependence_dominates_on_slow_graphs(self):
+        """At fixed n, larger τ costs more messages (τk + τ²√(n/k))."""
+        topology = graphs.hypercube(6)
+        costs = []
+        for tau in (4, 8, 16):
+            result = quantum_rwle(
+                topology, RandomSource(4), tau=tau, k=8, alpha=1 / 8
+            )
+            costs.append(result.messages)
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_optimized_k_beats_extreme_k(self):
+        """Cor 5.5's k = τ^{2/3} n^{1/3} should beat both extremes."""
+        topology = graphs.hypercube(7)
+        n, tau = 128, 10
+        k_opt = max(1, round(tau ** (2 / 3) * n ** (1 / 3)))
+        cost_opt = quantum_rwle(
+            topology, RandomSource(5), tau=tau, k=k_opt, alpha=1 / 8
+        ).messages
+        cost_low = quantum_rwle(
+            topology, RandomSource(5), tau=tau, k=1, alpha=1 / 8
+        ).messages
+        cost_high = quantum_rwle(
+            topology, RandomSource(5), tau=tau, k=n - 1, alpha=1 / 8
+        ).messages
+        assert cost_opt <= cost_low
+        assert cost_opt <= cost_high
+
+
+class TestGeneralGraphEnvelope:
+    def test_sqrt_mn_vs_m_growth_with_density(self):
+        """As density grows at fixed n, quantum Õ(√(mn)) grows like √m while
+        classical Θ(m) grows like m."""
+        from repro.classical.leader_election.general_ghs import classical_le_general
+        from repro.core.leader_election.general import quantum_general_le
+
+        n = 96
+        quantum_costs, classical_costs, edge_counts = [], [], []
+        for p in (0.1, 0.4, 0.9):
+            rng = RandomSource(int(p * 100))
+            topology = graphs.erdos_renyi(n, p, rng.spawn())
+            edge_counts.append(topology.edge_count())
+            quantum = quantum_general_le(topology, rng.spawn(), alpha=1 / 8)
+            classical = classical_le_general(topology, rng.spawn())
+            # Normalize per phase: denser graphs merge in fewer phases, which
+            # would otherwise confound the density dependence.
+            quantum_costs.append(quantum.messages / quantum.meta["phases"])
+            classical_costs.append(classical.messages / classical.meta["phases"])
+        m_growth = edge_counts[-1] / edge_counts[0]
+        q_growth = quantum_costs[-1] / quantum_costs[0]
+        c_growth = classical_costs[-1] / classical_costs[0]
+        assert q_growth < c_growth
+        assert q_growth < math.sqrt(m_growth) * 2.0
+        assert c_growth > m_growth * 0.6  # classical per phase tracks Θ(m)

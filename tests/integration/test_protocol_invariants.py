@@ -1,0 +1,117 @@
+"""Cross-protocol invariants: every protocol, one shared contract.
+
+Whatever the topology or algorithm, a run must leave a coherent artifact:
+complete status maps, non-negative labelled costs, ledger totals equal to
+counter totals, and meta fields the benchmarks rely on.
+"""
+
+import pytest
+
+from repro import (
+    QWLEParameters,
+    RandomSource,
+    classical_agreement_shared,
+    classical_le_complete,
+    classical_le_diameter2,
+    classical_le_general,
+    classical_le_mixing,
+    classical_mst,
+    quantum_agreement,
+    quantum_general_le,
+    quantum_le_complete,
+    quantum_mst,
+    quantum_qwle,
+    quantum_rwle,
+)
+from repro.network import graphs
+from repro.network.node import Status
+
+N = 48
+
+
+def _weights(topology, rng):
+    return {e: float(rng.uniform_int(1, 10**6)) for e in topology.edges()}
+
+
+def _le_runs():
+    rng = RandomSource(321)
+    d2 = graphs.diameter_two_gnp(N, rng.spawn())
+    er = graphs.erdos_renyi(N, 0.2, rng.spawn())
+    cube = graphs.hypercube(6)
+    return [
+        ("quantum-complete", quantum_le_complete(N, rng.spawn())),
+        ("quantum-mixing", quantum_rwle(cube, rng.spawn(), tau=12)),
+        (
+            "quantum-diameter2",
+            quantum_qwle(d2, rng.spawn(), QWLEParameters(alpha=1 / 8, inner_alpha=1 / 8)),
+        ),
+        ("quantum-general", quantum_general_le(er, rng.spawn(), alpha=1 / 8)),
+        ("classical-complete", classical_le_complete(N, rng.spawn())),
+        ("classical-mixing", classical_le_mixing(cube, rng.spawn(), tau=12)),
+        ("classical-diameter2", classical_le_diameter2(d2, rng.spawn())),
+        ("classical-general", classical_le_general(er, rng.spawn())),
+    ]
+
+
+@pytest.fixture(scope="module")
+def le_runs():
+    return _le_runs()
+
+
+class TestLeaderElectionInvariants:
+    def test_status_maps_complete(self, le_runs):
+        for label, result in le_runs:
+            assert set(result.statuses) == set(range(result.n)), label
+            assert all(
+                isinstance(s, Status) for s in result.statuses.values()
+            ), label
+
+    def test_at_most_modest_leader_count(self, le_runs):
+        for label, result in le_runs:
+            assert len(result.elected) <= max(1, result.meta.get("candidates", 1)), label
+
+    def test_ledger_totals_consistent(self, le_runs):
+        for label, result in le_runs:
+            assert result.metrics.messages == result.metrics.ledger.total_messages, label
+            assert result.metrics.rounds == result.metrics.ledger.total_rounds, label
+            assert result.messages >= 0 and result.rounds >= 0, label
+
+    def test_every_charge_labelled(self, le_runs):
+        for label, result in le_runs:
+            for entry in result.metrics.ledger.entries:
+                assert entry.label, label
+                assert entry.messages >= 0 and entry.rounds >= 0, label
+
+    def test_nontrivial_cost_when_candidates_exist(self, le_runs):
+        for label, result in le_runs:
+            if result.meta.get("candidates", 1) > 0:
+                assert result.messages > 0, label
+
+
+class TestAgreementInvariants:
+    def test_decision_map_complete_and_valid(self):
+        rng = RandomSource(99)
+        inputs = [1] * 12 + [0] * (N - 12)
+        for label, result in [
+            ("quantum", quantum_agreement(inputs, rng.spawn())),
+            ("classical", classical_agreement_shared(inputs, rng.spawn())),
+        ]:
+            assert set(result.decisions) == set(range(N)), label
+            for value in result.decisions.values():
+                assert value in (None, 0, 1), label
+            assert result.metrics.messages == result.metrics.ledger.total_messages
+
+
+class TestMSTInvariants:
+    def test_both_sides_agree_and_account(self):
+        rng = RandomSource(55)
+        topology = graphs.erdos_renyi(N, 0.25, rng.spawn())
+        weights = _weights(topology, rng.spawn())
+        quantum = quantum_mst(topology, weights, rng.spawn(), alpha=1 / 8)
+        classical = classical_mst(topology, weights, rng.spawn())
+        assert quantum.total_weight == pytest.approx(classical.total_weight)
+        for result in (quantum, classical):
+            assert result.is_spanning
+            assert result.metrics.messages == result.metrics.ledger.total_messages
+            for u, v in result.edges:
+                assert topology.has_edge(u, v)

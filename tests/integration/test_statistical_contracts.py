@@ -1,0 +1,126 @@
+"""Statistical contract tests: measured frequencies vs theorem guarantees.
+
+Each test runs a subroutine or protocol many times and compares the observed
+success/error frequencies against the bound the corresponding theorem
+promises.  Tolerances are 3-4σ of the binomial sampling noise, so failures
+indicate real regressions, not unlucky seeds.
+"""
+
+import math
+
+from repro import RandomSource, quantum_agreement, quantum_le_complete
+from repro.core.counting import approx_count
+from repro.core.grover import distributed_grover_search
+from repro.core.procedures import SetOracle, uniform_charge
+from repro.network.metrics import MetricsRecorder
+from repro.quantum.amplitude import (
+    bbht_average_success,
+    worst_case_iterations,
+)
+
+
+def _oracle(n, marked):
+    return SetOracle(
+        domain=range(n),
+        marked=marked,
+        charge_checking=uniform_charge(2, 2, "stat.checking"),
+    )
+
+
+class TestTheorem41Contract:
+    def test_failure_rate_below_alpha_exactly_at_promise(self):
+        """ε_f = ε exactly (the hardest admissible instance)."""
+        alpha = 0.1
+        trials = 400
+        failures = sum(
+            not distributed_grover_search(
+                _oracle(64, {0}), 1 / 64, alpha, MetricsRecorder(), RandomSource(s)
+            ).succeeded
+            for s in range(trials)
+        )
+        # True failure ≤ (1 − p̄)^attempts with p̄ = BBHT average ≥ 1/4.
+        assert failures / trials <= alpha
+
+    def test_expected_messages_track_bbht_attempt_count(self):
+        """E[attempts until success] = 1/p̄, so mean messages over many runs
+        should sit near (1/p̄)·E[per-attempt cost]."""
+        epsilon = 1 / 64
+        cap = worst_case_iterations(epsilon)
+        p_bar = bbht_average_success(cap, epsilon)
+        trials = 500
+        total = 0
+        for s in range(trials):
+            metrics = MetricsRecorder()
+            distributed_grover_search(
+                _oracle(64, {0}), epsilon, 0.01, metrics, RandomSource(s)
+            )
+            total += metrics.messages
+        mean = total / trials
+        # Per attempt: E[j] ≈ (cap−1)/2 iterations × 2 checks × 2 msgs + verify.
+        per_attempt = ((cap - 1) / 2) * 4 + 2
+        predicted = per_attempt / p_bar
+        assert 0.5 * predicted < mean < 2.0 * predicted
+
+
+class TestCorollary43Contract:
+    def test_error_within_budget_at_rate_one_minus_alpha(self):
+        alpha = 0.1
+        accuracy = 0.05
+        trials = 150
+        violations = 0
+        for s in range(trials):
+            oracle = _oracle(200, set(range(70)))
+            result = approx_count(
+                oracle, accuracy, alpha, MetricsRecorder(), RandomSource(s)
+            )
+            violations += abs(result.estimate - 70) >= accuracy * 200
+        assert violations / trials <= alpha + 0.05
+
+
+class TestTheorem52Contract:
+    def test_whp_success_at_paper_alpha(self):
+        """With α = 1/n² the failure rate must be ≪ 1/√n-ish at n=128."""
+        trials = 60
+        failures = sum(
+            not quantum_le_complete(128, RandomSource(s)).success
+            for s in range(trials)
+        )
+        assert failures <= 1
+
+    def test_leader_distribution_uniform_over_candidates(self):
+        """The winner is the max-rank candidate; ranks are i.i.d., so no node
+        should be systematically favoured."""
+        wins: dict[int, int] = {}
+        for s in range(150):
+            result = quantum_le_complete(32, RandomSource(s))
+            if result.leader is not None:
+                wins[result.leader] = wins.get(result.leader, 0) + 1
+        # No node should win a large constant fraction of all runs.
+        assert max(wins.values()) <= 150 * 0.15
+
+
+class TestTheorem67Contract:
+    def test_agreement_validity_never_violated(self):
+        """Agreement may stall (prob ≤ 1/n) but must never decide a value
+        nobody held, across many seeds and input profiles."""
+        for ones_fraction in (0.0, 0.1, 0.5, 0.9, 1.0):
+            for s in range(20):
+                n = 96
+                ones = int(ones_fraction * n)
+                inputs = [1] * ones + [0] * (n - ones)
+                result = quantum_agreement(inputs, RandomSource(1000 * s + ones))
+                decided = {result.decisions[v] for v in result.decided_nodes}
+                if decided:
+                    assert len(decided) == 1
+                    assert decided.pop() in set(inputs)
+
+    def test_expected_iterations_short(self):
+        """Lemma 6.2: each iteration ends everything w.p. ≥ 1 − 4ε, so the
+        average iteration count stays near 1."""
+        total = 0
+        trials = 40
+        for s in range(trials):
+            inputs = [1] * 30 + [0] * 98
+            result = quantum_agreement(inputs, RandomSource(s))
+            total += result.meta["iterations"]
+        assert total / trials < 2.0

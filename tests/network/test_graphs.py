@@ -1,0 +1,98 @@
+"""Tests for repro.network.graphs generators."""
+
+import pytest
+
+from repro.network import graphs
+from repro.network.topology import diameter, is_connected
+from repro.util.rng import RandomSource
+
+
+@pytest.fixture
+def rng():
+    return RandomSource(2024)
+
+
+class TestDeterministicFamilies:
+    def test_cycle(self):
+        t = graphs.cycle(8)
+        assert t.n == 8 and t.edge_count() == 8
+        assert all(t.degree(v) == 2 for v in range(8))
+
+    def test_cycle_rejects_small(self):
+        with pytest.raises(ValueError):
+            graphs.cycle(2)
+
+    def test_path(self):
+        t = graphs.path(5)
+        assert t.edge_count() == 4
+        assert t.degree(0) == 1 and t.degree(2) == 2
+
+    def test_wheel_diameter_two(self):
+        t = graphs.wheel(10)
+        assert diameter(t) == 2
+        assert t.degree(0) == 9  # hub
+
+    def test_torus(self):
+        t = graphs.torus(4, 5)
+        assert t.n == 20
+        assert all(t.degree(v) == 4 for v in range(20))
+        assert is_connected(t)
+
+    def test_barbell(self):
+        t = graphs.barbell(5)
+        assert t.n == 10
+        assert is_connected(t)
+        # bridge endpoints have degree k, others k-1
+        assert t.degree(4) == 5 and t.degree(5) == 5
+        assert t.degree(0) == 4
+
+    def test_lollipop(self):
+        t = graphs.lollipop(4, 3)
+        assert t.n == 7
+        assert is_connected(t)
+        assert t.degree(6) == 1  # tail end
+
+    def test_complete_and_star_wrappers(self):
+        assert graphs.complete(5).edge_count() == 10
+        assert graphs.star(5).edge_count() == 4
+        assert graphs.complete_bipartite(2, 3).edge_count() == 6
+        assert graphs.hypercube(3).n == 8
+
+
+class TestRandomFamilies:
+    def test_random_regular_connected_and_regular(self, rng):
+        t = graphs.random_regular(50, 4, rng)
+        assert is_connected(t)
+        assert all(t.degree(v) == 4 for v in range(50))
+
+    def test_random_regular_validates_parity(self, rng):
+        with pytest.raises(ValueError):
+            graphs.random_regular(7, 3, rng)  # odd n * odd degree
+
+    def test_random_regular_validates_degree(self, rng):
+        with pytest.raises(ValueError):
+            graphs.random_regular(10, 2, rng)
+
+    def test_erdos_renyi_connected(self, rng):
+        t = graphs.erdos_renyi(60, 0.15, rng)
+        assert is_connected(t)
+        assert t.n == 60
+
+    def test_erdos_renyi_rejects_bad_p(self, rng):
+        with pytest.raises(ValueError):
+            graphs.erdos_renyi(10, 0.0, rng)
+
+    def test_diameter_two_gnp_really_diameter_two(self, rng):
+        t = graphs.diameter_two_gnp(80, rng)
+        assert diameter(t) == 2
+
+    def test_reproducible_with_same_seed(self):
+        a = graphs.erdos_renyi(40, 0.2, RandomSource(5))
+        b = graphs.erdos_renyi(40, 0.2, RandomSource(5))
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_as_explicit_roundtrip(self):
+        t = graphs.complete(6)
+        e = graphs.as_explicit(t)
+        assert e.edge_count() == t.edge_count()
+        assert sorted(e.edges()) == sorted(t.edges())

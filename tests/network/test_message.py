@@ -1,0 +1,72 @@
+"""Tests for repro.network.message (CONGEST bandwidth accounting)."""
+
+import math
+
+import pytest
+
+from repro.network.message import (
+    CONGEST_FACTOR,
+    Message,
+    congest_capacity_bits,
+    messages_for_bits,
+)
+
+
+class TestCapacity:
+    def test_capacity_scales_with_log_n(self):
+        assert congest_capacity_bits(1024) == CONGEST_FACTOR * 10
+
+    def test_capacity_non_power_of_two(self):
+        assert congest_capacity_bits(1000) == CONGEST_FACTOR * 10  # ceil(log2 1000)=10
+
+    def test_capacity_rejects_tiny_networks(self):
+        with pytest.raises(ValueError):
+            congest_capacity_bits(1)
+
+    def test_custom_factor(self):
+        assert congest_capacity_bits(256, factor=1) == 8
+
+
+class TestMessagesForBits:
+    def test_zero_bits_zero_messages(self):
+        assert messages_for_bits(0, 64) == 0
+
+    def test_small_payload_one_message(self):
+        assert messages_for_bits(5, 1024) == 1
+
+    def test_exact_capacity_one_message(self):
+        cap = congest_capacity_bits(64)
+        assert messages_for_bits(cap, 64) == 1
+
+    def test_splitting(self):
+        cap = congest_capacity_bits(64)
+        assert messages_for_bits(cap + 1, 64) == 2
+        assert messages_for_bits(10 * cap, 64) == 10
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(ValueError):
+            messages_for_bits(-1, 64)
+
+    def test_tau_squared_blowup_shape(self):
+        """The QuantumRWLE blow-up: τ·log n bits over τ hops ≈ τ²/factor msgs."""
+        n, tau = 1024, 200
+        bits = tau * math.ceil(math.log2(n))
+        per_hop = messages_for_bits(bits, n)
+        total = per_hop * tau
+        assert total == math.ceil(tau / CONGEST_FACTOR) * tau
+
+
+class TestMessage:
+    def test_default_is_single_unit(self):
+        assert Message("rank", payload=42).message_units(1024) == 1
+
+    def test_large_payload_counts_multiple_units(self):
+        cap = congest_capacity_bits(64)
+        message = Message("walk", bits=3 * cap)
+        assert message.message_units(64) == 3
+
+    def test_metadata_fields(self):
+        message = Message("probe", payload=(1, 2), bits=8)
+        assert message.kind == "probe"
+        assert message.sender == -1  # unset until the engine stamps it
+        assert message.meta == {}

@@ -1,0 +1,56 @@
+"""Tests for repro.network.metrics."""
+
+from repro.network.metrics import MetricsRecorder
+
+
+class TestMetricsRecorder:
+    def test_starts_at_zero(self):
+        metrics = MetricsRecorder()
+        assert metrics.messages == 0
+        assert metrics.rounds == 0
+
+    def test_charge_updates_totals_and_ledger(self):
+        metrics = MetricsRecorder()
+        metrics.charge("phase1", messages=10, rounds=2)
+        assert metrics.messages == 10
+        assert metrics.rounds == 2
+        assert metrics.ledger.messages_by_label() == {"phase1": 10}
+
+    def test_charge_messages_only(self):
+        metrics = MetricsRecorder()
+        metrics.charge_messages("m", 7)
+        assert metrics.messages == 7
+        assert metrics.rounds == 0
+
+    def test_advance_rounds_only(self):
+        metrics = MetricsRecorder()
+        metrics.advance_rounds("r", 5)
+        assert metrics.rounds == 5
+        assert metrics.messages == 0
+
+    def test_snapshot_delta(self):
+        metrics = MetricsRecorder()
+        metrics.charge("before", messages=3, rounds=1)
+        snap = metrics.snapshot()
+        metrics.charge("after", messages=4, rounds=2)
+        phase = metrics.delta(snap, label="after-phase")
+        assert phase.messages == 4
+        assert phase.rounds == 2
+        assert phase.label == "after-phase"
+
+    def test_merge(self):
+        a = MetricsRecorder()
+        a.charge("x", messages=1, rounds=1)
+        b = MetricsRecorder()
+        b.charge("y", messages=2, rounds=3)
+        a.merge(b)
+        assert a.messages == 3
+        assert a.rounds == 4
+        assert set(a.ledger.messages_by_label()) == {"x", "y"}
+
+    def test_totals_match_ledger(self):
+        metrics = MetricsRecorder()
+        for i in range(10):
+            metrics.charge(f"l{i % 3}", messages=i, rounds=i % 2)
+        assert metrics.messages == metrics.ledger.total_messages
+        assert metrics.rounds == metrics.ledger.total_rounds

@@ -1,0 +1,161 @@
+"""Tests for repro.network.random_walk."""
+
+import numpy as np
+import pytest
+
+from repro.network import graphs
+from repro.network.random_walk import (
+    RandomWalk,
+    estimate_mixing_time,
+    lazy_transition_matrix,
+    spectral_gap,
+    stationary_distribution,
+)
+from repro.util.rng import RandomSource
+
+
+@pytest.fixture
+def rng():
+    return RandomSource(99)
+
+
+class TestTransitionMatrix:
+    def test_rows_are_stochastic(self):
+        t = graphs.cycle(10)
+        matrix = lazy_transition_matrix(t)
+        rows = np.asarray(matrix.sum(axis=1)).ravel()
+        assert np.allclose(rows, 1.0)
+
+    def test_laziness_diagonal_half(self):
+        t = graphs.complete(5)
+        matrix = lazy_transition_matrix(t).toarray()
+        assert np.allclose(np.diag(matrix), 0.5)
+
+    def test_stationarity(self):
+        """π P = π for the lazy walk."""
+        t = graphs.lollipop(5, 4)
+        matrix = lazy_transition_matrix(t)
+        pi = stationary_distribution(t)
+        assert np.allclose(pi @ matrix.toarray(), pi, atol=1e-12)
+
+
+class TestStationaryDistribution:
+    def test_uniform_on_regular_graphs(self):
+        t = graphs.cycle(12)
+        pi = stationary_distribution(t)
+        assert np.allclose(pi, 1.0 / 12.0)
+
+    def test_proportional_to_degree(self):
+        t = graphs.star(5)
+        pi = stationary_distribution(t)
+        assert pi[0] == pytest.approx(4 / 8)
+        assert pi[1] == pytest.approx(1 / 8)
+
+    def test_sums_to_one(self):
+        t = graphs.barbell(4)
+        assert stationary_distribution(t).sum() == pytest.approx(1.0)
+
+
+class TestSpectralGap:
+    def test_complete_graph_large_gap(self):
+        gap = spectral_gap(graphs.complete(16))
+        # Lazy walk on K_n: eigenvalues {1, (1 - 1/(n-1) …)}/2-ish; gap ≈ 1/2.
+        assert gap > 0.4
+
+    def test_hypercube_gap_is_inverse_dimension(self):
+        gap = spectral_gap(graphs.hypercube(5))
+        assert gap == pytest.approx(1.0 / 5.0, rel=1e-6)
+
+    def test_barbell_gap_tiny(self):
+        assert spectral_gap(graphs.barbell(8)) < 0.05
+
+    def test_gap_positive_for_connected(self):
+        assert spectral_gap(graphs.cycle(30)) > 0
+
+    def test_large_graph_sparse_path(self):
+        """n > 256 exercises the eigsh branch."""
+        t = graphs.torus(17, 17)
+        assert 0 < spectral_gap(t) < 1
+
+
+class TestMixingTime:
+    def test_expander_mixes_much_faster_than_cycle(self, rng):
+        expander = graphs.random_regular(128, 6, rng)
+        ring = graphs.cycle(128)
+        tau_expander = estimate_mixing_time(expander)
+        tau_ring = estimate_mixing_time(ring)
+        assert tau_expander < 128  # strongly sublinear: O(log n) up to constants
+        assert tau_ring > 5 * tau_expander  # Θ(n²) vs Θ(log n)
+
+    def test_barbell_mixes_slowly(self):
+        fast = estimate_mixing_time(graphs.complete(16))
+        slow = estimate_mixing_time(graphs.barbell(8))
+        assert slow > 5 * fast
+
+    def test_at_least_one(self):
+        assert estimate_mixing_time(graphs.complete(4)) >= 1
+
+
+class TestRandomWalkSimulation:
+    def test_run_length_and_adjacency(self, rng):
+        t = graphs.cycle(10)
+        walk = RandomWalk(t)
+        trajectory = walk.run(0, 20, rng)
+        assert len(trajectory) == 21
+        for a, b in zip(trajectory, trajectory[1:]):
+            assert a == b or t.has_edge(a, b)
+
+    def test_endpoint_matches_run_semantics(self, rng):
+        t = graphs.complete(6)
+        walk = RandomWalk(t)
+        endpoint = walk.endpoint(2, 15, rng)
+        assert 0 <= endpoint < 6
+
+    def test_distribution_after_converges_to_stationary(self):
+        t = graphs.complete(8)
+        walk = RandomWalk(t)
+        dist = walk.distribution_after(0, 40)
+        assert np.allclose(dist, stationary_distribution(t), atol=1e-6)
+
+    def test_distribution_is_probability(self):
+        t = graphs.lollipop(4, 3)
+        walk = RandomWalk(t)
+        dist = walk.distribution_after(0, 7)
+        assert dist.sum() == pytest.approx(1.0)
+        assert (dist >= 0).all()
+
+    def test_hit_probability_empty_targets(self):
+        walk = RandomWalk(graphs.cycle(5))
+        assert walk.hit_probability(0, 3, set()) == 0.0
+
+    def test_hit_probability_matches_distribution(self):
+        t = graphs.cycle(7)
+        walk = RandomWalk(t)
+        dist = walk.distribution_after(0, 5)
+        targets = {1, 3}
+        assert walk.hit_probability(0, 5, targets) == pytest.approx(
+            dist[1] + dist[3]
+        )
+
+    def test_follow_choices_deterministic(self, rng):
+        t = graphs.hypercube(3)
+        walk = RandomWalk(t)
+        choices = walk.choices_for_walk(12, rng)
+        a = walk.follow_choices(0, choices)
+        b = walk.follow_choices(0, choices)
+        assert a == b
+
+    def test_follow_choices_lazy_steps_stay(self):
+        t = graphs.cycle(5)
+        walk = RandomWalk(t)
+        choices = [(True, 0.9)] * 6  # all lazy
+        assert walk.follow_choices(3, choices) == 3
+
+    def test_empirical_endpoint_distribution_close_to_exact(self, rng):
+        t = graphs.star(6)
+        walk = RandomWalk(t)
+        steps = 4
+        exact = walk.distribution_after(1, steps)
+        samples = [walk.endpoint(1, steps, rng) for _ in range(4000)]
+        empirical = np.bincount(samples, minlength=6) / 4000
+        assert np.abs(empirical - exact).max() < 0.05

@@ -1,0 +1,66 @@
+"""Tests for repro.network.spanning."""
+
+import pytest
+
+from repro.network import graphs
+from repro.network.metrics import MetricsRecorder
+from repro.network.spanning import bfs_tree, charge_broadcast, charge_convergecast
+
+
+class TestBFSTree:
+    def test_spans_all_nodes(self):
+        t = graphs.torus(4, 4)
+        tree = bfs_tree(t, 0)
+        assert tree.size == 16
+        assert tree.edge_total == 15
+
+    def test_root_has_no_parent(self):
+        tree = bfs_tree(graphs.cycle(6), 2)
+        assert tree.parent[2] == -1
+        assert tree.depth[2] == 0
+
+    def test_depths_are_bfs_distances(self):
+        t = graphs.cycle(8)
+        tree = bfs_tree(t, 0)
+        assert tree.depth[4] == 4
+        assert tree.height == 4
+
+    def test_parents_are_neighbours(self):
+        t = graphs.hypercube(3)
+        tree = bfs_tree(t, 0)
+        for v, p in tree.parent.items():
+            if p >= 0:
+                assert t.has_edge(v, p)
+
+    def test_children_inverse_of_parent(self):
+        tree = bfs_tree(graphs.star(6), 0)
+        children = tree.children()
+        assert sorted(children[0]) == [1, 2, 3, 4, 5]
+
+    def test_path_to_root(self):
+        t = graphs.path(5)
+        tree = bfs_tree(t, 0)
+        assert tree.path_to_root(4) == [4, 3, 2, 1, 0]
+
+    def test_raises_on_disconnected(self):
+        from repro.network.topology import ExplicitTopology
+
+        t = ExplicitTopology(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            bfs_tree(t, 0)
+
+
+class TestCharging:
+    def test_broadcast_costs_edges_and_height(self):
+        tree = bfs_tree(graphs.path(6), 0)
+        metrics = MetricsRecorder()
+        charge_broadcast(tree, metrics, label="bc")
+        assert metrics.messages == 5
+        assert metrics.rounds == 5
+
+    def test_convergecast_same_cost_shape(self):
+        tree = bfs_tree(graphs.star(9), 0)
+        metrics = MetricsRecorder()
+        charge_convergecast(tree, metrics)
+        assert metrics.messages == 8
+        assert metrics.rounds == 1

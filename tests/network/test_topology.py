@@ -1,0 +1,184 @@
+"""Tests for repro.network.topology."""
+
+import pytest
+
+from repro.network.topology import (
+    CompleteBipartiteTopology,
+    CompleteTopology,
+    ExplicitTopology,
+    HypercubeTopology,
+    StarTopology,
+    bfs_distances,
+    diameter,
+    eccentricity,
+    is_connected,
+)
+
+
+class TestExplicitTopology:
+    def test_triangle_basics(self):
+        t = ExplicitTopology(3, [(0, 1), (1, 2), (0, 2)])
+        assert t.n == 3
+        assert t.edge_count() == 3
+        assert all(t.degree(v) == 2 for v in range(3))
+
+    def test_duplicate_edges_collapsed(self):
+        t = ExplicitTopology(3, [(0, 1), (1, 0), (0, 1)])
+        assert t.edge_count() == 1
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            ExplicitTopology(2, [(0, 0)])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(ValueError):
+            ExplicitTopology(2, [(0, 2)])
+
+    def test_ports_and_port_to_roundtrip(self):
+        t = ExplicitTopology(4, [(0, 1), (0, 2), (0, 3)])
+        for port in range(t.degree(0)):
+            neighbour = t.neighbor_at_port(0, port)
+            assert t.port_to(0, neighbour) == port
+
+    def test_port_to_rejects_non_neighbor(self):
+        t = ExplicitTopology(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            t.port_to(0, 2)
+
+    def test_edges_iteration_each_once(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+        t = ExplicitTopology(4, edges)
+        normalized = sorted((min(u, v), max(u, v)) for u, v in edges)
+        assert sorted(t.edges()) == normalized
+
+    def test_from_networkx(self):
+        import networkx as nx
+
+        g = nx.path_graph(5)
+        t = ExplicitTopology.from_networkx(g)
+        assert t.n == 5
+        assert t.edge_count() == 4
+
+    def test_has_edge(self):
+        t = ExplicitTopology(3, [(0, 1)])
+        assert t.has_edge(0, 1) and t.has_edge(1, 0)
+        assert not t.has_edge(0, 2)
+
+
+class TestCompleteTopology:
+    def test_degree_and_edges(self):
+        t = CompleteTopology(10)
+        assert all(t.degree(v) == 9 for v in range(10))
+        assert t.edge_count() == 45
+
+    def test_ports_cover_all_other_nodes(self):
+        t = CompleteTopology(7)
+        for v in range(7):
+            neighbours = {t.neighbor_at_port(v, p) for p in range(6)}
+            assert neighbours == set(range(7)) - {v}
+
+    def test_port_to_is_constant_time_inverse(self):
+        t = CompleteTopology(9)
+        for v in range(9):
+            for u in range(9):
+                if u != v:
+                    assert t.neighbor_at_port(v, t.port_to(v, u)) == u
+
+    def test_no_port_to_self(self):
+        with pytest.raises(ValueError):
+            CompleteTopology(4).port_to(2, 2)
+
+    def test_diameter_one(self):
+        assert diameter(CompleteTopology(6)) == 1
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            CompleteTopology(1)
+
+
+class TestStarTopology:
+    def test_center_and_leaf_degrees(self):
+        t = StarTopology(8)
+        assert t.degree(0) == 7
+        assert all(t.degree(v) == 1 for v in range(1, 8))
+
+    def test_leaf_single_port_to_center(self):
+        t = StarTopology(5)
+        assert t.neighbor_at_port(3, 0) == 0
+        with pytest.raises(ValueError):
+            t.neighbor_at_port(3, 1)
+
+    def test_diameter_two(self):
+        assert diameter(StarTopology(6)) == 2
+
+    def test_edge_count(self):
+        assert StarTopology(9).edge_count() == 8
+
+
+class TestCompleteBipartite:
+    def test_structure(self):
+        t = CompleteBipartiteTopology(3, 4)
+        assert t.n == 7
+        assert t.edge_count() == 12
+        assert t.degree(0) == 4  # left node sees all right nodes
+        assert t.degree(5) == 3
+
+    def test_edges_cross_parts_only(self):
+        t = CompleteBipartiteTopology(3, 3)
+        assert t.has_edge(0, 4)
+        assert not t.has_edge(0, 1)
+        assert not t.has_edge(3, 4)
+
+    def test_diameter_two(self):
+        assert diameter(CompleteBipartiteTopology(3, 5)) == 2
+
+    def test_is_left(self):
+        t = CompleteBipartiteTopology(2, 2)
+        assert t.is_left(1) and not t.is_left(2)
+
+
+class TestHypercube:
+    def test_structure(self):
+        t = HypercubeTopology(4)
+        assert t.n == 16
+        assert all(t.degree(v) == 4 for v in range(16))
+        assert t.edge_count() == 32
+
+    def test_ports_flip_bits(self):
+        t = HypercubeTopology(3)
+        assert t.neighbor_at_port(0b101, 1) == 0b111
+
+    def test_has_edge_hamming_distance_one(self):
+        t = HypercubeTopology(3)
+        assert t.has_edge(0b000, 0b100)
+        assert not t.has_edge(0b000, 0b110)
+        assert not t.has_edge(3, 3)
+
+    def test_of_size(self):
+        assert HypercubeTopology.of_size(32).dimension == 5
+        with pytest.raises(ValueError):
+            HypercubeTopology.of_size(12)
+
+    def test_diameter_equals_dimension(self):
+        assert diameter(HypercubeTopology(3)) == 3
+
+
+class TestGraphMeasurements:
+    def test_bfs_distances_path(self):
+        t = ExplicitTopology(4, [(0, 1), (1, 2), (2, 3)])
+        assert bfs_distances(t, 0) == [0, 1, 2, 3]
+
+    def test_disconnected_marked(self):
+        t = ExplicitTopology(4, [(0, 1), (2, 3)])
+        distances = bfs_distances(t, 0)
+        assert distances[2] == -1 and distances[3] == -1
+        assert not is_connected(t)
+
+    def test_eccentricity_raises_on_disconnected(self):
+        t = ExplicitTopology(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            eccentricity(t, 0)
+
+    def test_diameter_cycle(self):
+        t = ExplicitTopology(6, [(i, (i + 1) % 6) for i in range(6)])
+        assert diameter(t) == 3

@@ -1,0 +1,71 @@
+"""Property-based tests for the rotation algebra (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.amplitude import (
+    attempts_for_confidence,
+    bbht_average_success,
+    grover_angle,
+    grover_success_probability,
+    worst_case_iterations,
+)
+
+fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+positive_fractions = st.floats(
+    min_value=1e-6, max_value=1.0, allow_nan=False, exclude_min=False
+)
+iterations = st.integers(min_value=0, max_value=10_000)
+
+
+class TestGroverLawProperties:
+    @given(fractions, iterations)
+    def test_probability_in_unit_interval(self, eps, j):
+        assert 0.0 <= grover_success_probability(j, eps) <= 1.0 + 1e-12
+
+    @given(fractions)
+    def test_zero_iterations_identity(self, eps):
+        assert grover_success_probability(0, eps) == math.sin(grover_angle(eps)) ** 2
+
+    @given(positive_fractions, iterations)
+    def test_rotation_periodicity(self, eps, j):
+        """The law is periodic in j with period π/θ (up to float error)."""
+        theta = grover_angle(eps)
+        if theta < 1e-4:
+            return  # period too long to test meaningfully
+        period = math.pi / theta
+        j2 = j + round(period)
+        p1 = grover_success_probability(j, eps)
+        p2 = grover_success_probability(j2, eps)
+        # round(period) introduces phase error ≤ |round-period|·2θ
+        drift = abs(round(period) - period) * 2 * theta
+        assert abs(p1 - p2) <= 2 * drift + 1e-6
+
+    @given(st.floats(min_value=1e-6, max_value=0.999))
+    def test_bbht_floor_under_promise(self, eps):
+        """Average success ≥ 1/4 at the worst-case cap, for every ε."""
+        m = worst_case_iterations(eps)
+        assert bbht_average_success(m, eps) >= 0.25 - 1e-9
+
+    @given(
+        st.floats(min_value=1e-6, max_value=1.0),
+        st.integers(min_value=1, max_value=500),
+    )
+    def test_bbht_average_is_true_mean(self, eps, m):
+        direct = sum(grover_success_probability(j, eps) for j in range(m)) / m
+        # Near ε = 1 the closed form divides by sin(2θ) ≈ 0; allow float slack.
+        assert abs(bbht_average_success(m, eps) - direct) < 1e-6
+
+    @given(st.floats(min_value=1e-9, max_value=0.5))
+    def test_attempts_guarantee_alpha(self, alpha):
+        attempts = attempts_for_confidence(alpha)
+        assert (0.75) ** attempts <= alpha * (1 + 1e-9)
+
+    @settings(max_examples=30)
+    @given(st.floats(min_value=1e-6, max_value=1.0))
+    def test_worst_case_iterations_bounds(self, eps):
+        m = worst_case_iterations(eps)
+        assert m >= 1
+        assert m - 1 < 1.0 / math.sqrt(eps) <= m or m == 1

@@ -1,0 +1,68 @@
+"""Property-based tests for candidate sampling and walk machinery."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidates import (
+    CandidateDraw,
+    candidate_probability,
+    draw_candidates,
+    rank_space,
+)
+from repro.quantum.walk_model import walk_attempt_success_probability
+from repro.util.rng import RandomSource
+
+
+class TestCandidateProperties:
+    @given(
+        st.integers(min_value=2, max_value=5000),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=60)
+    def test_draw_invariants(self, n, seed):
+        draw = draw_candidates(n, RandomSource(seed))
+        assert isinstance(draw, CandidateDraw)
+        assert all(0 <= v < n for v in draw.candidates)
+        assert set(draw.ranks) == set(draw.candidates)
+        assert all(1 <= r <= rank_space(n) for r in draw.ranks.values())
+
+    @given(st.integers(min_value=2, max_value=10**6))
+    def test_probability_in_unit_interval(self, n):
+        assert 0.0 < candidate_probability(n) <= 1.0
+
+    @given(st.integers(min_value=1000, max_value=10**6))
+    def test_probability_decreasing_regime(self, n):
+        """Above the clamp, p(n) strictly decreases (12 ln n / n)."""
+        assert candidate_probability(n + 1000) < candidate_probability(n)
+
+    @given(
+        st.integers(min_value=2, max_value=500),
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40)
+    def test_custom_probability_respected_at_extremes(self, n, seed, p):
+        draw = draw_candidates(n, RandomSource(seed), probability=round(p))
+        if round(p) == 0:
+            assert draw.count == 0
+        else:
+            assert draw.count == n
+
+
+class TestWalkModelProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=1e-6, max_value=1.0),
+    )
+    @settings(max_examples=100)
+    def test_probability_valid(self, eps_f, eps):
+        p = walk_attempt_success_probability(eps_f, eps)
+        assert 0.0 <= p <= 1.0 + 1e-9
+
+    @given(st.floats(min_value=1e-6, max_value=0.9))
+    @settings(max_examples=60)
+    def test_monotone_near_zero(self, eps):
+        """More marked measure below the promise never hurts."""
+        low = walk_attempt_success_probability(eps / 100.0, eps)
+        mid = walk_attempt_success_probability(eps / 10.0, eps)
+        assert low <= mid + 1e-9

@@ -1,0 +1,75 @@
+"""Property-based tests for CONGEST accounting and the cost ledger."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.message import congest_capacity_bits, messages_for_bits
+from repro.util.ledger import CostLedger
+
+
+class TestCongestSplitting:
+    @given(
+        st.integers(min_value=0, max_value=10**7),
+        st.integers(min_value=2, max_value=10**6),
+    )
+    @settings(max_examples=100)
+    def test_splitting_is_tight(self, bits, n):
+        """k messages carry enough capacity, k−1 do not."""
+        k = messages_for_bits(bits, n)
+        capacity = congest_capacity_bits(n)
+        assert k * capacity >= bits
+        if k > 0:
+            assert (k - 1) * capacity < bits
+
+    @given(
+        st.integers(min_value=0, max_value=10**5),
+        st.integers(min_value=0, max_value=10**5),
+        st.integers(min_value=2, max_value=10**4),
+    )
+    @settings(max_examples=100)
+    def test_subadditivity(self, bits_a, bits_b, n):
+        """Splitting two payloads separately never beats concatenating."""
+        together = messages_for_bits(bits_a + bits_b, n)
+        apart = messages_for_bits(bits_a, n) + messages_for_bits(bits_b, n)
+        assert together <= apart
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_monotone_in_bits(self, bits):
+        assert messages_for_bits(bits, 64) >= messages_for_bits(bits - 1, 64)
+
+
+class TestLedgerConservation:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]),
+                st.integers(min_value=0, max_value=1000),
+                st.integers(min_value=0, max_value=100),
+            ),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=100)
+    def test_totals_equal_sum_of_entries(self, charges):
+        ledger = CostLedger()
+        for label, messages, rounds in charges:
+            ledger.charge(label, messages=messages, rounds=rounds)
+        assert ledger.total_messages == sum(c[1] for c in charges)
+        assert ledger.total_rounds == sum(c[2] for c in charges)
+        assert sum(ledger.messages_by_label().values()) == ledger.total_messages
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["x.1", "x.2", "y.1"]),
+                st.integers(min_value=0, max_value=100),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50)
+    def test_prefix_grouping_conserves_totals(self, charges):
+        ledger = CostLedger()
+        for label, messages in charges:
+            ledger.charge(label, messages=messages)
+        assert sum(ledger.messages_by_prefix().values()) == ledger.total_messages

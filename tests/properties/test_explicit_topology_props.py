@@ -1,0 +1,68 @@
+"""Property-based tests for ExplicitTopology on random edge sets."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.spanning import bfs_tree
+from repro.network.topology import ExplicitTopology, bfs_distances, is_connected
+
+
+@st.composite
+def random_graph(draw):
+    """A random simple graph, connected by construction via a spanning path."""
+    n = draw(st.integers(min_value=2, max_value=30))
+    base = [(i, i + 1) for i in range(n - 1)]  # spanning path
+    extra_count = draw(st.integers(min_value=0, max_value=3 * n))
+    extras = [
+        (draw(st.integers(min_value=0, max_value=n - 1)),
+         draw(st.integers(min_value=0, max_value=n - 1)))
+        for _ in range(extra_count)
+    ]
+    edges = base + [(u, v) for u, v in extras if u != v]
+    return ExplicitTopology(n, edges)
+
+
+class TestExplicitTopologyProperties:
+    @given(random_graph())
+    @settings(max_examples=50)
+    def test_handshake_lemma(self, topology):
+        assert sum(topology.degree(v) for v in topology.nodes()) == (
+            2 * topology.edge_count()
+        )
+
+    @given(random_graph())
+    @settings(max_examples=50)
+    def test_port_maps_are_bijections(self, topology):
+        for v in topology.nodes():
+            neighbours = [
+                topology.neighbor_at_port(v, p) for p in range(topology.degree(v))
+            ]
+            assert len(set(neighbours)) == len(neighbours)
+            for port, u in enumerate(neighbours):
+                assert topology.port_to(v, u) == port
+
+    @given(random_graph())
+    @settings(max_examples=50)
+    def test_edge_symmetry(self, topology):
+        for u, v in topology.edges():
+            assert topology.has_edge(u, v)
+            assert topology.has_edge(v, u)
+            assert u in set(topology.neighbors(v))
+
+    @given(random_graph())
+    @settings(max_examples=40)
+    def test_connected_and_bfs_tree_spans(self, topology):
+        assert is_connected(topology)
+        tree = bfs_tree(topology, 0)
+        assert tree.size == topology.n
+        distances = bfs_distances(topology, 0)
+        for v in topology.nodes():
+            assert tree.depth[v] == distances[v]
+
+    @given(random_graph(), st.integers(min_value=0, max_value=29))
+    @settings(max_examples=40)
+    def test_triangle_inequality_of_bfs(self, topology, source_raw):
+        source = source_raw % topology.n
+        distances = bfs_distances(topology, source)
+        for u, v in topology.edges():
+            assert abs(distances[u] - distances[v]) <= 1

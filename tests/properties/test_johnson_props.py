@@ -1,0 +1,72 @@
+"""Property-based tests for Johnson graphs."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.johnson import JohnsonGraph
+from repro.util.rng import RandomSource
+
+
+@st.composite
+def johnson_params(draw):
+    n = draw(st.integers(min_value=3, max_value=60))
+    k = draw(st.integers(min_value=1, max_value=n - 1))
+    return n, k
+
+
+class TestJohnsonProperties:
+    @given(johnson_params())
+    @settings(max_examples=60)
+    def test_degree_symmetry(self, params):
+        """J(n,k) ≅ J(n,n−k): same degree and gap."""
+        n, k = params
+        a = JohnsonGraph(n, k)
+        b = JohnsonGraph(n, n - k)
+        assert a.degree == b.degree
+        assert abs(a.spectral_gap() - b.spectral_gap()) < 1e-12
+
+    @given(johnson_params())
+    @settings(max_examples=60)
+    def test_hitting_fraction_bounds_and_monotonicity(self, params):
+        n, k = params
+        j = JohnsonGraph(n, k)
+        previous = 0.0
+        for g in range(n + 1):
+            fraction = j.hitting_fraction(g)
+            assert -1e-12 <= fraction <= 1.0 + 1e-12
+            assert fraction >= previous - 1e-12
+            previous = fraction
+
+    @given(johnson_params())
+    @settings(max_examples=60)
+    def test_single_good_exactly_k_over_n(self, params):
+        n, k = params
+        assert JohnsonGraph(n, k).hitting_fraction(1) == round(k / n, 12) or (
+            abs(JohnsonGraph(n, k).hitting_fraction(1) - k / n) < 1e-9
+        )
+
+    @given(johnson_params(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40)
+    def test_random_walk_step_stays_valid(self, params, seed):
+        n, k = params
+        j = JohnsonGraph(n, k)
+        rng = RandomSource(seed)
+        vertex = j.random_vertex(rng)
+        for _ in range(5):
+            vertex, removed, added = j.random_neighbor(vertex, rng)
+            assert len(vertex) == k
+            assert added in vertex and removed not in vertex
+
+    @given(johnson_params())
+    @settings(max_examples=40)
+    def test_hitting_matches_binomial_identity(self, params):
+        n, k = params
+        j = JohnsonGraph(n, k)
+        for g in range(0, n + 1, max(1, n // 5)):
+            if n - g >= k:
+                expected = 1.0 - math.comb(n - g, k) / math.comb(n, k)
+            else:
+                expected = 1.0
+            assert abs(j.hitting_fraction(g) - expected) < 1e-9

@@ -1,0 +1,73 @@
+"""Property-based tests for the quantum routing model."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import graphs
+from repro.quantum.routing import QuantumRoutingNetwork
+from repro.util.rng import RandomSource
+
+
+def _star_network(leaves: int) -> QuantumRoutingNetwork:
+    network = QuantumRoutingNetwork(graphs.star(leaves + 1), alphabet_size=1)
+    network.allocate_local(0, "ctl", max(leaves, 2))
+    network.build()
+    return network
+
+
+class TestSendProperties:
+    @given(st.integers(min_value=2, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_send_is_involution_on_basis_states(self, leaves):
+        """Send twice returns every register to its pre-send state."""
+        network = _star_network(leaves)
+        network.write_message(0, 1, symbol=1)
+        before = network.state.probabilities().copy()
+        network.send_all()
+        network.send_all()
+        after = network.state.probabilities()
+        assert abs(before - after).max() < 1e-12
+
+    @given(st.integers(min_value=2, max_value=4), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_norm_preserved_through_full_protocol(self, leaves, seed):
+        network = _star_network(leaves)
+        amplitude = 1.0 / math.sqrt(leaves)
+        network.prepare_recipient_superposition(
+            0, "ctl", {leaf: amplitude for leaf in range(1, leaves + 1)}
+        )
+        network.write_message_controlled(0, "ctl", symbol=1)
+        network.send_all()
+        assert abs(network.state.norm() - 1.0) < 1e-9
+        rng = RandomSource(seed)
+        outcomes = [
+            network.measure_reception(leaf, 0, rng)
+            for leaf in range(1, leaves + 1)
+        ]
+        assert sum(1 for o in outcomes if o == 1) == 1
+
+    @given(st.integers(min_value=2, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_superposed_complexity_always_one(self, leaves):
+        """Any recipient superposition still costs exactly one message."""
+        network = _star_network(leaves)
+        # Biased amplitudes: still one message per branch.
+        weights = [2.0 ** (-i) for i in range(leaves)]
+        norm = math.sqrt(sum(w**2 for w in weights))
+        network.prepare_recipient_superposition(
+            0,
+            "ctl",
+            {leaf: weights[leaf - 1] / norm for leaf in range(1, leaves + 1)},
+        )
+        network.write_message_controlled(0, "ctl", symbol=1)
+        assert network.round_message_complexity() == 1
+
+    @given(st.integers(min_value=2, max_value=4))
+    @settings(max_examples=8, deadline=None)
+    def test_classical_broadcast_complexity_is_degree(self, leaves):
+        network = _star_network(leaves)
+        for leaf in range(1, leaves + 1):
+            network.write_message(0, leaf, symbol=1)
+        assert network.round_message_complexity() == leaves

@@ -1,0 +1,67 @@
+"""Property-based tests for the dense state-vector simulator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.gates import state_preparation
+from repro.quantum.statevector import DenseState
+from repro.util.rng import RandomSource
+
+
+@st.composite
+def small_dims(draw):
+    count = draw(st.integers(min_value=1, max_value=4))
+    return [draw(st.integers(min_value=2, max_value=4)) for _ in range(count)]
+
+
+def _random_unitary(dim, seed):
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(matrix)
+    return q * (np.diagonal(r) / np.abs(np.diagonal(r)))
+
+
+class TestUnitarity:
+    @given(small_dims(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60)
+    def test_norm_preserved_by_random_unitaries(self, dims, seed):
+        state = DenseState(dims)
+        for target, dim in enumerate(dims):
+            state.apply(_random_unitary(dim, seed + target), [target])
+        assert abs(state.norm() - 1.0) < 1e-9
+
+    @given(small_dims())
+    @settings(max_examples=40)
+    def test_probabilities_sum_to_one(self, dims):
+        state = DenseState(dims)
+        for target, dim in enumerate(dims):
+            state.apply(_random_unitary(dim, target), [target])
+        assert abs(state.probabilities().sum() - 1.0) < 1e-9
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=60)
+    def test_state_preparation_unitary_for_random_targets(self, dim, seed):
+        rng = np.random.default_rng(seed)
+        vector = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+        vector = vector / np.linalg.norm(vector)
+        gate = state_preparation(vector)
+        assert np.allclose(gate @ gate.conj().T, np.eye(dim), atol=1e-9)
+        assert np.allclose(gate[:, 0], vector, atol=1e-9)
+
+
+class TestMeasurementProperties:
+    @given(small_dims(), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40)
+    def test_measurement_collapses_and_repeats(self, dims, seed):
+        state = DenseState(dims)
+        for target, dim in enumerate(dims):
+            state.apply(_random_unitary(dim, 7 * target + 1), [target])
+        rng = RandomSource(seed)
+        outcome = state.measure(0, rng)
+        again = state.measure(0, rng)
+        assert outcome == again  # projective measurement is repeatable
+        assert abs(state.norm() - 1.0) < 1e-9

@@ -1,0 +1,87 @@
+"""Property-based tests for topology invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import graphs
+from repro.network.topology import (
+    CompleteBipartiteTopology,
+    CompleteTopology,
+    HypercubeTopology,
+    StarTopology,
+    diameter,
+    is_connected,
+)
+
+
+class TestHandshakeLemma:
+    """Σ deg(v) = 2m on every family."""
+
+    @given(st.integers(min_value=2, max_value=60))
+    def test_complete(self, n):
+        t = CompleteTopology(n)
+        assert sum(t.degree(v) for v in t.nodes()) == 2 * t.edge_count()
+
+    @given(st.integers(min_value=2, max_value=60))
+    def test_star(self, n):
+        t = StarTopology(n)
+        assert sum(t.degree(v) for v in t.nodes()) == 2 * t.edge_count()
+
+    @given(st.integers(min_value=1, max_value=12), st.integers(min_value=2, max_value=12))
+    def test_bipartite(self, a, b):
+        t = CompleteBipartiteTopology(a, b)
+        assert sum(t.degree(v) for v in t.nodes()) == 2 * t.edge_count()
+
+    @given(st.integers(min_value=1, max_value=9))
+    def test_hypercube(self, d):
+        t = HypercubeTopology(d)
+        assert sum(t.degree(v) for v in t.nodes()) == 2 * t.edge_count()
+
+
+class TestPortBijection:
+    @given(st.integers(min_value=2, max_value=40))
+    @settings(max_examples=30)
+    def test_complete_ports_bijective(self, n):
+        t = CompleteTopology(n)
+        for v in range(min(n, 5)):
+            seen = {t.neighbor_at_port(v, p) for p in range(t.degree(v))}
+            assert len(seen) == t.degree(v)
+            assert v not in seen
+
+    @given(st.integers(min_value=1, max_value=8))
+    def test_hypercube_ports_bijective(self, d):
+        t = HypercubeTopology(d)
+        for v in (0, t.n - 1):
+            seen = {t.neighbor_at_port(v, p) for p in range(d)}
+            assert len(seen) == d
+
+    @given(st.integers(min_value=3, max_value=50))
+    @settings(max_examples=30)
+    def test_symmetry_of_edges(self, n):
+        """has_edge is symmetric on cycles."""
+        t = graphs.cycle(n)
+        for u, v in t.edges():
+            assert t.has_edge(u, v) and t.has_edge(v, u)
+
+
+class TestDiameterFamilies:
+    @given(st.integers(min_value=5, max_value=40))
+    @settings(max_examples=20)
+    def test_wheel_diameter_two(self, n):
+        assert diameter(graphs.wheel(n)) == 2
+
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=2, max_value=12))
+    @settings(max_examples=20)
+    def test_bipartite_diameter_two(self, a, b):
+        assert diameter(CompleteBipartiteTopology(a, b)) == 2
+
+    @given(st.integers(min_value=3, max_value=40))
+    @settings(max_examples=20)
+    def test_cycle_connected(self, n):
+        assert is_connected(graphs.cycle(n))
+
+    @given(st.integers(min_value=3, max_value=10), st.integers(min_value=3, max_value=10))
+    @settings(max_examples=20)
+    def test_torus_regular_degree_four(self, rows, cols):
+        t = graphs.torus(rows, cols)
+        assert all(t.degree(v) == 4 for v in t.nodes())

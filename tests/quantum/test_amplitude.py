@@ -1,0 +1,133 @@
+"""Tests for repro.quantum.amplitude (rotation algebra)."""
+
+import math
+
+import pytest
+
+from repro.quantum.amplitude import (
+    attempts_for_confidence,
+    bbht_average_success,
+    grover_angle,
+    grover_success_probability,
+    optimal_iterations,
+    worst_case_iterations,
+)
+
+
+class TestGroverAngle:
+    def test_endpoints(self):
+        assert grover_angle(0.0) == 0.0
+        assert grover_angle(1.0) == pytest.approx(math.pi / 2)
+
+    def test_quarter(self):
+        assert grover_angle(0.25) == pytest.approx(math.asin(0.5))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            grover_angle(-0.1)
+        with pytest.raises(ValueError):
+            grover_angle(1.1)
+
+
+class TestSuccessProbability:
+    def test_zero_iterations_equals_marked_fraction(self):
+        """sin²(θ) = ε_f: measuring the uniform state directly."""
+        for eps in (0.0, 0.1, 0.5, 1.0):
+            assert grover_success_probability(0, eps) == pytest.approx(eps)
+
+    def test_quarter_marked_one_iteration_is_certain(self):
+        """The textbook case ε=1/4: one iteration rotates exactly onto marked."""
+        assert grover_success_probability(1, 0.25) == pytest.approx(1.0)
+
+    def test_no_marked_elements_never_succeeds(self):
+        assert all(
+            grover_success_probability(j, 0.0) == 0.0 for j in range(10)
+        )
+
+    def test_overrotation_decreases(self):
+        """Past the optimum, success probability falls (it's a rotation)."""
+        eps = 0.01
+        best = optimal_iterations(eps)
+        assert grover_success_probability(best, eps) > grover_success_probability(
+            3 * best, eps
+        )
+
+    def test_optimal_iterations_near_certainty_small_eps(self):
+        eps = 1e-4
+        best = optimal_iterations(eps)
+        assert grover_success_probability(best, eps) > 0.99
+
+    def test_rejects_negative_iterations(self):
+        with pytest.raises(ValueError):
+            grover_success_probability(-1, 0.5)
+
+
+class TestOptimalIterations:
+    def test_scaling_like_inverse_sqrt(self):
+        assert optimal_iterations(1e-4) == pytest.approx(
+            math.pi / 4 * 100, abs=2
+        )
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            optimal_iterations(0.0)
+
+
+class TestWorstCaseIterations:
+    def test_inverse_sqrt(self):
+        assert worst_case_iterations(0.01) == 10
+        assert worst_case_iterations(1.0) == 1
+
+    def test_rounds_up(self):
+        assert worst_case_iterations(0.5) == 2  # ceil(1.414)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            worst_case_iterations(0.0)
+        with pytest.raises(ValueError):
+            worst_case_iterations(1.5)
+
+
+class TestBBHTAverage:
+    def test_closed_form_matches_direct_average(self):
+        """The closed form must equal the explicit average over j."""
+        eps, m = 0.03, 12
+        direct = sum(
+            grover_success_probability(j, eps) for j in range(m)
+        ) / m
+        assert bbht_average_success(m, eps) == pytest.approx(direct, rel=1e-12)
+
+    def test_at_least_quarter_under_promise(self):
+        """[BBHT98, Lemma 2]: average ≥ 1/4 once m ≥ 1/sin(2θ)."""
+        for eps in (0.001, 0.01, 0.1, 0.3):
+            m = worst_case_iterations(eps)
+            assert bbht_average_success(m, eps) >= 0.25 - 1e-9
+
+    def test_zero_marked_is_zero(self):
+        assert bbht_average_success(5, 0.0) == 0.0
+
+    def test_all_marked_is_one(self):
+        assert bbht_average_success(5, 1.0) == pytest.approx(1.0)
+
+    def test_rejects_zero_cap(self):
+        with pytest.raises(ValueError):
+            bbht_average_success(0, 0.5)
+
+
+class TestAttemptsForConfidence:
+    def test_failure_bound_satisfied(self):
+        alpha = 1e-6
+        attempts = attempts_for_confidence(alpha)
+        assert (1 - 0.25) ** attempts <= alpha
+
+    def test_monotone_in_alpha(self):
+        assert attempts_for_confidence(1e-9) > attempts_for_confidence(1e-3)
+
+    def test_custom_success_floor(self):
+        assert attempts_for_confidence(0.01, per_attempt_success=0.5) == 7
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            attempts_for_confidence(0.0)
+        with pytest.raises(ValueError):
+            attempts_for_confidence(0.5, per_attempt_success=1.0)

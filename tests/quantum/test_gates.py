@@ -1,0 +1,87 @@
+"""Tests for repro.quantum.gates."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.gates import (
+    controlled,
+    hadamard,
+    identity,
+    pauli_x,
+    pauli_z,
+    phase_flip_on,
+    state_preparation,
+    swap_gate,
+)
+
+
+def _is_unitary(matrix: np.ndarray) -> bool:
+    return np.allclose(matrix @ matrix.conj().T, np.eye(matrix.shape[0]), atol=1e-9)
+
+
+class TestBasicGates:
+    def test_all_unitary(self):
+        for gate in (hadamard(), pauli_x(), pauli_z(), swap_gate(3), identity(4)):
+            assert _is_unitary(gate)
+
+    def test_hadamard_squares_to_identity(self):
+        assert np.allclose(hadamard() @ hadamard(), np.eye(2))
+
+    def test_swap_acts_correctly(self):
+        swap = swap_gate(2)
+        # |01> (index 1) -> |10> (index 2)
+        vec = np.zeros(4)
+        vec[1] = 1.0
+        assert np.allclose(swap @ vec, np.eye(4)[2])
+
+    def test_swap_is_involution(self):
+        s = swap_gate(3)
+        assert np.allclose(s @ s, np.eye(9))
+
+
+class TestControlled:
+    def test_block_structure(self):
+        gate = controlled(pauli_x(), control_dimension=3, active=1)
+        assert _is_unitary(gate)
+        # control=0 block is identity, control=1 block is X
+        assert np.allclose(gate[:2, :2], np.eye(2))
+        assert np.allclose(gate[2:4, 2:4], pauli_x())
+        assert np.allclose(gate[4:6, 4:6], np.eye(2))
+
+    def test_rejects_bad_active_value(self):
+        with pytest.raises(ValueError):
+            controlled(pauli_x(), control_dimension=2, active=2)
+
+
+class TestPhaseFlip:
+    def test_flips_listed_states(self):
+        gate = phase_flip_on(4, {1, 3})
+        assert np.allclose(np.diag(gate), [1, -1, 1, -1])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            phase_flip_on(3, {3})
+
+
+class TestStatePreparation:
+    def test_first_column_is_target(self):
+        target = np.array([0.5, 0.5, 0.5, 0.5], dtype=complex)
+        gate = state_preparation(target)
+        assert _is_unitary(gate)
+        assert np.allclose(gate[:, 0], target)
+
+    def test_arbitrary_complex_state(self):
+        target = np.array([0.6, 0.8j], dtype=complex)
+        gate = state_preparation(target)
+        assert _is_unitary(gate)
+        assert np.allclose(gate[:, 0], target)
+
+    def test_prepares_from_zero_state(self):
+        target = np.array([1, 1, 1], dtype=complex) / np.sqrt(3)
+        gate = state_preparation(target)
+        zero = np.eye(3)[0]
+        assert np.allclose(gate @ zero, target)
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError):
+            state_preparation(np.array([1.0, 1.0]))

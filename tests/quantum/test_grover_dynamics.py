@@ -1,0 +1,56 @@
+"""Tests for repro.quantum.grover_dynamics."""
+
+from repro.quantum.amplitude import grover_success_probability, optimal_iterations
+from repro.quantum.grover_dynamics import sample_attempt
+from repro.util.fault import FaultInjector
+from repro.util.rng import RandomSource
+
+
+class TestSampleAttempt:
+    def test_zero_marked_never_measures_marked(self):
+        rng = RandomSource(0)
+        assert not any(
+            sample_attempt(0.0, j, rng).measured_marked for j in range(50)
+        )
+
+    def test_certain_rotation_always_marked(self):
+        """ε = 1/4 with one iteration has success probability exactly 1."""
+        rng = RandomSource(1)
+        assert all(
+            sample_attempt(0.25, 1, rng).measured_marked for _ in range(50)
+        )
+
+    def test_empirical_rate_matches_exact_law(self):
+        rng = RandomSource(2)
+        eps, j = 0.05, 2
+        expected = grover_success_probability(j, eps)
+        trials = 5000
+        hits = sum(sample_attempt(eps, j, rng).measured_marked for _ in range(trials))
+        assert abs(hits / trials - expected) < 0.03
+
+    def test_optimal_iterations_almost_always_succeed(self):
+        rng = RandomSource(3)
+        eps = 0.002
+        j = optimal_iterations(eps)
+        hits = sum(sample_attempt(eps, j, rng).measured_marked for _ in range(200))
+        assert hits > 190
+
+    def test_outcome_records_iterations(self):
+        rng = RandomSource(4)
+        assert sample_attempt(0.5, 7, rng).iterations == 7
+
+    def test_fault_forces_false_negative(self):
+        rng = RandomSource(5)
+        faults = FaultInjector()
+        faults.force_always("grover.false_negative")
+        assert not any(
+            sample_attempt(1.0, 1, rng, faults=faults).measured_marked
+            for _ in range(20)
+        )
+
+    def test_fault_site_is_selective(self):
+        rng = RandomSource(6)
+        faults = FaultInjector()
+        faults.force_always("other.site")
+        # ε=1, j=0: sin²(θ)=1 — always marked when the armed site differs.
+        assert sample_attempt(1.0, 0, rng, faults=faults).measured_marked

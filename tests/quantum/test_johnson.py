@@ -1,0 +1,135 @@
+"""Tests for repro.quantum.johnson."""
+
+import math
+
+import pytest
+
+from repro.quantum.johnson import JohnsonGraph
+from repro.util.rng import RandomSource
+
+
+@pytest.fixture
+def rng():
+    return RandomSource(31)
+
+
+class TestStructure:
+    def test_degree(self):
+        assert JohnsonGraph(10, 3).degree == 21
+
+    def test_vertex_count(self):
+        assert JohnsonGraph(10, 3).vertex_count() == math.comb(10, 3)
+
+    def test_spectral_gap_formula(self):
+        j = JohnsonGraph(20, 5)
+        assert j.spectral_gap() == pytest.approx(20 / (5 * 15))
+
+    def test_spectral_gap_theta_one_over_k(self):
+        """δ ≈ 1/k for k = o(n) — the value Theorem 5.6 uses."""
+        j = JohnsonGraph(1000, 10)
+        assert j.spectral_gap() == pytest.approx(1 / 10, rel=0.02)
+
+    def test_adjacency(self):
+        j = JohnsonGraph(6, 3)
+        assert j.are_adjacent(frozenset({0, 1, 2}), frozenset({0, 1, 3}))
+        assert not j.are_adjacent(frozenset({0, 1, 2}), frozenset({0, 4, 5}))
+        assert not j.are_adjacent(frozenset({0, 1, 2}), frozenset({0, 1, 2}))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            JohnsonGraph(1, 1)
+        with pytest.raises(ValueError):
+            JohnsonGraph(5, 5)
+        with pytest.raises(ValueError):
+            JohnsonGraph(5, 0)
+
+
+class TestSampling:
+    def test_random_vertex_size_and_range(self, rng):
+        j = JohnsonGraph(12, 4)
+        for _ in range(50):
+            vertex = j.random_vertex(rng)
+            assert len(vertex) == 4
+            assert all(0 <= i < 12 for i in vertex)
+
+    def test_random_neighbor_is_adjacent(self, rng):
+        j = JohnsonGraph(9, 3)
+        vertex = j.random_vertex(rng)
+        for _ in range(30):
+            neighbour, removed, added = j.random_neighbor(vertex, rng)
+            assert j.are_adjacent(vertex, neighbour)
+            assert removed in vertex and added not in vertex
+            vertex = neighbour
+
+    def test_validates_vertex_shape(self, rng):
+        j = JohnsonGraph(6, 2)
+        with pytest.raises(ValueError):
+            j.random_neighbor(frozenset({0, 1, 2}), rng)
+        with pytest.raises(ValueError):
+            j.are_adjacent(frozenset({0, 9}), frozenset({0, 1}))
+
+
+class TestHittingFraction:
+    def test_single_good_is_k_over_n(self):
+        """g = 1 gives exactly k/n — Algorithm 3's ε = k/deg(v)."""
+        j = JohnsonGraph(30, 6)
+        assert j.hitting_fraction(1) == pytest.approx(6 / 30)
+
+    def test_zero_good_zero(self):
+        assert JohnsonGraph(10, 3).hitting_fraction(0) == 0.0
+
+    def test_all_good_one(self):
+        assert JohnsonGraph(10, 3).hitting_fraction(10) == pytest.approx(1.0)
+
+    def test_pigeonhole_forces_hit(self):
+        """When n − g < k every subset must intersect the good set."""
+        assert JohnsonGraph(10, 4).hitting_fraction(7) == 1.0
+
+    def test_matches_exact_binomial_formula(self):
+        j = JohnsonGraph(15, 4)
+        for g in range(0, 12):
+            exact = 1.0 - math.comb(15 - g, 4) / math.comb(15, 4)
+            assert j.hitting_fraction(g) == pytest.approx(exact, rel=1e-12)
+
+    def test_monotone_in_good_count(self):
+        j = JohnsonGraph(25, 5)
+        values = [j.hitting_fraction(g) for g in range(26)]
+        assert values == sorted(values)
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            JohnsonGraph(10, 3).hitting_fraction(11)
+
+
+class TestHittingSubsetSampling:
+    def test_samples_intersect_good_set(self, rng):
+        j = JohnsonGraph(20, 4)
+        good = {2, 17}
+        for _ in range(40):
+            subset = j.sample_hitting_subset(good, rng)
+            assert subset & good
+            assert len(subset) == 4
+
+    def test_exact_conditional_fallback(self, rng):
+        """Force the fallback path with zero rejection budget."""
+        j = JohnsonGraph(50, 3)
+        good = {7}
+        for _ in range(30):
+            subset = j.sample_hitting_subset(good, rng, max_rejections=0)
+            assert 7 in subset
+            assert len(subset) == 3
+
+    def test_rejects_empty_good_set(self, rng):
+        with pytest.raises(ValueError):
+            JohnsonGraph(6, 2).sample_hitting_subset(set(), rng)
+
+    def test_conditional_distribution_roughly_uniform(self, rng):
+        """Frequency of a fixed non-good element should match theory."""
+        j = JohnsonGraph(8, 3)
+        good = {0}
+        count_with_1 = sum(
+            1 in j.sample_hitting_subset(good, rng) for _ in range(3000)
+        )
+        # P[1 ∈ W | 0 ∈ W-hitting] = C(6,1)/C(7,2) = 6/21 ≈ 0.2857 (0 forced) —
+        # all hitting subsets contain 0 here, remaining 2 slots among 7.
+        assert abs(count_with_1 / 3000 - 2 / 7) < 0.04

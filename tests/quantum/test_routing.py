@@ -1,0 +1,140 @@
+"""Tests for the quantum routing model (Appendix A)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.network import graphs
+from repro.quantum.routing import VACUUM, QuantumRoutingNetwork
+from repro.util.rng import RandomSource
+
+
+def _star_network(leaves: int = 3, alphabet: int = 1) -> QuantumRoutingNetwork:
+    network = QuantumRoutingNetwork(graphs.star(leaves + 1), alphabet_size=alphabet)
+    network.allocate_local(0, "ctl", max(leaves, 2))
+    network.build()
+    return network
+
+
+class TestConstruction:
+    def test_registers_start_in_vacuum(self):
+        network = _star_network(2)
+        for u, v in network.topology.edges():
+            assert network.state.marginal([network.emission(u, v)])[VACUUM] == (
+                pytest.approx(1.0)
+            )
+
+    def test_cannot_allocate_after_build(self):
+        network = _star_network(2)
+        with pytest.raises(RuntimeError):
+            network.allocate_local(1, "x", 2)
+
+    def test_state_requires_build(self):
+        network = QuantumRoutingNetwork(graphs.star(3))
+        with pytest.raises(RuntimeError):
+            _ = network.state
+
+    def test_rejects_empty_alphabet(self):
+        with pytest.raises(ValueError):
+            QuantumRoutingNetwork(graphs.star(3), alphabet_size=0)
+
+
+class TestClassicalSend:
+    def test_deterministic_message_delivery(self):
+        network = _star_network(3)
+        network.write_message(0, 2, symbol=1)
+        assert network.round_message_complexity() == 1
+        network.send_all()
+        rng = RandomSource(0)
+        assert network.measure_reception(2, 0, rng) == 1
+        # Emission register returned to vacuum after Send.
+        assert network.state.marginal([network.emission(0, 2)])[VACUUM] == (
+            pytest.approx(1.0)
+        )
+
+    def test_no_message_means_vacuum_received(self):
+        network = _star_network(2)
+        network.send_all()
+        rng = RandomSource(0)
+        assert network.measure_reception(1, 0, rng) == VACUUM
+
+    def test_leaf_to_center(self):
+        network = _star_network(2)
+        network.write_message(2, 0, symbol=1)
+        network.send_all()
+        rng = RandomSource(1)
+        assert network.measure_reception(0, 2, rng) == 1
+
+    def test_rejects_bad_symbol(self):
+        network = _star_network(2)
+        with pytest.raises(ValueError):
+            network.write_message(0, 1, symbol=2)  # alphabet has one symbol
+
+
+class TestSuperposedSend:
+    def test_appendix_a2_example(self):
+        """Send |m⟩ to a uniformly superposed recipient: complexity 1, and
+        each leaf receives the message with probability 1/3."""
+        network = _star_network(3)
+        amplitude = 1.0 / math.sqrt(3.0)
+        network.prepare_recipient_superposition(
+            0, "ctl", {1: amplitude, 2: amplitude, 3: amplitude}
+        )
+        network.write_message_controlled(0, "ctl", symbol=1)
+        assert network.round_message_complexity() == 1
+        network.send_all()
+        for leaf in (1, 2, 3):
+            marginal = network.state.marginal([network.reception(leaf, 0)])
+            assert marginal[1] == pytest.approx(1.0 / 3.0)
+
+    def test_biased_superposition(self):
+        network = _star_network(2)
+        network.prepare_recipient_superposition(
+            0, "ctl", {1: math.sqrt(0.9), 2: math.sqrt(0.1)}
+        )
+        network.write_message_controlled(0, "ctl", symbol=1)
+        network.send_all()
+        assert network.state.marginal([network.reception(1, 0)])[1] == (
+            pytest.approx(0.9)
+        )
+        assert network.state.marginal([network.reception(2, 0)])[1] == (
+            pytest.approx(0.1)
+        )
+
+    def test_superposed_send_cheaper_than_broadcast(self):
+        """The non-oblivious model's point: a superposed single send costs 1
+        message where a classical broadcast costs deg(v)."""
+        broadcast = _star_network(3)
+        for leaf in (1, 2, 3):
+            broadcast.write_message(0, leaf, symbol=1)
+        assert broadcast.round_message_complexity() == 3
+
+        superposed = _star_network(3)
+        amplitude = 1.0 / math.sqrt(3.0)
+        superposed.prepare_recipient_superposition(
+            0, "ctl", {1: amplitude, 2: amplitude, 3: amplitude}
+        )
+        superposed.write_message_controlled(0, "ctl", symbol=1)
+        assert superposed.round_message_complexity() == 1
+
+    def test_measurement_collapses_single_recipient(self):
+        network = _star_network(3)
+        amplitude = 1.0 / math.sqrt(3.0)
+        network.prepare_recipient_superposition(
+            0, "ctl", {1: amplitude, 2: amplitude, 3: amplitude}
+        )
+        network.write_message_controlled(0, "ctl", symbol=1)
+        network.send_all()
+        rng = RandomSource(5)
+        outcomes = [network.measure_reception(leaf, 0, rng) for leaf in (1, 2, 3)]
+        assert sum(1 for o in outcomes if o == 1) == 1  # exactly one delivery
+
+    def test_unnormalized_amplitudes_rejected(self):
+        network = _star_network(2)
+        with pytest.raises(ValueError):
+            network.prepare_recipient_superposition(0, "ctl", {1: 1.0, 2: 1.0})
+
+    def test_empty_superposition_zero_complexity(self):
+        network = _star_network(2)
+        assert network.round_message_complexity() == 0

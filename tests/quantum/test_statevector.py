@@ -1,0 +1,127 @@
+"""Tests for the dense state-vector simulator."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.gates import hadamard, pauli_x, swap_gate
+from repro.quantum.statevector import DenseState
+from repro.util.rng import RandomSource
+
+
+class TestConstruction:
+    def test_starts_in_all_zero(self):
+        state = DenseState([2, 3])
+        assert state.amplitude((0, 0)) == pytest.approx(1.0)
+        assert state.norm() == pytest.approx(1.0)
+
+    def test_rejects_empty_and_trivial_dims(self):
+        with pytest.raises(ValueError):
+            DenseState([])
+        with pytest.raises(ValueError):
+            DenseState([2, 1])
+
+    def test_rejects_huge_spaces(self):
+        with pytest.raises(ValueError):
+            DenseState([2] * 30)
+
+    def test_set_basis_state(self):
+        state = DenseState([2, 2, 3])
+        state.set_basis_state((1, 0, 2))
+        assert state.probability_of((1, 0, 2)) == pytest.approx(1.0)
+
+
+class TestEvolution:
+    def test_hadamard_creates_uniform_qubit(self):
+        state = DenseState([2])
+        state.apply(hadamard(), [0])
+        assert state.probability_of((0,)) == pytest.approx(0.5)
+        assert state.probability_of((1,)) == pytest.approx(0.5)
+
+    def test_hadamard_twice_is_identity(self):
+        state = DenseState([2, 2])
+        state.apply(hadamard(), [0])
+        state.apply(hadamard(), [0])
+        assert state.probability_of((0, 0)) == pytest.approx(1.0)
+
+    def test_pauli_x_flips(self):
+        state = DenseState([2, 2])
+        state.apply(pauli_x(), [1])
+        assert state.probability_of((0, 1)) == pytest.approx(1.0)
+
+    def test_two_subsystem_gate_ordering(self):
+        """Apply CNOT-like swap gate across differently-ordered targets."""
+        state = DenseState([2, 2])
+        state.set_basis_state((1, 0))
+        state.apply(swap_gate(2), [0, 1])
+        assert state.probability_of((0, 1)) == pytest.approx(1.0)
+
+    def test_apply_preserves_norm(self):
+        rng = np.random.default_rng(0)
+        state = DenseState([2, 3, 2])
+        state.apply(hadamard(), [0])
+        # random unitary on the qutrit via QR
+        q, _ = np.linalg.qr(rng.normal(size=(3, 3)) + 1j * rng.normal(size=(3, 3)))
+        state.apply(q, [1])
+        assert state.norm() == pytest.approx(1.0)
+
+    def test_apply_validates_shape(self):
+        state = DenseState([2, 3])
+        with pytest.raises(ValueError):
+            state.apply(hadamard(), [1])  # 2x2 gate on a qutrit
+
+    def test_apply_rejects_duplicate_targets(self):
+        state = DenseState([2, 2])
+        with pytest.raises(ValueError):
+            state.apply(swap_gate(2), [0, 0])
+
+    def test_swap_subsystems(self):
+        state = DenseState([2, 2, 2])
+        state.set_basis_state((1, 0, 0))
+        state.swap_subsystems(0, 2)
+        assert state.probability_of((0, 0, 1)) == pytest.approx(1.0)
+
+    def test_swap_rejects_dimension_mismatch(self):
+        state = DenseState([2, 3])
+        with pytest.raises(ValueError):
+            state.swap_subsystems(0, 1)
+
+
+class TestMeasurement:
+    def test_deterministic_measurement(self):
+        state = DenseState([3, 2])
+        state.set_basis_state((2, 1))
+        rng = RandomSource(0)
+        assert state.measure(0, rng) == 2
+        assert state.measure(1, rng) == 1
+
+    def test_measurement_collapses(self):
+        state = DenseState([2, 2])
+        state.apply(hadamard(), [0])
+        rng = RandomSource(1)
+        outcome = state.measure(0, rng)
+        assert state.probability_of((outcome, 0)) == pytest.approx(1.0)
+
+    def test_measurement_statistics(self):
+        rng = RandomSource(2)
+        ones = 0
+        for _ in range(600):
+            state = DenseState([2])
+            state.apply(hadamard(), [0])
+            ones += state.measure(0, rng)
+        assert 240 < ones < 360
+
+    def test_marginal(self):
+        state = DenseState([2, 2])
+        state.apply(hadamard(), [0])
+        marginal = state.marginal([0])
+        assert marginal == pytest.approx([0.5, 0.5])
+
+    def test_entangled_marginal(self):
+        """Bell-like state on (qubit, qubit): marginals are uniform."""
+        state = DenseState([2, 2])
+        state.apply(hadamard(), [0])
+        cnot = np.eye(4)[[0, 1, 3, 2]]
+        state.apply(cnot, [0, 1])
+        assert state.marginal([1]) == pytest.approx([0.5, 0.5])
+        assert state.probability_of((0, 0)) == pytest.approx(0.5)
+        assert state.probability_of((1, 1)) == pytest.approx(0.5)

@@ -1,0 +1,56 @@
+"""Tests for repro.quantum.walk_model (MNRS outcome model)."""
+
+import pytest
+
+from repro.quantum.walk_model import (
+    sample_walk_attempt,
+    walk_attempt_success_probability,
+)
+from repro.util.fault import FaultInjector
+from repro.util.rng import RandomSource
+
+
+class TestSuccessProbability:
+    def test_zero_marked_measure_is_zero(self):
+        assert walk_attempt_success_probability(0.0, 0.01) == 0.0
+
+    def test_promise_met_gives_constant(self):
+        """ε_f ≥ ε ⇒ per-attempt success ≥ 1/4 (the MNRS constant we model)."""
+        for eps in (0.001, 0.01, 0.1):
+            for factor in (1.0, 2.0, 10.0):
+                p = walk_attempt_success_probability(min(1.0, eps * factor), eps)
+                assert p >= 0.25 - 1e-9
+
+    def test_below_promise_degrades_gracefully(self):
+        eps = 0.01
+        p_low = walk_attempt_success_probability(eps / 100, eps)
+        p_met = walk_attempt_success_probability(eps, eps)
+        assert 0 < p_low < p_met
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            walk_attempt_success_probability(1.5, 0.1)
+
+
+class TestSampling:
+    def test_never_succeeds_without_marked_states(self):
+        rng = RandomSource(0)
+        assert not any(sample_walk_attempt(0.0, 0.05, rng) for _ in range(100))
+
+    def test_rate_matches_model(self):
+        rng = RandomSource(1)
+        eps_f, eps = 0.02, 0.02
+        expected = walk_attempt_success_probability(eps_f, eps)
+        trials = 4000
+        hits = sum(sample_walk_attempt(eps_f, eps, rng) for _ in range(trials))
+        assert abs(hits / trials - expected) < 0.03
+
+    def test_fault_injection(self):
+        rng = RandomSource(2)
+        faults = FaultInjector()
+        faults.force("walk.false_negative", times=1)
+        outcomes = [
+            sample_walk_attempt(1.0, 1.0, rng, faults=faults) for _ in range(3)
+        ]
+        assert outcomes[0] is False  # forced
+        assert all(outcomes[1:])  # ε_f = 1 afterwards succeeds surely

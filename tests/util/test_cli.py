@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_elect_defaults(self):
+        args = build_parser().parse_args(["elect"])
+        assert args.topology == "complete"
+        assert args.n == 1024
+
+    def test_elect_rejects_unknown_topology(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["elect", "--topology", "torus"])
+
+
+class TestCommands:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for i in range(1, 13):
+            assert f"E{i} " in out or f"E{i}\t" in out or f"E{i}  " in out
+
+    def test_info_known_experiment(self, capsys):
+        assert main(["info", "E1"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 5.2" in out
+        assert "bench_e01" in out
+
+    def test_info_unknown_experiment(self, capsys):
+        assert main(["info", "E99"]) == 2
+
+    def test_elect_complete_small(self, capsys):
+        code = main(["elect", "--topology", "complete", "--n", "128", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert "quantum" in out and "classical" in out
+        assert code in (0, 1)  # success expected w.h.p., failure tolerated
+
+    def test_agree_small(self, capsys):
+        code = main(["agree", "--n", "256", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert "implicit agreement" in out
+        assert code in (0, 1)
+
+    def test_routing_demo(self, capsys):
+        assert main(["routing-demo", "--leaves", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "message complexity = 1" in out

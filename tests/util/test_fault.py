@@ -1,0 +1,63 @@
+"""Tests for repro.util.fault."""
+
+import pytest
+
+from repro.util.fault import FaultInjector
+
+
+class TestFaultInjector:
+    def test_unarmed_site_never_fails(self):
+        faults = FaultInjector()
+        assert not faults.should_fail("anything")
+
+    def test_forced_failure_consumed_once(self):
+        faults = FaultInjector()
+        faults.force("site", times=1)
+        assert faults.should_fail("site")
+        assert not faults.should_fail("site")
+
+    def test_multiple_forced_failures(self):
+        faults = FaultInjector()
+        faults.force("site", times=3)
+        assert sum(faults.should_fail("site") for _ in range(5)) == 3
+
+    def test_force_always(self):
+        faults = FaultInjector()
+        faults.force_always("site")
+        assert all(faults.should_fail("site") for _ in range(10))
+
+    def test_clear_specific_site(self):
+        faults = FaultInjector()
+        faults.force("a", times=2)
+        faults.force("b", times=2)
+        faults.clear("a")
+        assert not faults.should_fail("a")
+        assert faults.should_fail("b")
+
+    def test_clear_all(self):
+        faults = FaultInjector()
+        faults.force("a")
+        faults.force_always("b")
+        faults.clear()
+        assert not faults.should_fail("a")
+        assert not faults.should_fail("b")
+
+    def test_triggered_counter(self):
+        faults = FaultInjector()
+        faults.force("x", times=2)
+        faults.should_fail("x")
+        faults.should_fail("x")
+        faults.should_fail("x")
+        assert faults.triggered["x"] == 2
+
+    def test_armed_sites_listing(self):
+        faults = FaultInjector()
+        faults.force("a")
+        faults.force_always("b")
+        assert faults.armed_sites == {"a", "b"}
+        faults.should_fail("a")
+        assert faults.armed_sites == {"b"}
+
+    def test_rejects_nonpositive_times(self):
+        with pytest.raises(ValueError):
+            FaultInjector().force("x", times=0)

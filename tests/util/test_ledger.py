@@ -1,0 +1,62 @@
+"""Tests for repro.util.ledger."""
+
+import pytest
+
+from repro.util.ledger import CostLedger, LedgerEntry
+
+
+class TestCostLedger:
+    def test_empty_ledger_totals(self):
+        ledger = CostLedger()
+        assert ledger.total_messages == 0
+        assert ledger.total_rounds == 0
+
+    def test_charges_accumulate(self):
+        ledger = CostLedger()
+        ledger.charge("a", messages=3, rounds=1)
+        ledger.charge("b", messages=4, rounds=2)
+        assert ledger.total_messages == 7
+        assert ledger.total_rounds == 3
+
+    def test_rejects_negative_charges(self):
+        ledger = CostLedger()
+        with pytest.raises(ValueError):
+            ledger.charge("bad", messages=-1)
+        with pytest.raises(ValueError):
+            ledger.charge("bad", rounds=-2)
+
+    def test_messages_by_label_groups(self):
+        ledger = CostLedger()
+        ledger.charge("x", messages=2)
+        ledger.charge("x", messages=3)
+        ledger.charge("y", messages=5)
+        assert ledger.messages_by_label() == {"x": 5, "y": 5}
+
+    def test_messages_by_prefix(self):
+        ledger = CostLedger()
+        ledger.charge("grover.checking", messages=2)
+        ledger.charge("grover.verify", messages=1)
+        ledger.charge("referees", messages=4)
+        assert ledger.messages_by_prefix() == {"grover": 3, "referees": 4}
+
+    def test_merge_preserves_entries(self):
+        a = CostLedger()
+        a.charge("one", messages=1, rounds=1)
+        b = CostLedger()
+        b.charge("two", messages=2, rounds=2)
+        a.merge(b)
+        assert a.total_messages == 3
+        assert a.total_rounds == 3
+        assert len(a.entries) == 2
+
+    def test_entries_are_frozen(self):
+        entry = LedgerEntry(label="x", messages=1, rounds=0)
+        with pytest.raises(AttributeError):
+            entry.messages = 5  # type: ignore[misc]
+
+    def test_summary_mentions_totals_and_labels(self):
+        ledger = CostLedger()
+        ledger.charge("alpha", messages=10, rounds=2)
+        text = ledger.summary()
+        assert "10 messages" in text
+        assert "alpha" in text

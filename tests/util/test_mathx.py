@@ -1,0 +1,100 @@
+"""Tests for repro.util.mathx."""
+
+import math
+
+import pytest
+
+from repro.util.mathx import (
+    binomial,
+    ceil_div,
+    ceil_log2,
+    ceil_sqrt,
+    is_power_of_two,
+    log_ceil,
+    polylog,
+)
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(10, 5) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(11, 5) == 3
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 7) == 0
+
+    def test_rejects_nonpositive_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+
+class TestCeilSqrt:
+    def test_perfect_square(self):
+        assert ceil_sqrt(49) == 7
+
+    def test_rounds_up(self):
+        assert ceil_sqrt(50) == 8
+
+    def test_zero(self):
+        assert ceil_sqrt(0) == 0
+
+    def test_fractional_input(self):
+        assert ceil_sqrt(0.25) == 1  # clamped to >= 1 for positive input
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ceil_sqrt(-1)
+
+
+class TestCeilLog2:
+    @pytest.mark.parametrize("value,expected", [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (1024, 10)])
+    def test_values(self, value, expected):
+        assert ceil_log2(value) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+
+class TestLogCeil:
+    def test_basic(self):
+        assert log_ceil(math.e**3) == 3
+
+    def test_minimum_floor(self):
+        assert log_ceil(1.0) == 1
+        assert log_ceil(2.0, minimum=5) == 5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log_ceil(0.0)
+
+
+class TestPolylog:
+    def test_power_one(self):
+        assert polylog(100) == pytest.approx(math.log(100))
+
+    def test_power_three(self):
+        assert polylog(100, 3) == pytest.approx(math.log(100) ** 3)
+
+    def test_clamps_small_n(self):
+        assert polylog(1) == pytest.approx(math.log(2))
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        assert all(is_power_of_two(1 << k) for k in range(20))
+
+    def test_non_powers(self):
+        assert not any(is_power_of_two(v) for v in [0, 3, 5, 6, 7, 9, 12, -4])
+
+
+class TestBinomial:
+    def test_matches_math_comb(self):
+        assert binomial(10, 4) == math.comb(10, 4)
+
+    def test_out_of_range_is_zero(self):
+        assert binomial(5, 7) == 0
+        assert binomial(5, -1) == 0
+        assert binomial(-2, 1) == 0
