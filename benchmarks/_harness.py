@@ -21,16 +21,39 @@ the classical side of each comparison.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 from repro.analysis.fitting import PowerLawFit
 from repro.analysis.scaling import ScalingSeries
 from repro.analysis.tables import comparison_table, render_table
+from repro.runtime import get_scenario, run_scenario
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: Constant failure budget used across benches (quantum and classical alike).
 LEAN_ALPHA = 1.0 / 8.0
+
+#: Worker processes for scenario sweeps: all cores by default, serial with
+#: ``REPRO_BENCH_JOBS=1``.  Aggregates are identical either way — per-trial
+#: seeds are derived up front by the runtime.
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0")) or None
+
+
+def scenario_sweep(
+    name: str,
+    label: str,
+    sizes: list[int] | None = None,
+    trials: int | None = None,
+    seed: int | None = None,
+    params: dict | None = None,
+    jobs: int | None = BENCH_JOBS,
+) -> ScalingSeries:
+    """Run a catalogue scenario (with bench overrides) and return its series."""
+    scenario = get_scenario(name).with_overrides(
+        sizes=sizes, trials=trials, seed=seed, params=params
+    )
+    return run_scenario(scenario, jobs=jobs).to_series(label)
 
 
 def emit(experiment_id: str, text: str) -> None:

@@ -11,10 +11,8 @@ from __future__ import annotations
 
 import pytest
 
-from _harness import LEAN_ALPHA, emit, series_block
+from _harness import LEAN_ALPHA, emit, scenario_sweep, series_block
 from repro.analysis.experiments import get_experiment
-from repro.analysis.scaling import measure_scaling
-from repro.classical.leader_election.complete_kpp import classical_le_complete
 from repro.core.leader_election.complete import quantum_le_complete
 from repro.util.rng import RandomSource
 
@@ -23,24 +21,17 @@ TRIALS = 3
 EXPERIMENT = get_experiment("E1")
 
 
-def _quantum_runner(n, rng):
-    # Paper-exact failure budget α = 1/n²: early stopping makes the full
-    # w.h.p. schedule affordable (only the top candidate pays it in full).
-    result = quantum_le_complete(n, rng)
-    per_candidate = result.messages / max(1, result.meta["candidates"])
-    return round(per_candidate), result.rounds, result.success, {}
-
-
-def _classical_runner(n, rng):
-    result = classical_le_complete(n, rng)
-    per_candidate = result.messages / max(1, result.meta["candidates"])
-    return round(per_candidate), result.rounds, result.success, {}
-
-
 @pytest.fixture(scope="module")
 def sweep():
-    quantum = measure_scaling("quantum", _quantum_runner, SIZES, TRIALS, seed=10)
-    classical = measure_scaling("classical", _classical_runner, SIZES, TRIALS, seed=11)
+    # Catalogue scenarios: QuantumLE at the paper-exact α = 1/n² (early
+    # stopping makes the w.h.p. schedule affordable) vs the KPP baseline,
+    # both normalized per candidate; trials fan out over all cores.
+    quantum = scenario_sweep(
+        "complete-le/quantum", "quantum", sizes=SIZES, trials=TRIALS, seed=10
+    )
+    classical = scenario_sweep(
+        "complete-le/classical", "classical", sizes=SIZES, trials=TRIALS, seed=11
+    )
     return quantum, classical
 
 

@@ -12,16 +12,13 @@ classical per-candidate flood of deg ≈ n/2 on G(n, 1/2).
 
 from __future__ import annotations
 
-import math
-
 import pytest
 
-from _harness import LEAN_ALPHA, emit, series_block
+from _harness import emit, scenario_sweep, series_block
 from repro.analysis.experiments import get_experiment
-from repro.analysis.scaling import measure_scaling
-from repro.classical.leader_election.diameter2_cpr import classical_le_diameter2
-from repro.core.leader_election.diameter2 import QWLEParameters, quantum_qwle
+from repro.core.leader_election.diameter2 import quantum_qwle
 from repro.network import graphs
+from repro.runtime.registry import lean_qwle_params
 from repro.util.rng import RandomSource
 
 SIZES = [256, 512, 1024, 2048]
@@ -32,41 +29,29 @@ _TOPOLOGIES = {}
 
 
 def _dense_diameter2(n: int):
-    """G(n, 1/2): diameter 2 w.h.p. — the dense regime of the Θ(n) bound."""
+    """G(n, 1/2): diameter 2 w.h.p. — the dense regime of the Θ(n) bound.
+
+    The catalogue scenario draws the same graph (``fixed_seed=1000`` →
+    ``RandomSource(1000 + n)``); this cached copy only feeds the wall-time
+    benchmark below.
+    """
     if n not in _TOPOLOGIES:
         rng = RandomSource(1000 + n)
         _TOPOLOGIES[n] = graphs.erdos_renyi(n, 0.5, rng, ensure_connected=True)
     return _TOPOLOGIES[n]
 
 
-def _lean_params(n: int) -> QWLEParameters:
-    # outer = 8·ln n keeps per-candidate survival ≈ n^{-1.66} with
-    # activation 1/4 (elimination ≈ 0.25·0.75 per iteration).
-    return QWLEParameters(
-        alpha=LEAN_ALPHA,
-        inner_alpha=LEAN_ALPHA,
-        outer_iterations=max(8, math.ceil(8.0 * math.log(n))),
-        activation=0.25,
-    )
-
-
-def _quantum_runner(n, rng):
-    params = _lean_params(n)
-    result = quantum_qwle(_dense_diameter2(n), rng, params)
-    candidates = max(1, result.meta["candidates"])
-    return round(result.messages / candidates), result.rounds, result.success, {}
-
-
-def _classical_runner(n, rng):
-    result = classical_le_diameter2(_dense_diameter2(n), rng)
-    candidates = max(1, result.meta["candidates"])
-    return round(result.messages / candidates), result.rounds, result.success, {}
-
-
 @pytest.fixture(scope="module")
 def sweep():
-    quantum = measure_scaling("quantum", _quantum_runner, SIZES, TRIALS, seed=40)
-    classical = measure_scaling("classical", _classical_runner, SIZES, TRIALS, seed=41)
+    # Catalogue scenarios: QWLE with the lean schedule (α = 1/8, outer =
+    # 8·ln n, activation 1/4) vs the CPR baseline on one shared G(n, 1/2)
+    # per size, both normalized per candidate.
+    quantum = scenario_sweep(
+        "diameter2-le/quantum", "quantum", sizes=SIZES, trials=TRIALS, seed=40
+    )
+    classical = scenario_sweep(
+        "diameter2-le/classical", "classical", sizes=SIZES, trials=TRIALS, seed=41
+    )
     return quantum, classical
 
 
@@ -115,7 +100,7 @@ def test_e04_diameter2_le(benchmark, sweep):
     benchmark.extra_info["classical_exponent"] = c_fit.exponent
     benchmark.pedantic(
         lambda: quantum_qwle(
-            _dense_diameter2(256), RandomSource(0), _lean_params(256)
+            _dense_diameter2(256), RandomSource(0), lean_qwle_params(256, 1 / 8)
         ),
         rounds=3,
         iterations=1,

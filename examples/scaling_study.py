@@ -1,29 +1,18 @@
 """A self-contained scaling study: reproduce Corollary 5.3's exponents.
 
-Sweeps network sizes, measures per-candidate message costs of QuantumLE and
-the classical [KPP+15b] protocol, fits power laws, and prints the paper-style
-comparison table — the same machinery the benchmark harness uses, runnable
-standalone:
+Pulls the E1 scenario pair from the runtime catalogue, fans the trials out
+over worker processes, fits power laws, and prints the paper-style
+comparison table — the same machinery the CLI's ``sweep`` command and the
+benchmark harness use, runnable standalone:
 
     python examples/scaling_study.py [--sizes 1024 4096 16384] [--trials 3]
+                                     [--jobs 4]
 """
 
 import argparse
 
-from repro import RandomSource, classical_le_complete, quantum_le_complete
-from repro.analysis import comparison_table, measure_scaling
-
-
-def quantum_runner(n: int, rng: RandomSource):
-    result = quantum_le_complete(n, rng)
-    per_candidate = result.messages / max(1, result.meta["candidates"])
-    return round(per_candidate), result.rounds, result.success, {}
-
-
-def classical_runner(n: int, rng: RandomSource):
-    result = classical_le_complete(n, rng)
-    per_candidate = result.messages / max(1, result.meta["candidates"])
-    return round(per_candidate), result.rounds, result.success, {}
+from repro import get_scenario, run_scenario
+from repro.analysis import comparison_table
 
 
 def main() -> None:
@@ -33,14 +22,25 @@ def main() -> None:
     )
     parser.add_argument("--trials", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="worker processes (default: all cores)"
+    )
     args = parser.parse_args()
 
-    quantum = measure_scaling(
-        "quantum", quantum_runner, args.sizes, args.trials, seed=args.seed
-    )
-    classical = measure_scaling(
-        "classical", classical_runner, args.sizes, args.trials, seed=args.seed + 1
-    )
+    quantum = run_scenario(
+        get_scenario("complete-le/quantum"),
+        jobs=args.jobs,
+        sizes=args.sizes,
+        trials=args.trials,
+        seed=args.seed,
+    ).to_series("quantum")
+    classical = run_scenario(
+        get_scenario("complete-le/classical"),
+        jobs=args.jobs,
+        sizes=args.sizes,
+        trials=args.trials,
+        seed=args.seed + 1,
+    ).to_series("classical")
 
     print(
         comparison_table(

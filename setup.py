@@ -1,5 +1,42 @@
-"""Legacy shim so `pip install -e .` works on environments without `wheel`."""
+"""Packaging for the PODC 2025 quantum leader-election reproduction."""
 
-from setuptools import setup
+import pathlib
 
-setup()
+from setuptools import find_packages, setup
+
+README = pathlib.Path(__file__).parent / "README.md"
+
+setup(
+    name="repro-quantum-le",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Quantum Communication Advantage for Leader "
+        "Election and Agreement' (Dufoulon, Magniez, Pandurangan; PODC 2025)"
+    ),
+    long_description=README.read_text() if README.exists() else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    url="https://arxiv.org/abs/2502.07416",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.24",
+        "scipy>=1.10",
+        "networkx>=3.0",
+    ],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Intended Audience :: Science/Research",
+        "Topic :: Scientific/Engineering",
+    ],
+)

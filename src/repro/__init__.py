@@ -49,9 +49,21 @@ from repro.core.leader_election import (
 )
 from repro.quantum import exact_star_grover
 from repro.network import MetricsRecorder, Status
+from repro.runtime import (
+    ProtocolRegistry,
+    ProtocolSpec,
+    Scenario,
+    ScenarioRun,
+    TopologySpec,
+    TrialOutcome,
+    TrialSet,
+    default_registry,
+    get_scenario,
+    run_scenario,
+)
 from repro.util import FaultInjector, RandomSource, SharedCoin
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AgreementResult",
@@ -59,10 +71,17 @@ __all__ = [
     "LeaderElectionResult",
     "MSTResult",
     "MetricsRecorder",
+    "ProtocolRegistry",
+    "ProtocolSpec",
     "QWLEParameters",
     "RandomSource",
+    "Scenario",
+    "ScenarioRun",
     "SharedCoin",
     "Status",
+    "TopologySpec",
+    "TrialOutcome",
+    "TrialSet",
     "approx_count",
     "classical_agreement_private",
     "classical_agreement_shared",
@@ -71,8 +90,10 @@ __all__ = [
     "classical_le_general",
     "classical_le_mixing",
     "classical_mst",
+    "default_registry",
     "distributed_grover_search",
     "exact_star_grover",
+    "get_scenario",
     "hirschberg_sinclair_ring",
     "lcr_ring",
     "make_explicit",
@@ -84,5 +105,6 @@ __all__ = [
     "quantum_mst",
     "quantum_qwle",
     "quantum_rwle",
+    "run_scenario",
     "walk_search",
 ]

@@ -1,12 +1,23 @@
-"""Scaling measurements: run a protocol across a size grid with trials."""
+"""Scaling measurements: run a protocol across a size grid with trials.
+
+``measure_scaling`` is the legacy callable-based entry point; it now rides
+on the :mod:`repro.runtime.runner` fan-out machinery, which means it gained
+a ``jobs`` parameter (process-parallel trials) while producing bit-identical
+aggregates — per-trial seeds are derived up front in grid order, and
+:func:`~repro.runtime.runner.aggregate_trials` reproduces the original
+statistics.  New code should prefer declaring a
+:class:`~repro.runtime.scenario.Scenario` and calling
+:func:`~repro.runtime.runner.run_scenario`.
+"""
 
 from __future__ import annotations
 
-import statistics
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.analysis.fitting import PowerLawFit, fit_power_law
+from repro.runtime.registry import TrialOutcome
+from repro.runtime.runner import aggregate_trials, fan_out
 from repro.util.rng import RandomSource
 
 __all__ = ["ScalingPoint", "ScalingSeries", "measure_scaling"]
@@ -53,48 +64,42 @@ class ScalingSeries:
 TrialRunner = Callable[[int, RandomSource], tuple[int, int, bool, dict]]
 
 
+def _runner_trial(task) -> TrialOutcome:
+    """One (runner, n, rng) task — module-level so process pools can run it."""
+    runner, n, rng = task
+    messages, rounds, success, extra = runner(n, rng)
+    return TrialOutcome(
+        messages=float(messages),
+        rounds=float(rounds),
+        success=bool(success),
+        extra=extra,
+    )
+
+
 def measure_scaling(
     label: str,
     runner: TrialRunner,
     sizes: list[int],
     trials: int,
     seed: int = 0,
+    jobs: int | None = 1,
 ) -> ScalingSeries:
     """Run ``runner`` ``trials`` times at every size; aggregate statistics.
 
     Every (size, trial) pair gets an independent child RNG derived from
     ``seed``, so quantum and classical series measured with the same seed
-    share nothing but are individually reproducible.
+    share nothing but are individually reproducible.  ``jobs`` fans trials
+    out over a process pool (``None`` = all cores); seeds are pre-derived in
+    grid order, so aggregates do not depend on ``jobs`` — but the runner
+    must then be a picklable (module-level) callable.
     """
     if trials < 1:
         raise ValueError(f"need >= 1 trial, got {trials}")
     root = RandomSource(seed)
+    tasks = [(runner, n, root.spawn()) for n in sizes for _ in range(trials)]
+    outcomes = fan_out(_runner_trial, tasks, jobs)
     points = []
-    for n in sizes:
-        messages: list[float] = []
-        rounds: list[float] = []
-        successes = 0
-        extras: list[dict] = []
-        for _ in range(trials):
-            msg, rnd, ok, extra = runner(n, root.spawn())
-            messages.append(float(msg))
-            rounds.append(float(rnd))
-            successes += bool(ok)
-            extras.append(extra)
-        merged_extra: dict = {}
-        for key in extras[0] if extras else ():
-            numeric = [e[key] for e in extras if isinstance(e.get(key), (int, float))]
-            if len(numeric) == len(extras):
-                merged_extra[key] = statistics.fmean(numeric)
-        points.append(
-            ScalingPoint(
-                n=n,
-                messages_mean=statistics.fmean(messages),
-                messages_std=statistics.pstdev(messages) if len(messages) > 1 else 0.0,
-                rounds_mean=statistics.fmean(rounds),
-                success_rate=successes / trials,
-                trials=trials,
-                extra=merged_extra,
-            )
-        )
+    for index, n in enumerate(sizes):
+        chunk = outcomes[index * trials : (index + 1) * trials]
+        points.append(aggregate_trials(n, chunk).as_scaling_point())
     return ScalingSeries(label=label, points=points)

@@ -118,9 +118,12 @@ def classical_le_complete(
     statuses = {v: nodes[v].status for v in range(n)}
     # Candidates that never heard anything higher may tie only on rank
     # collisions (probability ≤ 1/n² — Fact C.2).
+    meta = {"candidates": candidates, "referees": referees}
+    if engine.undelivered():
+        meta["undelivered"] = engine.undelivered()
     return LeaderElectionResult(
         n=n,
         statuses=statuses,
         metrics=metrics,
-        meta={"candidates": candidates, "referees": referees},
+        meta=meta,
     )

@@ -100,9 +100,12 @@ def classical_le_diameter2(
     engine.run(max_rounds=4)
 
     statuses = {v: nodes[v].status for v in range(n)}
+    meta = {"candidates": candidates}
+    if engine.undelivered():
+        meta["undelivered"] = engine.undelivered()
     return LeaderElectionResult(
         n=n,
         statuses=statuses,
         metrics=metrics,
-        meta={"candidates": candidates},
+        meta=meta,
     )

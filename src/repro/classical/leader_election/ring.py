@@ -109,9 +109,11 @@ def lcr_ring(n: int, rng: RandomSource) -> LeaderElectionResult:
     for v in range(n):  # anyone still undecided (duplicate-id pathology)
         if statuses[v] is Status.UNDECIDED:
             statuses[v] = Status.NON_ELECTED
+    meta = {"unique_ids": len(set(ids)) == n}
+    if engine.undelivered():
+        meta["undelivered"] = engine.undelivered()
     return LeaderElectionResult(
-        n=n, statuses=statuses, metrics=metrics,
-        meta={"unique_ids": len(set(ids)) == n},
+        n=n, statuses=statuses, metrics=metrics, meta=meta,
     )
 
 
@@ -218,7 +220,9 @@ def hirschberg_sinclair_ring(n: int, rng: RandomSource) -> LeaderElectionResult:
     for v in range(n):
         if statuses[v] is Status.UNDECIDED:
             statuses[v] = Status.NON_ELECTED
+    meta = {"unique_ids": len(set(ids)) == n}
+    if engine.undelivered():
+        meta["undelivered"] = engine.undelivered()
     return LeaderElectionResult(
-        n=n, statuses=statuses, metrics=metrics,
-        meta={"unique_ids": len(set(ids)) == n},
+        n=n, statuses=statuses, metrics=metrics, meta=meta,
     )

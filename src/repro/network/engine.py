@@ -40,10 +40,13 @@ class SynchronousEngine:
         self.metrics = metrics
         self.label = label
         self.rounds_executed = 0
+        self._in_flight = 0
 
     def run(self, max_rounds: int) -> int:
         """Run until all nodes halt or ``max_rounds`` elapse; returns rounds used."""
         n = self.topology.n
+        self._in_flight = 0
+        dropped = 0
         inboxes: list[list[tuple[int, Message]]] = [[] for _ in range(n)]
         for _ in range(max_rounds):
             if all(node.halted for node in self.nodes):
@@ -53,6 +56,7 @@ class SynchronousEngine:
             messages_this_round = 0
             for v, node in enumerate(self.nodes):
                 if node.halted:
+                    dropped += len(inboxes[v])
                     continue
                 outbox = node.step(round_index, inboxes[v])
                 used_ports: set[int] = set()
@@ -72,8 +76,14 @@ class SynchronousEngine:
             self.metrics.charge(self.label, messages=messages_this_round, rounds=1)
             inboxes = next_inboxes
             self.rounds_executed += 1
+        self._in_flight = dropped + sum(len(inbox) for inbox in inboxes)
         return self.rounds_executed
 
     def undelivered(self) -> int:
-        """Messages still in flight (non-zero only if halted mid-protocol)."""
-        return 0  # delivery is immediate; kept for interface symmetry
+        """Messages never consumed when :meth:`run` last returned.
+
+        Non-zero only when the engine halted mid-protocol: the round budget
+        ran out with sends pending, or messages were addressed to nodes
+        that had already halted and so never read them.
+        """
+        return self._in_flight

@@ -1,0 +1,195 @@
+"""Trial runner: fan trials out over processes, aggregate into TrialSets.
+
+Trials of a scenario are embarrassingly parallel: every (size, trial) pair
+gets its own pre-derived :class:`RandomSource` child, so results are
+bit-identical whether they run serially or across a
+:class:`~concurrent.futures.ProcessPoolExecutor` — the parent derives all
+seeds up front in grid order and aggregation consumes results in that same
+order.  ``jobs=None`` uses every core.
+
+The aggregation (:func:`aggregate_trials`) reproduces the legacy
+``measure_scaling`` statistics exactly (same means, same population std,
+same numeric-extra merging) and adds order statistics (median, p90, max).
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import statistics
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.runtime.registry import TrialOutcome
+from repro.runtime.scenario import Scenario
+from repro.util.rng import RandomSource
+
+__all__ = [
+    "ScenarioRun",
+    "TrialSet",
+    "aggregate_trials",
+    "fan_out",
+    "resolve_jobs",
+    "run_scenario",
+]
+
+
+@dataclass(frozen=True)
+class TrialSet:
+    """Aggregate statistics over every trial of a scenario at one size."""
+
+    n: int
+    trials: int
+    success_rate: float
+    messages_mean: float
+    messages_std: float
+    messages_p50: float
+    messages_p90: float
+    messages_max: float
+    rounds_mean: float
+    extra: dict = field(default_factory=dict)
+
+    def as_scaling_point(self):
+        """The legacy :class:`~repro.analysis.scaling.ScalingPoint` view."""
+        from repro.analysis.scaling import ScalingPoint
+
+        return ScalingPoint(
+            n=self.n,
+            messages_mean=self.messages_mean,
+            messages_std=self.messages_std,
+            rounds_mean=self.rounds_mean,
+            success_rate=self.success_rate,
+            trials=self.trials,
+            extra=dict(self.extra),
+        )
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    rank = math.ceil(q * len(sorted_values))
+    return sorted_values[max(0, min(len(sorted_values) - 1, rank - 1))]
+
+
+def aggregate_trials(n: int, outcomes: list[TrialOutcome]) -> TrialSet:
+    """Fold per-trial outcomes at one size into a :class:`TrialSet`."""
+    if not outcomes:
+        raise ValueError(f"no trial outcomes to aggregate at n={n}")
+    messages = [float(o.messages) for o in outcomes]
+    rounds = [float(o.rounds) for o in outcomes]
+    successes = sum(bool(o.success) for o in outcomes)
+    extras = [o.extra for o in outcomes]
+    merged_extra: dict = {}
+    for key in extras[0] if extras else ():
+        numeric = [e[key] for e in extras if isinstance(e.get(key), (int, float))]
+        if len(numeric) == len(extras):
+            merged_extra[key] = statistics.fmean(numeric)
+    ordered = sorted(messages)
+    return TrialSet(
+        n=n,
+        trials=len(outcomes),
+        success_rate=successes / len(outcomes),
+        messages_mean=statistics.fmean(messages),
+        messages_std=statistics.pstdev(messages) if len(messages) > 1 else 0.0,
+        messages_p50=_percentile(ordered, 0.5),
+        messages_p90=_percentile(ordered, 0.9),
+        messages_max=ordered[-1],
+        rounds_mean=statistics.fmean(rounds),
+        extra=merged_extra,
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioRun:
+    """One scenario's aggregated measurements over its whole size grid."""
+
+    scenario: Scenario
+    trial_sets: tuple[TrialSet, ...]
+
+    @property
+    def sizes(self) -> list[int]:
+        return [ts.n for ts in self.trial_sets]
+
+    @property
+    def messages(self) -> list[float]:
+        return [ts.messages_mean for ts in self.trial_sets]
+
+    def overall_success_rate(self) -> float:
+        total = sum(ts.trials for ts in self.trial_sets)
+        good = sum(ts.success_rate * ts.trials for ts in self.trial_sets)
+        return good / total if total else 0.0
+
+    def to_series(self, label: str | None = None):
+        """Feed the unchanged fitting pipeline (ScalingSeries/PowerLawFit)."""
+        from repro.analysis.scaling import ScalingSeries
+
+        return ScalingSeries(
+            label=label if label is not None else self.scenario.name,
+            points=[ts.as_scaling_point() for ts in self.trial_sets],
+        )
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """None → all cores; explicit values must be >= 1."""
+    if jobs is None:
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def fan_out(fn, tasks: list, jobs: int | None = 1) -> list:
+    """Map ``fn`` over ``tasks``, preserving order, optionally in processes.
+
+    ``fn`` and every task must be picklable (module-level functions and
+    frozen dataclasses are).  With ``jobs=1`` (or a single task) everything
+    runs in-process — same results, by construction.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    jobs = min(resolve_jobs(jobs), len(tasks))
+    if jobs <= 1:
+        return [fn(task) for task in tasks]
+    # Prefer fork on Linux (fast, inherits sys.path); elsewhere the platform
+    # default — forking is unsafe on macOS once numpy/Accelerate is loaded.
+    context = (
+        multiprocessing.get_context("fork") if sys.platform == "linux" else None
+    )
+    chunksize = max(1, len(tasks) // (jobs * 4))
+    with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+        return list(pool.map(fn, tasks, chunksize=chunksize))
+
+
+def _scenario_trial(task) -> TrialOutcome:
+    scenario, n, rng = task
+    return scenario.run_trial(n, rng)
+
+
+def run_scenario(
+    scenario: Scenario,
+    jobs: int | None = 1,
+    sizes: list[int] | None = None,
+    trials: int | None = None,
+    seed: int | None = None,
+) -> ScenarioRun:
+    """Run every (size, trial) point of ``scenario`` and aggregate.
+
+    Seeds for all trials are derived up front, in grid order, from the
+    scenario seed — so the aggregates are identical for any ``jobs``.
+    """
+    if sizes is not None or trials is not None or seed is not None:
+        scenario = scenario.with_overrides(sizes=sizes, trials=trials, seed=seed)
+    root = RandomSource(scenario.seed)
+    tasks = [
+        (scenario, n, root.spawn())
+        for n in scenario.sizes
+        for _ in range(scenario.trials)
+    ]
+    outcomes = fan_out(_scenario_trial, tasks, jobs)
+    trial_sets = []
+    for index, n in enumerate(scenario.sizes):
+        chunk = outcomes[index * scenario.trials : (index + 1) * scenario.trials]
+        trial_sets.append(aggregate_trials(n, chunk))
+    return ScenarioRun(scenario=scenario, trial_sets=tuple(trial_sets))

@@ -160,3 +160,52 @@ class TestEngine:
         SynchronousEngine(t, nodes, metrics).run(max_rounds=5)
         assert all(nodes[v].got_pong for v in range(1, 4))
         assert metrics.messages == 6  # 3 pings + 3 pongs
+
+
+class TestUndelivered:
+    def test_zero_when_protocol_drains(self):
+        t = graphs.cycle(4)
+        rng = RandomSource(0)
+        metrics = MetricsRecorder()
+        nodes = [Node(v, 2, rng.spawn()) for v in range(4)]  # silent nodes
+        engine = SynchronousEngine(t, nodes, metrics)
+        engine.run(max_rounds=3)
+        assert engine.undelivered() == 0
+
+    def test_counts_messages_cut_off_by_round_budget(self):
+        t = graphs.cycle(4)
+
+        class Chatter(Node):
+            def step(self, round_index, inbox):
+                return [(0, Message("token"))]
+
+        rng = RandomSource(0)
+        metrics = MetricsRecorder()
+        nodes = [Chatter(v, 2, rng.spawn()) for v in range(4)]
+        engine = SynchronousEngine(t, nodes, metrics)
+        engine.run(max_rounds=2)
+        # Every node sent in the last executed round; none were consumed.
+        assert engine.undelivered() == 4
+
+    def test_counts_messages_to_halted_receivers(self):
+        t = graphs.path(2)
+
+        class Sender(Node):
+            def step(self, round_index, inbox):
+                if round_index == 0:
+                    return [(0, Message("late"))]
+                self.halt()
+                return []
+
+        class EarlyHalter(Node):
+            def step(self, round_index, inbox):
+                self.halt()
+                return []
+
+        rng = RandomSource(0)
+        metrics = MetricsRecorder()
+        nodes = [Sender(0, 1, rng.spawn()), EarlyHalter(1, 1, rng.spawn())]
+        engine = SynchronousEngine(t, nodes, metrics)
+        engine.run(max_rounds=5)
+        # node 1 halted in round 0; node 0's round-0 message was never read.
+        assert engine.undelivered() == 1

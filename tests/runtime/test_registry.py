@@ -1,0 +1,108 @@
+"""Tests for the protocol registry."""
+
+import pytest
+
+from repro.network.topology import CompleteTopology, StarTopology
+from repro.runtime.registry import (
+    ProtocolRegistry,
+    ProtocolSpec,
+    TrialOutcome,
+    default_registry,
+)
+from repro.util.rng import RandomSource
+
+EXPECTED_PROTOCOLS = [
+    "le-complete/quantum",
+    "le-complete/classical",
+    "le-mixing/quantum",
+    "le-mixing/classical",
+    "le-diameter2/quantum",
+    "le-diameter2/classical",
+    "le-general/quantum",
+    "le-general/classical",
+    "le-ring/lcr",
+    "le-ring/hs",
+    "agreement/quantum",
+    "agreement/classical-shared",
+    "agreement/classical-private",
+    "mst/quantum",
+    "mst/classical",
+    "search-star/quantum",
+    "search-star/classical",
+    "count-star/quantum",
+    "count-star/classical",
+]
+
+
+class TestDefaultRegistry:
+    def test_builtins_registered(self):
+        registry = default_registry()
+        for name in EXPECTED_PROTOCOLS:
+            assert name in registry
+
+    def test_is_singleton(self):
+        assert default_registry() is default_registry()
+
+    def test_unknown_name_raises_with_catalogue(self):
+        with pytest.raises(KeyError, match="unknown protocol"):
+            default_registry().get("le-mobius/quantum")
+
+    def test_select_by_side_and_family(self):
+        registry = default_registry()
+        quantum_le = registry.select(side="quantum", family="leader-election")
+        assert {spec.name for spec in quantum_le} >= {
+            "le-complete/quantum",
+            "le-diameter2/quantum",
+        }
+        assert all(spec.side == "quantum" for spec in quantum_le)
+        assert len(registry.select()) == len(registry)
+
+    def test_every_spec_documented(self):
+        for spec in default_registry():
+            assert spec.description, f"{spec.name} has no description"
+            assert spec.topologies, f"{spec.name} names no topology families"
+
+
+class TestProtocolRegistry:
+    def test_duplicate_registration_rejected(self):
+        registry = ProtocolRegistry()
+        spec = ProtocolSpec(
+            name="x", side="quantum", family="f", topologies=("complete",),
+            builder=lambda topology, rng: TrialOutcome(1, 1, True),
+        )
+        registry.register(spec)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(spec)
+
+    def test_bad_side_rejected(self):
+        registry = ProtocolRegistry()
+        with pytest.raises(ValueError, match="side"):
+            registry.register(
+                ProtocolSpec(
+                    name="x", side="spooky", family="f", topologies=("complete",),
+                    builder=lambda topology, rng: TrialOutcome(1, 1, True),
+                )
+            )
+
+
+class TestSpecRun:
+    def test_complete_le_runs_and_elects(self):
+        outcome = default_registry().get("le-complete/quantum").run(
+            CompleteTopology(64), RandomSource(7)
+        )
+        assert outcome.success
+        assert outcome.messages > 0
+        assert outcome.extra["candidates"] >= 1
+        assert outcome.detail["leader"] is not None
+
+    def test_defaults_merge_with_overrides(self):
+        spec = default_registry().get("search-star/quantum")
+        assert dict(spec.defaults)["alpha"] == 0.01
+        outcome = spec.run(StarTopology(64), RandomSource(3), alpha=0.2)
+        assert outcome.messages > 0
+
+    def test_agreement_detail_carries_value(self):
+        outcome = default_registry().get("agreement/classical-private").run(
+            CompleteTopology(64), RandomSource(5)
+        )
+        assert outcome.detail["value"] in (0, 1, None)

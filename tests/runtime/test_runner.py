@@ -1,0 +1,172 @@
+"""Tests for the parallel trial runner — above all, determinism.
+
+The contract: a scenario seed fully determines the aggregates, regardless
+of whether trials run serially (``jobs=1``) or across a process pool
+(``jobs=4``), and the runtime reproduces the pre-refactor
+``measure_scaling`` numbers bit-for-bit on the E1/E7 smoke grids.
+"""
+
+import statistics
+
+import pytest
+
+from repro.analysis.scaling import measure_scaling
+from repro.core.grover import distributed_grover_search
+from repro.core.leader_election.complete import quantum_le_complete
+from repro.core.procedures import SetOracle, uniform_charge
+from repro.network.metrics import MetricsRecorder
+from repro.runtime import (
+    TrialOutcome,
+    aggregate_trials,
+    fan_out,
+    get_scenario,
+    resolve_jobs,
+    run_scenario,
+)
+from repro.util.rng import RandomSource
+
+SMOKE_SIZES = (32, 64)
+SMOKE_TRIALS = 4
+
+
+# -- module-level runners (picklable, and exactly the pre-refactor shape) ----
+
+
+def _legacy_e1_runner(n, rng):
+    """The pre-refactor bench_e01 quantum runner, verbatim."""
+    result = quantum_le_complete(n, rng)
+    per_candidate = result.messages / max(1, result.meta["candidates"])
+    return round(per_candidate), result.rounds, result.success, {}
+
+
+def _legacy_e7_runner(n, rng):
+    """The pre-refactor bench_e07 star-search trial, verbatim."""
+    oracle = SetOracle(
+        domain=range(n),
+        marked={0},
+        charge_checking=uniform_charge(2, 2, "star.checking"),
+    )
+    metrics = MetricsRecorder()
+    result = distributed_grover_search(oracle, 1.0 / n, 0.01, metrics, rng)
+    return metrics.messages, metrics.rounds, result.succeeded, {}
+
+
+def _double(task):
+    return task * 2
+
+
+class TestFanOut:
+    def test_preserves_order(self):
+        assert fan_out(_double, list(range(20)), jobs=4) == [
+            2 * i for i in range(20)
+        ]
+
+    def test_empty_tasks(self):
+        assert fan_out(_double, [], jobs=4) == []
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            resolve_jobs(0)
+
+    def test_none_means_all_cores(self):
+        assert resolve_jobs(None) >= 1
+
+
+class TestAggregation:
+    def test_matches_hand_computation(self):
+        outcomes = [
+            TrialOutcome(messages=m, rounds=2, success=m < 30, extra={"k": m})
+            for m in (10.0, 20.0, 30.0, 40.0)
+        ]
+        trial_set = aggregate_trials(8, outcomes)
+        assert trial_set.messages_mean == statistics.fmean([10, 20, 30, 40])
+        assert trial_set.messages_std == statistics.pstdev([10, 20, 30, 40])
+        assert trial_set.messages_p50 == 20.0
+        assert trial_set.messages_p90 == 40.0
+        assert trial_set.messages_max == 40.0
+        assert trial_set.success_rate == 0.5
+        assert trial_set.extra == {"k": 25.0}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            aggregate_trials(8, [])
+
+
+class TestParallelSerialIdentity:
+    """jobs=1 and jobs=4 must produce *identical* aggregates."""
+
+    @pytest.mark.parametrize(
+        "scenario_name",
+        ["complete-le/quantum", "star-search/quantum", "agreement/classical"],
+    )
+    def test_scenario_aggregates_identical(self, scenario_name):
+        scenario = get_scenario(scenario_name).with_overrides(
+            sizes=SMOKE_SIZES, trials=SMOKE_TRIALS
+        )
+        serial = run_scenario(scenario, jobs=1)
+        parallel = run_scenario(scenario, jobs=4)
+        assert serial.trial_sets == parallel.trial_sets
+
+    def test_measure_scaling_jobs_identical(self):
+        serial = measure_scaling(
+            "q", _legacy_e1_runner, list(SMOKE_SIZES), SMOKE_TRIALS, seed=10, jobs=1
+        )
+        parallel = measure_scaling(
+            "q", _legacy_e1_runner, list(SMOKE_SIZES), SMOKE_TRIALS, seed=10, jobs=4
+        )
+        assert serial.points == parallel.points
+
+
+class TestPreRefactorEquivalence:
+    """The runtime reproduces legacy measure_scaling output bit-for-bit."""
+
+    def _assert_series_equal(self, legacy, run):
+        for legacy_point, trial_set in zip(legacy.points, run.trial_sets):
+            assert legacy_point.n == trial_set.n
+            assert legacy_point.messages_mean == trial_set.messages_mean
+            assert legacy_point.messages_std == trial_set.messages_std
+            assert legacy_point.rounds_mean == trial_set.rounds_mean
+            assert legacy_point.success_rate == trial_set.success_rate
+
+    def test_e1_smoke_identical(self):
+        legacy = measure_scaling(
+            "quantum", _legacy_e1_runner, list(SMOKE_SIZES), SMOKE_TRIALS, seed=10
+        )
+        scenario = get_scenario("complete-le/quantum").with_overrides(
+            sizes=SMOKE_SIZES, trials=SMOKE_TRIALS, seed=10
+        )
+        self._assert_series_equal(legacy, run_scenario(scenario, jobs=4))
+
+    def test_e7_smoke_identical(self):
+        legacy = measure_scaling(
+            "quantum", _legacy_e7_runner, list(SMOKE_SIZES), SMOKE_TRIALS, seed=70
+        )
+        scenario = get_scenario("star-search/quantum").with_overrides(
+            sizes=SMOKE_SIZES, trials=SMOKE_TRIALS, seed=70
+        )
+        self._assert_series_equal(legacy, run_scenario(scenario, jobs=4))
+
+    def test_to_series_feeds_fitting_unchanged(self):
+        scenario = get_scenario("star-search/classical").with_overrides(
+            sizes=(32, 64, 128), trials=1
+        )
+        series = run_scenario(scenario, jobs=1).to_series("classical")
+        # deterministic 2(n-1) flood → exactly linear fit
+        assert series.fit().exponent == pytest.approx(1.0, abs=0.02)
+
+
+class TestRunScenario:
+    def test_grid_and_trial_counts(self):
+        scenario = get_scenario("ring-le/hs").with_overrides(
+            sizes=(16, 32), trials=2
+        )
+        run = run_scenario(scenario, jobs=2)
+        assert run.sizes == [16, 32]
+        assert all(ts.trials == 2 for ts in run.trial_sets)
+        assert run.overall_success_rate() == 1.0
+
+    def test_inline_overrides(self):
+        scenario = get_scenario("ring-le/lcr")
+        run = run_scenario(scenario, jobs=1, sizes=[12], trials=1, seed=3)
+        assert run.sizes == [12]
+        assert run.scenario.seed == 3

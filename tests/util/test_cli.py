@@ -56,3 +56,86 @@ class TestCommands:
         assert main(["routing-demo", "--leaves", "3"]) == 0
         out = capsys.readouterr().out
         assert "message complexity = 1" in out
+
+
+class TestSweepParser:
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "--experiment", "E1"])
+        assert args.experiment == "E1"
+        assert args.scenario is None
+        assert args.jobs is None  # all cores
+
+    def test_scenarios_parses(self):
+        args = build_parser().parse_args(["scenarios"])
+        assert args.command == "scenarios"
+
+
+class TestSweepCommand:
+    def test_requires_exactly_one_target(self, capsys):
+        assert main(["sweep"]) == 2
+        assert main(["sweep", "--experiment", "E1", "--scenario", "ring-le/hs"]) == 2
+
+    def test_experiment_smoke(self, capsys):
+        code = main(
+            ["sweep", "--experiment", "E1", "--sizes", "16,32",
+             "--trials", "2", "--jobs", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "complete-le/quantum" in out
+        assert "ratio (c/q)" in out
+        assert "success rates" in out
+
+    def test_unmapped_experiment_is_an_error(self, capsys):
+        assert main(["sweep", "--experiment", "E2"]) == 2
+        assert "bench" in capsys.readouterr().err
+
+    def test_single_scenario_smoke(self, capsys):
+        code = main(
+            ["sweep", "--scenario", "ring-le/hs", "--sizes", "8,16",
+             "--trials", "2", "--jobs", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ring-le/hs" in out
+        assert "p90" in out
+
+    def test_unknown_scenario_is_an_error(self, capsys):
+        assert main(["sweep", "--scenario", "le-donut/quantum"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestScenariosCommand:
+    def test_lists_catalogue(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "complete-le/quantum" in out
+        assert "torus-le/quantum" in out
+
+    def test_lists_protocols(self, capsys):
+        assert main(["scenarios", "--protocols"]) == 0
+        out = capsys.readouterr().out
+        assert "le-diameter2/quantum" in out
+        assert "quantum" in out and "classical" in out
+
+
+class TestElectTopologies:
+    def test_diameter2_uses_true_diameter2_graph(self, capsys):
+        # regression: used to draw erdos_renyi(n, 0.5) with no diameter check
+        code = main(["elect", "--topology", "diameter2", "--n", "24", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert "leader election on diameter2" in out
+        assert code in (0, 1)
+
+    def test_hypercube_warns_on_rounding(self, capsys):
+        code = main(["elect", "--topology", "hypercube", "--n", "20", "--seed", "1"])
+        captured = capsys.readouterr()
+        assert "power of two" in captured.err
+        assert "n=32" in captured.out
+        assert code in (0, 1)
+
+    def test_hypercube_exact_power_no_warning(self, capsys):
+        code = main(["elect", "--topology", "hypercube", "--n", "16", "--seed", "1"])
+        captured = capsys.readouterr()
+        assert "power of two" not in captured.err
+        assert code in (0, 1)
