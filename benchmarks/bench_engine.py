@@ -1,0 +1,196 @@
+"""Engine-backend microbenchmark: rounds/sec, fast vs reference.
+
+Drives a deterministic gossip workload over K_n, the 2-D torus, and a
+random-regular expander at n ∈ {256, 1024, 4096}, and records rounds/sec
+and messages/sec per backend plus the fast/reference speedup.
+
+The workload isolates *engine* overhead — routing, delivery, CONGEST
+accounting — from protocol-side allocation: every node pre-builds one
+outbox of ``min(degree, 32)`` multi-unit messages (bits = 2× the CONGEST
+capacity, so per-message charging is exercised) and re-sends it each
+round.  No RNG, no per-round construction: both backends execute
+byte-identical protocol work, so the ratio is pure engine overhead.
+
+Results land in ``BENCH_engine.json`` at the repo root — the start of the
+perf trajectory; CI runs ``--smoke`` (small sizes, no file by default) so
+engine regressions show up in PR logs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py          # full grid
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke  # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+from repro.network import graphs
+from repro.network.engine import BACKENDS, SynchronousEngine
+from repro.network.message import Message, congest_capacity_bits
+from repro.network.metrics import MetricsRecorder
+from repro.network.node import Node
+from repro.util.rng import RandomSource
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_engine.json"
+
+#: The acceptance bar: fast ≥ 5× reference rounds/sec on K_n at n = 1024.
+TARGET_TOPOLOGY = ("complete", 1024)
+TARGET_SPEEDUP = 5.0
+
+FANOUT = 32
+
+
+class GossipNode(Node):
+    """Re-sends one pre-built outbox of ``min(degree, FANOUT)`` multi-unit
+    messages every round — deterministic, duplicate-free, allocation-free
+    inside the timed region, and identical under both backends."""
+
+    def __init__(self, uid, degree, rng, bits):
+        super().__init__(uid, degree, rng)
+        fanout = FANOUT if FANOUT < degree else degree
+        self.outbox = [
+            ((uid + j) % degree, Message("gossip", payload=j, bits=bits))
+            for j in range(fanout)
+        ]
+
+    def step(self, round_index, inbox):
+        return self.outbox
+
+
+def _build(family: str, n: int):
+    if family == "complete":
+        return graphs.complete(n)
+    if family == "torus":
+        import math
+
+        side = math.isqrt(n)
+        return graphs.torus(side, side)
+    if family == "random-regular":
+        return graphs.random_regular(n, 8, RandomSource(1234 + n))
+    raise ValueError(f"unknown bench family {family!r}")
+
+
+def _time_backend(topology, backend: str, rounds: int, repeats: int) -> dict:
+    bits = 2 * congest_capacity_bits(topology.n)
+    best = float("inf")
+    messages = 0
+    for _ in range(repeats):
+        rng = RandomSource(0)
+        nodes = [
+            GossipNode(v, topology.degree(v), rng, bits)
+            for v in range(topology.n)
+        ]
+        metrics = MetricsRecorder()
+        engine = SynchronousEngine(topology, nodes, metrics, backend=backend)
+        start = time.perf_counter()
+        executed = engine.run(max_rounds=rounds)
+        elapsed = time.perf_counter() - start
+        assert executed == rounds
+        best = min(best, elapsed)
+        messages = metrics.messages
+    return {
+        "rounds": rounds,
+        "seconds": round(best, 6),
+        "rounds_per_sec": round(rounds / best, 2),
+        "messages_per_round": messages // rounds,
+        "messages_per_sec": round(messages / best, 1),
+    }
+
+
+def run_bench(smoke: bool) -> dict:
+    sizes = [64, 256] if smoke else [256, 1024, 4096]
+    repeats = 2 if smoke else 5
+    families = ["complete", "torus", "random-regular"]
+    results = []
+    for family in families:
+        for n in sizes:
+            topology = _build(family, n)
+            topology.port_table()  # build outside the timed region
+            per_round = topology.n * min(FANOUT, topology.degree(0))
+            rounds = 5 if smoke else max(4, min(40, 400_000 // per_round))
+            entry = {"topology": family, "n": n, "backends": {}}
+            for backend in BACKENDS:
+                entry["backends"][backend] = _time_backend(
+                    topology, backend, rounds, repeats
+                )
+                print(
+                    f"{family:>15} n={n:<5} {backend:>9}: "
+                    f"{entry['backends'][backend]['rounds_per_sec']:>10.1f} rounds/s  "
+                    f"({entry['backends'][backend]['messages_per_sec']:>12.0f} msgs/s)",
+                    flush=True,
+                )
+            entry["speedup"] = round(
+                entry["backends"]["fast"]["rounds_per_sec"]
+                / entry["backends"]["reference"]["rounds_per_sec"],
+                2,
+            )
+            print(f"{'':>15} {'speedup':>16}: {entry['speedup']:.2f}x")
+            results.append(entry)
+    target = next(
+        (
+            e
+            for e in results
+            if (e["topology"], e["n"]) == TARGET_TOPOLOGY
+        ),
+        None,
+    )
+    return {
+        "benchmark": "engine-backends",
+        "mode": "smoke" if smoke else "full",
+        "workload": (
+            f"prebuilt gossip, fanout=min(degree, {FANOUT}), "
+            f"bits=2x CONGEST capacity"
+        ),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "target": {
+            "topology": TARGET_TOPOLOGY[0],
+            "n": TARGET_TOPOLOGY[1],
+            "required_speedup": TARGET_SPEEDUP,
+            "measured_speedup": target["speedup"] if target else None,
+        },
+        "results": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: small sizes, few rounds, no BENCH_engine.json",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        help=f"write the JSON report here (default: {OUTPUT}, skipped in --smoke)",
+    )
+    args = parser.parse_args(argv)
+    report = run_bench(smoke=args.smoke)
+    output = args.output
+    if output is None and not args.smoke:
+        output = OUTPUT
+    if output is not None:
+        output.write_text(json.dumps(report, indent=1) + "\n")
+        print(f"\nwrote {output}")
+    measured = report["target"]["measured_speedup"]
+    if measured is not None and measured < TARGET_SPEEDUP:
+        print(
+            f"WARNING: fast engine speedup {measured:.2f}x on K_n "
+            f"n={TARGET_TOPOLOGY[1]} is below the {TARGET_SPEEDUP}x bar",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

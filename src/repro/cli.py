@@ -7,7 +7,11 @@ Commands:
 * ``elect --topology complete`` — run a leader election and print the result;
 * ``agree``                     — run quantum vs classical agreement;
 * ``sweep --experiment E1``     — run an experiment's scenario pair across
-                                  its size grid, trials fanned over cores;
+                                  its size grid, trials fanned over cores
+                                  (``--engine fast|reference`` picks the
+                                  backend; per-size results are cached under
+                                  ``benchmarks/results/cache/`` unless
+                                  ``--no-cache``);
 * ``scenarios``                 — list the scenario catalogue and registry;
 * ``routing-demo``              — the Appendix-A superposed-send demo.
 
@@ -19,11 +23,18 @@ no per-protocol wiring of its own.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.analysis.experiments import EXPERIMENTS, get_experiment
 
 __all__ = ["build_parser", "main"]
+
+
+def _apply_engine(engine: str | None) -> None:
+    """Select the engine backend process-wide (workers inherit the env)."""
+    if engine is not None:
+        os.environ["REPRO_ENGINE"] = engine
 
 #: elect topology → (quantum protocol, classical protocol, topology family,
 #: topology params).  One table, no if/elif chain.
@@ -79,6 +90,7 @@ def _cmd_elect(args) -> int:
     from repro.runtime import TopologySpec, default_registry
     from repro.util.rng import RandomSource
 
+    _apply_engine(args.engine)
     registry = default_registry()
     quantum_name, classical_name, family, topo_params = ELECT_SETUPS[args.topology]
     rng = RandomSource(args.seed)
@@ -156,7 +168,7 @@ def _parse_sizes(text: str | None) -> tuple[int, ...] | None:
 def _cmd_sweep(args) -> int:
     from repro.analysis.fitting import fit_power_law
     from repro.analysis.tables import comparison_table, render_table
-    from repro.runtime import experiment_pair, get_scenario, run_scenario
+    from repro.runtime import ResultStore, experiment_pair, get_scenario, run_scenario
 
     if args.jobs is not None and args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
@@ -169,7 +181,15 @@ def _cmd_sweep(args) -> int:
     except ValueError as error:
         print(error, file=sys.stderr)
         return 2
-    overrides = dict(sizes=sizes, trials=args.trials)
+    _apply_engine(args.engine)
+    if args.no_cache:
+        # Disable both caches: the on-disk result store and the per-worker
+        # topology memo (workers read the env).
+        os.environ["REPRO_NO_TOPOLOGY_CACHE"] = "1"
+        store = None
+    else:
+        store = ResultStore()
+    overrides = dict(sizes=sizes, trials=args.trials, store=store)
 
     if (args.experiment is None) == (args.scenario is None):
         print("sweep needs exactly one of --experiment or --scenario", file=sys.stderr)
@@ -324,6 +344,13 @@ def build_parser() -> argparse.ArgumentParser:
     elect.add_argument("--topology", choices=TOPOLOGIES, default="complete")
     elect.add_argument("--n", type=int, default=1024)
     elect.add_argument("--seed", type=int, default=0)
+    elect.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        default=None,
+        help="engine backend: vectorized 'fast' (default) or the "
+        "'reference' oracle loop (both are trace-equivalent)",
+    )
     elect.set_defaults(handler=_cmd_elect)
 
     agree = commands.add_parser("agree", help="run implicit agreement")
@@ -333,7 +360,15 @@ def build_parser() -> argparse.ArgumentParser:
     agree.set_defaults(handler=_cmd_agree)
 
     sweep = commands.add_parser(
-        "sweep", help="run a scenario sweep with parallel trials"
+        "sweep",
+        help="run a scenario sweep with parallel trials",
+        description="Run an experiment's scenario pair (or a single "
+        "scenario) across its size grid.  Trials fan out over --jobs "
+        "worker processes; per-size aggregates are cached on disk under "
+        "benchmarks/results/cache/ so re-running or extending a grid only "
+        "computes the missing sizes (disable with --no-cache).  Aggregates "
+        "are bit-identical for any --jobs value and either --engine "
+        "backend.",
     )
     sweep.add_argument("--experiment", help="experiment id with a scenario pair, e.g. E1")
     sweep.add_argument("--scenario", help="a single scenario name (see: scenarios)")
@@ -345,6 +380,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker processes for trials (default: all cores)",
+    )
+    sweep.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        default=None,
+        help="engine backend: vectorized 'fast' (default) or the "
+        "'reference' oracle loop (both are trace-equivalent)",
+    )
+    sweep.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the on-disk result cache and the per-worker topology "
+        "memo; every trial recomputes from scratch",
     )
     sweep.set_defaults(handler=_cmd_sweep)
 

@@ -1,6 +1,11 @@
 """Classical CONGEST substrate: topologies, messages, metrics, engine, walks."""
 
-from repro.network.engine import CongestViolation, SynchronousEngine
+from repro.network.engine import (
+    BACKENDS,
+    CongestViolation,
+    SynchronousEngine,
+    default_backend,
+)
 from repro.network.message import (
     CONGEST_FACTOR,
     Message,
@@ -23,6 +28,14 @@ from repro.network.spanning import (
     charge_broadcast,
     charge_convergecast,
 )
+from repro.network.porttable import (
+    BipartitePortTable,
+    CSRPortTable,
+    CompletePortTable,
+    HypercubePortTable,
+    PortTable,
+    StarPortTable,
+)
 from repro.network.topology import (
     CompleteBipartiteTopology,
     CompleteTopology,
@@ -37,24 +50,32 @@ from repro.network.topology import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "BipartitePortTable",
     "CONGEST_FACTOR",
+    "CSRPortTable",
     "CompleteBipartiteTopology",
+    "CompletePortTable",
     "CompleteTopology",
     "CongestViolation",
     "ExplicitTopology",
+    "HypercubePortTable",
     "HypercubeTopology",
     "Message",
     "MetricsRecorder",
     "Node",
     "PhaseMetrics",
+    "PortTable",
     "RandomWalk",
     "SpanningTree",
+    "StarPortTable",
     "StarTopology",
     "Status",
     "SynchronousEngine",
     "Topology",
     "WalkToken",
     "bfs_distances",
+    "default_backend",
     "bfs_tree",
     "charge_broadcast",
     "charge_convergecast",

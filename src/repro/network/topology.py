@@ -68,11 +68,32 @@ class Topology(ABC):
             yield self.neighbor_at_port(v, port)
 
     def port_to(self, v: int, u: int) -> int:
-        """Port of v leading to neighbour u (O(deg) fallback)."""
-        for port in range(self.degree(v)):
-            if self.neighbor_at_port(v, port) == u:
-                return port
-        raise ValueError(f"{u} is not a neighbour of {v}")
+        """Port of v leading to neighbour u (via the cached port table).
+
+        Subclasses with arithmetic port structure override this with O(1)
+        formulas; the generic path costs O(log deg) after the table is
+        built once.
+        """
+        self.validate_node(v)
+        self.validate_node(u)
+        return self.port_table().port_to(v, u)
+
+    def port_table(self):
+        """The cached :class:`~repro.network.porttable.PortTable`.
+
+        Built lazily on first use and shared by every consumer of this
+        topology object (the fast engine, ``port_to``, ...).
+        """
+        table = getattr(self, "_port_table_cache", None)
+        if table is None:
+            table = self._build_port_table()
+            self._port_table_cache = table
+        return table
+
+    def _build_port_table(self):
+        from repro.network.porttable import CSRPortTable
+
+        return CSRPortTable.from_topology(self)
 
     def nodes(self) -> range:
         return range(self.n)
@@ -167,6 +188,11 @@ class ExplicitTopology(Topology):
         """Sorted neighbour list (internal, used by walk machinery)."""
         return self._adjacency[v]
 
+    def _build_port_table(self):
+        from repro.network.porttable import CSRPortTable
+
+        return CSRPortTable.from_adjacency(self._adjacency)
+
 
 class CompleteTopology(Topology):
     """K_n without materialized edges; port i of v maps to (v + 1 + i) mod n."""
@@ -205,6 +231,11 @@ class CompleteTopology(Topology):
     def edge_count(self) -> int:
         return self._n * (self._n - 1) // 2
 
+    def _build_port_table(self):
+        from repro.network.porttable import CompletePortTable
+
+        return CompletePortTable(self._n)
+
 
 class StarTopology(Topology):
     """Star S_n: node 0 is the centre, 1..n-1 are leaves.  Diameter 2."""
@@ -236,6 +267,15 @@ class StarTopology(Topology):
             raise ValueError(f"leaf {v} has a single port, got {port}")
         return 0
 
+    def port_to(self, v: int, u: int) -> int:
+        self.validate_node(v)
+        self.validate_node(u)
+        if v == 0 and u != 0:
+            return u - 1
+        if v != 0 and u == 0:
+            return 0
+        raise ValueError(f"{u} is not a neighbour of {v}")
+
     def has_edge(self, u: int, v: int) -> bool:
         self.validate_node(u)
         self.validate_node(v)
@@ -243,6 +283,11 @@ class StarTopology(Topology):
 
     def edge_count(self) -> int:
         return self._n - 1
+
+    def _build_port_table(self):
+        from repro.network.porttable import StarPortTable
+
+        return StarPortTable(self._n)
 
 
 class CompleteBipartiteTopology(Topology):
@@ -286,6 +331,13 @@ class CompleteBipartiteTopology(Topology):
             raise ValueError(f"port {port} outside right node's range")
         return port
 
+    def port_to(self, v: int, u: int) -> int:
+        self.validate_node(v)
+        self.validate_node(u)
+        if (v < self._a) == (u < self._a):
+            raise ValueError(f"{u} is not a neighbour of {v}")
+        return u - self._a if v < self._a else u
+
     def has_edge(self, u: int, v: int) -> bool:
         self.validate_node(u)
         self.validate_node(v)
@@ -293,6 +345,11 @@ class CompleteBipartiteTopology(Topology):
 
     def edge_count(self) -> int:
         return self._a * self._b
+
+    def _build_port_table(self):
+        from repro.network.porttable import BipartitePortTable
+
+        return BipartitePortTable(self._a, self._b)
 
 
 class HypercubeTopology(Topology):
@@ -329,6 +386,14 @@ class HypercubeTopology(Topology):
             raise ValueError(f"port {port} outside [0, {self._d})")
         return v ^ (1 << port)
 
+    def port_to(self, v: int, u: int) -> int:
+        self.validate_node(v)
+        self.validate_node(u)
+        diff = u ^ v
+        if diff == 0 or diff & (diff - 1):
+            raise ValueError(f"{u} is not a neighbour of {v}")
+        return diff.bit_length() - 1
+
     def has_edge(self, u: int, v: int) -> bool:
         self.validate_node(u)
         self.validate_node(v)
@@ -337,6 +402,11 @@ class HypercubeTopology(Topology):
 
     def edge_count(self) -> int:
         return self._n * self._d // 2
+
+    def _build_port_table(self):
+        from repro.network.porttable import HypercubePortTable
+
+        return HypercubePortTable(self._d)
 
 
 # -- graph measurements --------------------------------------------------------

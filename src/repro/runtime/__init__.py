@@ -10,7 +10,11 @@ Three layers:
   aggregates :class:`TrialSet` statistics that feed the unchanged
   ``ScalingSeries``/``PowerLawFit`` pipeline.
 
-The named sweeps live in :mod:`repro.runtime.catalog`.
+The named sweeps live in :mod:`repro.runtime.catalog`.  Two caches make
+repeated sweeps cheap without changing any result: a per-worker topology
+memo (:meth:`TopologySpec.build_cached`) and the on-disk
+:class:`~repro.runtime.store.ResultStore` that lets ``repro sweep`` resume
+and extend grids incrementally.
 """
 
 from repro.runtime.catalog import (
@@ -39,13 +43,18 @@ from repro.runtime.scenario import (
     Scenario,
     TopologyFamily,
     TopologySpec,
+    clear_topology_memo,
     topology_family,
+    topology_memo_enabled,
 )
+from repro.runtime.store import DEFAULT_CACHE_DIR, ResultStore
 
 __all__ = [
+    "DEFAULT_CACHE_DIR",
     "EXPERIMENT_SWEEPS",
     "ProtocolRegistry",
     "ProtocolSpec",
+    "ResultStore",
     "SCENARIOS",
     "Scenario",
     "ScenarioRun",
@@ -55,6 +64,7 @@ __all__ = [
     "TrialOutcome",
     "TrialSet",
     "aggregate_trials",
+    "clear_topology_memo",
     "default_registry",
     "experiment_pair",
     "fan_out",
@@ -63,4 +73,5 @@ __all__ = [
     "resolve_jobs",
     "run_scenario",
     "topology_family",
+    "topology_memo_enabled",
 ]

@@ -173,23 +173,47 @@ def run_scenario(
     sizes: list[int] | None = None,
     trials: int | None = None,
     seed: int | None = None,
+    store=None,
 ) -> ScenarioRun:
     """Run every (size, trial) point of ``scenario`` and aggregate.
 
     Seeds for all trials are derived up front, in grid order, from the
     scenario seed — so the aggregates are identical for any ``jobs``.
+
+    With a :class:`~repro.runtime.store.ResultStore`, sizes whose trial set
+    is already cached are loaded instead of recomputed and fresh sizes are
+    written back — *appending* sizes to a grid only pays for the new ones.
+    Seeds are derived for every grid point in order and cache keys include
+    the grid position, so a partially-cached run is bit-identical to a
+    cold one (reordered or prepended grids recompute rather than reuse
+    entries from a different seed stream).
     """
     if sizes is not None or trials is not None or seed is not None:
         scenario = scenario.with_overrides(sizes=sizes, trials=trials, seed=seed)
     root = RandomSource(scenario.seed)
+    grid_rngs = [
+        [root.spawn() for _ in range(scenario.trials)] for _ in scenario.sizes
+    ]
+    cached: dict[int, TrialSet] = {}  # grid position → cached trial set
+    if store is not None:
+        for position, n in enumerate(scenario.sizes):
+            hit = store.load(scenario, n, position)
+            if hit is not None:
+                cached[position] = hit
+    pending = [p for p in range(len(scenario.sizes)) if p not in cached]
     tasks = [
-        (scenario, n, root.spawn())
-        for n in scenario.sizes
-        for _ in range(scenario.trials)
+        (scenario, scenario.sizes[p], rng) for p in pending for rng in grid_rngs[p]
     ]
     outcomes = fan_out(_scenario_trial, tasks, jobs)
     trial_sets = []
-    for index, n in enumerate(scenario.sizes):
+    for position, n in enumerate(scenario.sizes):
+        if position in cached:
+            trial_sets.append(cached[position])
+            continue
+        index = pending.index(position)
         chunk = outcomes[index * scenario.trials : (index + 1) * scenario.trials]
-        trial_sets.append(aggregate_trials(n, chunk))
+        trial_set = aggregate_trials(n, chunk)
+        if store is not None:
+            store.save(scenario, n, position, trial_set)
+        trial_sets.append(trial_set)
     return ScenarioRun(scenario=scenario, trial_sets=tuple(trial_sets))

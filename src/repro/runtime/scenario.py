@@ -22,6 +22,7 @@ Topology families come in three flavours:
 from __future__ import annotations
 
 import math
+import os
 from collections.abc import Callable
 from dataclasses import dataclass, replace
 
@@ -34,7 +35,9 @@ __all__ = [
     "TOPOLOGY_FAMILIES",
     "TopologyFamily",
     "TopologySpec",
+    "clear_topology_memo",
     "topology_family",
+    "topology_memo_enabled",
 ]
 
 
@@ -149,6 +152,28 @@ def topology_family(name: str) -> TopologyFamily:
         ) from None
 
 
+# -- per-worker topology memo --------------------------------------------------
+
+#: Deterministically-buildable topologies keyed on
+#: ``(family, params, fixed_seed, n)``.  Each worker process keeps its own
+#: memo (workers share nothing), so a fixed-seed sweep builds each graph at
+#: most once per worker instead of once per trial.  Specs that draw a fresh
+#: random graph per trial are never memoized, so caching cannot change any
+#: result — it only skips rebuilding identical graphs.
+_TOPOLOGY_MEMO: dict[tuple, Topology] = {}
+_TOPOLOGY_MEMO_MAX = 64
+
+
+def topology_memo_enabled() -> bool:
+    """False when ``REPRO_NO_TOPOLOGY_CACHE`` is set (CLI ``--no-cache``)."""
+    return os.environ.get("REPRO_NO_TOPOLOGY_CACHE", "") not in ("1", "true", "yes")
+
+
+def clear_topology_memo() -> None:
+    """Drop every memoized topology in this process (tests, memory pressure)."""
+    _TOPOLOGY_MEMO.clear()
+
+
 @dataclass(frozen=True)
 class TopologySpec:
     """A topology family plus its parameters, buildable at any grid size."""
@@ -180,6 +205,32 @@ class TopologySpec:
                 f"topology family {self.family!r} needs an rng (or a fixed_seed)"
             )
         return family.builder(n, rng, **self.param_dict)
+
+    def build_cached(self, n: int) -> Topology:
+        """Like :meth:`build`, but memoized per worker process.
+
+        Only valid for specs whose build is a pure function of the spec and
+        ``n`` — deterministic families and random families pinned by
+        ``fixed_seed``.  The memo is keyed on
+        ``(family, params, fixed_seed, n)`` and holds the built
+        :class:`Topology` (including its lazily-built port table), so every
+        trial at a size shares one graph object.
+        """
+        if self.consumes_trial_rng:
+            raise ValueError(
+                f"topology family {self.family!r} draws per-trial graphs and "
+                f"cannot be memoized (set fixed_seed to share one graph)"
+            )
+        if not topology_memo_enabled():
+            return self.build(n)
+        key = (self.family, self.params, self.fixed_seed, n)
+        topology = _TOPOLOGY_MEMO.get(key)
+        if topology is None:
+            if len(_TOPOLOGY_MEMO) >= _TOPOLOGY_MEMO_MAX:
+                _TOPOLOGY_MEMO.clear()
+            topology = self.build(n)
+            _TOPOLOGY_MEMO[key] = topology
+        return topology
 
 
 @dataclass(frozen=True)
@@ -245,7 +296,7 @@ class Scenario:
             topology = self.topology.build(n, rng.spawn())
             protocol_rng = rng.spawn()
         else:
-            topology = self.topology.build(n)
+            topology = self.topology.build_cached(n)
             protocol_rng = rng
         outcome = registry.get(self.protocol).run(
             topology, protocol_rng, **self.param_dict

@@ -1,0 +1,143 @@
+"""On-disk result cache: resume and extend sweeps incrementally.
+
+A :class:`ResultStore` persists one :class:`~repro.runtime.runner.TrialSet`
+per JSON file under a cache directory (default
+``benchmarks/results/cache/``, resolved against the working directory;
+pin it with ``REPRO_RESULT_CACHE``).  The cache key digests everything
+that determines a trial set bit-for-bit — protocol, topology spec,
+protocol params, normalization, seed, trial count, size, and the size's
+grid position (seeds are spawned in grid order) — so a cache hit is
+always exact: ``repro sweep`` re-run with the same scenario skips straight
+to aggregation, and appending sizes to the grid only computes the new
+ones.
+
+Engine backend and job count are deliberately *not* part of the key: both
+are required (and tested) to leave aggregates bit-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import re
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.runner import TrialSet
+    from repro.runtime.scenario import Scenario
+
+__all__ = ["DEFAULT_CACHE_DIR", "ResultStore"]
+
+#: Default cache location, overridable via ``REPRO_RESULT_CACHE``.
+DEFAULT_CACHE_DIR = "benchmarks/results/cache"
+
+#: Bump when the on-disk layout changes; old entries are simply missed.
+_FORMAT_VERSION = 1
+
+
+def _default_root() -> pathlib.Path:
+    return pathlib.Path(os.environ.get("REPRO_RESULT_CACHE", DEFAULT_CACHE_DIR))
+
+
+def _slug(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", name)
+
+
+class ResultStore:
+    """Directory of cached trial sets keyed on (scenario identity, n)."""
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        self.root = pathlib.Path(root) if root is not None else _default_root()
+
+    # -- keying ----------------------------------------------------------------
+
+    @staticmethod
+    def identity(scenario: "Scenario", n: int, position: int) -> dict:
+        """Everything that determines the trial set at size ``n``.
+
+        ``position`` is the size's index in the grid: per-trial seeds are
+        spawned from the scenario seed *in grid order*, so a trial set is
+        only reusable at the same grid position.  Appending sizes to a grid
+        keeps earlier positions stable (the resume pattern); reordering or
+        prepending changes them and correctly misses the cache.
+        """
+        return {
+            "version": _FORMAT_VERSION,
+            "protocol": scenario.protocol,
+            "topology": {
+                "family": scenario.topology.family,
+                "params": [list(item) for item in scenario.topology.params],
+                "fixed_seed": scenario.topology.fixed_seed,
+            },
+            "params": [list(item) for item in scenario.params],
+            "normalize_by": scenario.normalize_by,
+            "seed": scenario.seed,
+            "trials": scenario.trials,
+            "n": n,
+            "position": position,
+        }
+
+    def path_for(self, scenario: "Scenario", n: int, position: int) -> pathlib.Path:
+        identity = self.identity(scenario, n, position)
+        digest = hashlib.sha256(
+            json.dumps(identity, sort_keys=True, default=str).encode()
+        ).hexdigest()[:16]
+        return self.root / f"{_slug(scenario.name)}-n{n}-{digest}.json"
+
+    # -- IO --------------------------------------------------------------------
+
+    def load(
+        self, scenario: "Scenario", n: int, position: int
+    ) -> "TrialSet | None":
+        """The cached trial set for this exact (scenario, n, position)."""
+        from repro.runtime.runner import TrialSet
+
+        path = self.path_for(scenario, n, position)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("identity") != self.identity(scenario, n, position):
+            return None  # digest collision or stale layout: recompute
+        fields = payload["trial_set"]
+        return TrialSet(
+            n=int(fields["n"]),
+            trials=int(fields["trials"]),
+            success_rate=float(fields["success_rate"]),
+            messages_mean=float(fields["messages_mean"]),
+            messages_std=float(fields["messages_std"]),
+            messages_p50=float(fields["messages_p50"]),
+            messages_p90=float(fields["messages_p90"]),
+            messages_max=float(fields["messages_max"]),
+            rounds_mean=float(fields["rounds_mean"]),
+            extra=dict(fields.get("extra", {})),
+        )
+
+    def save(
+        self, scenario: "Scenario", n: int, position: int, trial_set: "TrialSet"
+    ) -> pathlib.Path:
+        """Persist one trial set; returns the file written."""
+        import dataclasses
+
+        path = self.path_for(scenario, n, position)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "identity": self.identity(scenario, n, position),
+            "scenario": scenario.name,
+            "trial_set": dataclasses.asdict(trial_set),
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True, default=str, indent=1))
+        tmp.replace(path)  # atomic on POSIX: readers never see partial JSON
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many files were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed

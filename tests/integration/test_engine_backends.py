@@ -1,0 +1,28 @@
+"""End-to-end backend invariance: scenario aggregates don't depend on the
+engine backend (fast vs reference) — the PR's acceptance criterion for
+E1 (complete-graph LE), E4 (diameter-2 LE), and E7 (star search)."""
+
+import pytest
+
+from repro.runtime import experiment_pair, run_scenario
+
+#: Small grids keeping the double (quantum + classical) runs test-speed.
+_SMALL_GRIDS = {
+    "E1": ((64, 128), 2),
+    "E4": ((32, 48), 2),
+    "E7": ((64, 128), 2),
+}
+
+
+@pytest.mark.parametrize("experiment", sorted(_SMALL_GRIDS))
+def test_aggregates_are_backend_invariant(monkeypatch, experiment):
+    quantum, classical = experiment_pair(experiment)
+    sizes, trials = _SMALL_GRIDS[experiment]
+    per_backend = {}
+    for backend in ("fast", "reference"):
+        monkeypatch.setenv("REPRO_ENGINE", backend)
+        per_backend[backend] = (
+            run_scenario(quantum, jobs=1, sizes=sizes, trials=trials).trial_sets,
+            run_scenario(classical, jobs=1, sizes=sizes, trials=trials).trial_sets,
+        )
+    assert per_backend["fast"] == per_backend["reference"]

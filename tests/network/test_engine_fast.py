@@ -1,0 +1,217 @@
+"""Differential tests: the fast engine is trace-equivalent to the reference.
+
+Every assertion here runs the same workload twice — once per backend, with
+identical seeds — and compares the full observable trace: per-node delivery
+logs (round, arrival port, kind, sender, sender port), message and round
+charges, ``rounds_executed``, and ``undelivered()``.  Coverage spans all 13
+topology families and four engine-driven protocols.
+"""
+
+import pytest
+
+from repro.classical.leader_election.complete_kpp import classical_le_complete
+from repro.classical.leader_election.diameter2_cpr import classical_le_diameter2
+from repro.classical.leader_election.ring import hirschberg_sinclair_ring, lcr_ring
+from repro.network import graphs
+from repro.network.engine import BACKENDS, SynchronousEngine, default_backend
+from repro.network.message import Message, congest_capacity_bits
+from repro.network.metrics import MetricsRecorder
+from repro.network.node import Node
+from repro.util.rng import RandomSource
+
+
+def _family_topologies():
+    rng = RandomSource(99)
+    return {
+        "complete": graphs.complete(10),
+        "star": graphs.star(9),
+        "cycle": graphs.cycle(8),
+        "path": graphs.path(7),
+        "wheel": graphs.wheel(9),
+        "hypercube": graphs.hypercube(3),
+        "torus": graphs.torus(3, 3),
+        "barbell": graphs.barbell(4),
+        "lollipop": graphs.lollipop(5, 3),
+        "complete-bipartite": graphs.complete_bipartite(3, 5),
+        "random-regular": graphs.random_regular(10, 4, rng),
+        "erdos-renyi": graphs.erdos_renyi(12, 0.4, rng),
+        "diameter2-gnp": graphs.diameter_two_gnp(16, rng),
+    }
+
+
+FAMILY_TOPOLOGIES = _family_topologies()
+
+
+class _TraceNode(Node):
+    """Gossips on rng-chosen ports for 4 rounds, logging every delivery."""
+
+    def __init__(self, uid, degree, rng):
+        super().__init__(uid, degree, rng)
+        self.log = []
+
+    def step(self, round_index, inbox):
+        for port, message in inbox:
+            self.log.append(
+                (round_index, port, message.kind, message.sender, message.sender_port)
+            )
+        if round_index >= 4:
+            self.halt()
+            return []
+        fanout = min(self.degree, 3)
+        ports = self.rng.sample_without_replacement(self.degree, fanout)
+        return [
+            (int(port), Message(f"g{round_index}", payload=(self.uid, int(port))))
+            for port in sorted(int(p) for p in ports)
+        ]
+
+
+def _run_trace(topology, backend, seed=7, node_cls=_TraceNode, max_rounds=8):
+    rng = RandomSource(seed)
+    metrics = MetricsRecorder()
+    nodes = [
+        node_cls(v, topology.degree(v), rng.spawn()) for v in range(topology.n)
+    ]
+    engine = SynchronousEngine(topology, nodes, metrics, backend=backend)
+    rounds = engine.run(max_rounds=max_rounds)
+    return {
+        "rounds": rounds,
+        "messages": metrics.messages,
+        "metric_rounds": metrics.rounds,
+        "undelivered": engine.undelivered(),
+        "logs": [getattr(node, "log", None) for node in nodes],
+    }
+
+
+class TestTraceEquivalence:
+    @pytest.mark.parametrize("family", sorted(FAMILY_TOPOLOGIES))
+    def test_all_families(self, family):
+        topology = FAMILY_TOPOLOGIES[family]
+        fast = _run_trace(topology, "fast")
+        reference = _run_trace(topology, "reference")
+        assert fast == reference
+
+    def test_round_budget_cutoff(self):
+        topology = graphs.cycle(6)
+        fast = _run_trace(topology, "fast", max_rounds=2)
+        reference = _run_trace(topology, "reference", max_rounds=2)
+        assert fast == reference
+        assert fast["undelivered"] > 0  # budget cut sends off mid-flight
+
+    def test_messages_to_halted_receivers(self):
+        class EarlyHalter(Node):
+            def step(self, round_index, inbox):
+                if self.uid == 1:
+                    self.halt()
+                    return []
+                if round_index < 3:
+                    return [(0, Message("late"))]
+                self.halt()
+                return []
+
+        topology = graphs.path(2)
+        fast = _run_trace(topology, "fast", node_cls=EarlyHalter)
+        reference = _run_trace(topology, "reference", node_cls=EarlyHalter)
+        assert fast == reference
+        assert fast["undelivered"] > 0
+
+    def test_multi_unit_payload_charges(self):
+        capacity = congest_capacity_bits(4)
+
+        class BigSender(Node):
+            def step(self, round_index, inbox):
+                if round_index == 0 and self.uid == 0:
+                    return [
+                        (0, Message("blob", bits=3 * capacity)),
+                        (1, Message("ping")),
+                    ]
+                self.halt()
+                return []
+
+        topology = graphs.cycle(4)
+        fast = _run_trace(topology, "fast", node_cls=BigSender)
+        reference = _run_trace(topology, "reference", node_cls=BigSender)
+        assert fast == reference
+        assert fast["messages"] == 4  # 3 units for the blob + 1 ping
+
+    def test_invalid_port_rejected_by_both(self):
+        # The exact exception differs (the reference surfaces the topology
+        # lookup's error), but both backends must reject the bad port.
+        class BadSender(Node):
+            def step(self, round_index, inbox):
+                return [(self.degree, Message("off-the-end"))]
+
+        for backend in BACKENDS:
+            rng = RandomSource(0)
+            topology = graphs.cycle(4)
+            nodes = [
+                BadSender(v, 2, rng.spawn()) for v in range(4)
+            ]
+            engine = SynchronousEngine(
+                topology, nodes, MetricsRecorder(), backend=backend
+            )
+            with pytest.raises((ValueError, IndexError)):
+                engine.run(max_rounds=2)
+
+
+class TestProtocolEquivalence:
+    """Full protocols produce bit-identical results under either backend."""
+
+    @staticmethod
+    def _under_backend(monkeypatch, backend, fn):
+        monkeypatch.setenv("REPRO_ENGINE", backend)
+        return fn()
+
+    @staticmethod
+    def _summary(result):
+        return (
+            result.leader,
+            result.messages,
+            result.rounds,
+            result.success,
+            dict(result.statuses),
+            dict(result.meta),
+        )
+
+    @pytest.mark.parametrize(
+        "protocol",
+        [
+            lambda: classical_le_complete(96, RandomSource(3)),
+            lambda: classical_le_diameter2(graphs.wheel(48), RandomSource(4)),
+            lambda: classical_le_diameter2(graphs.star(48), RandomSource(5)),
+            lambda: lcr_ring(40, RandomSource(6)),
+            lambda: hirschberg_sinclair_ring(40, RandomSource(7)),
+        ],
+        ids=["kpp-complete", "cpr-wheel", "cpr-star", "lcr-ring", "hs-ring"],
+    )
+    def test_bit_identical_results(self, monkeypatch, protocol):
+        fast = self._summary(self._under_backend(monkeypatch, "fast", protocol))
+        reference = self._summary(
+            self._under_backend(monkeypatch, "reference", protocol)
+        )
+        assert fast == reference
+
+
+class TestBackendSelection:
+    def test_default_is_fast(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert default_backend() == "fast"
+
+    def test_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "reference")
+        topology = graphs.cycle(4)
+        rng = RandomSource(0)
+        nodes = [Node(v, 2, rng.spawn()) for v in range(4)]
+        engine = SynchronousEngine(topology, nodes, MetricsRecorder())
+        assert engine.backend == "reference"
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "warp")
+        with pytest.raises(ValueError):
+            default_backend()
+
+    def test_invalid_backend_argument_rejected(self):
+        topology = graphs.cycle(4)
+        rng = RandomSource(0)
+        nodes = [Node(v, 2, rng.spawn()) for v in range(4)]
+        with pytest.raises(ValueError):
+            SynchronousEngine(topology, nodes, MetricsRecorder(), backend="warp")

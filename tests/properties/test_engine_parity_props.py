@@ -1,0 +1,106 @@
+"""Property tests: CONGEST-violation detection parity between backends.
+
+For any per-node port plan — duplicates or not — the fast and reference
+backends must agree on whether the plan violates the one-message-per-port
+CONGEST constraint, and on the delivered trace when it does not.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.network import graphs
+from repro.network.engine import CongestViolation, SynchronousEngine
+from repro.network.message import Message
+from repro.network.metrics import MetricsRecorder
+from repro.network.node import Node
+from repro.util.rng import RandomSource
+
+
+class _PlannedSender(Node):
+    """Sends round 0 on a fixed port list (which may repeat ports)."""
+
+    def __init__(self, uid, degree, rng, plan):
+        super().__init__(uid, degree, rng)
+        self.plan = plan
+        self.received = []
+
+    def step(self, round_index, inbox):
+        self.received.extend(
+            (round_index, port, message.sender) for port, message in inbox
+        )
+        if round_index == 0:
+            return [(port, Message("m", payload=i)) for i, port in enumerate(self.plan)]
+        self.halt()
+        return []
+
+
+def _run_plan(topology, plans, backend):
+    rng = RandomSource(0)
+    metrics = MetricsRecorder()
+    nodes = [
+        _PlannedSender(v, topology.degree(v), rng.spawn(), plans[v])
+        for v in range(topology.n)
+    ]
+    engine = SynchronousEngine(topology, nodes, metrics, backend=backend)
+    try:
+        engine.run(max_rounds=3)
+    except CongestViolation:
+        return "violation"
+    return (
+        metrics.messages,
+        metrics.rounds,
+        engine.undelivered(),
+        [node.received for node in nodes],
+    )
+
+
+@st.composite
+def _port_plans(draw):
+    """A small graph plus one (possibly duplicating) port plan per node."""
+    kind = draw(st.sampled_from(["cycle", "complete", "star", "wheel"]))
+    n = draw(st.integers(min_value=4, max_value=8))
+    topology = {
+        "cycle": graphs.cycle,
+        "complete": graphs.complete,
+        "star": graphs.star,
+        "wheel": graphs.wheel,
+    }[kind](n)
+    plans = [
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=topology.degree(v) - 1),
+                max_size=min(topology.degree(v) + 1, 5),
+            )
+        )
+        for v in range(topology.n)
+    ]
+    return topology, plans
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=_port_plans())
+def test_congest_detection_parity(case):
+    topology, plans = case
+    fast = _run_plan(topology, plans, "fast")
+    reference = _run_plan(topology, plans, "reference")
+    has_duplicate = any(len(set(plan)) != len(plan) for plan in plans)
+    if has_duplicate:
+        assert fast == "violation"
+        assert reference == "violation"
+    else:
+        assert fast != "violation"
+        assert fast == reference
+
+
+def test_duplicate_port_message_names_offender():
+    topology = graphs.cycle(4)
+    plans = [[1, 1]] + [[]] * 3
+    rng = RandomSource(0)
+    nodes = [
+        _PlannedSender(v, 2, rng.spawn(), plans[v]) for v in range(4)
+    ]
+    engine = SynchronousEngine(topology, nodes, MetricsRecorder(), backend="fast")
+    with pytest.raises(CongestViolation, match="node 0 .*port 1"):
+        engine.run(max_rounds=2)
