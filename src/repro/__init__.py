@@ -16,6 +16,7 @@ Quickstart::
     print(result.leader, result.messages, result.rounds)
 """
 
+from repro.adversary import AdversarySpec
 from repro.classical import (
     classical_agreement_private,
     classical_agreement_shared,
@@ -63,9 +64,10 @@ from repro.runtime import (
 )
 from repro.util import FaultInjector, RandomSource, SharedCoin
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "AdversarySpec",
     "AgreementResult",
     "FaultInjector",
     "LeaderElectionResult",

@@ -1,0 +1,33 @@
+"""Deterministic fault & schedule injection for the CONGEST runtime.
+
+Three layers:
+
+* :mod:`repro.adversary.spec` — :class:`AdversarySpec`, the frozen,
+  hashable description of message faults (drop/delay/duplicate, rate-based
+  or per-edge scheduled), node faults (crash-stop schedules), and
+  agreement input schedules;
+* :mod:`repro.adversary.armed` — :class:`ArmedAdversary`, the per-run
+  mutable state (crash plan, delay queue, fault accounting) both
+  :class:`~repro.network.engine.SynchronousEngine` backends consume;
+* :mod:`repro.adversary.inputs` — adversarial initial-value assignment for
+  the agreement protocols.
+
+Everything is seed-reproducible: the adversary draws from its own
+:class:`~repro.util.rng.RandomSource` stream (derived per trial, or pinned
+via ``AdversarySpec.seed``), consumed identically by the ``fast`` and
+``reference`` engine backends — a property test asserts bit-identical
+trial results across backends under the same spec and seed.
+"""
+
+from repro.adversary.armed import ArmedAdversary
+from repro.adversary.inputs import adversarial_inputs, benign_inputs
+from repro.adversary.spec import INPUT_SCHEDULES, NULL_ADVERSARY, AdversarySpec
+
+__all__ = [
+    "INPUT_SCHEDULES",
+    "NULL_ADVERSARY",
+    "AdversarySpec",
+    "ArmedAdversary",
+    "adversarial_inputs",
+    "benign_inputs",
+]

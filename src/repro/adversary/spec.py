@@ -1,0 +1,273 @@
+"""Declarative adversary specifications.
+
+An :class:`AdversarySpec` is a frozen, hashable, picklable description of
+everything an adversary may do to one protocol run:
+
+* **message faults** — drop/delay/duplicate each sent message with a fixed
+  rate, plus an explicit per-edge drop schedule ``(round, sender, port)``;
+* **node faults** — crash-stop schedules: explicit ``(node, round)`` pairs
+  ("fail before executing round r") and/or ``crash_count`` random victims
+  crashing before a uniformly drawn round in ``[0, crash_by)``;
+* **input faults** — adversarial initial-value assignments for agreement
+  protocols (worst-case ties, evenly spread ones, shuffles, targeted bit
+  flips).
+
+Being pure data, a spec can sit inside a frozen
+:class:`~repro.runtime.scenario.Scenario`, travel to worker processes, and
+participate in result-store cache keys.  All randomness is drawn from a
+:class:`~repro.util.rng.RandomSource` derived per trial (or pinned with
+``seed``), so the same spec + seed reproduces the same faults bit for bit on
+either engine backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util.rng import RandomSource
+
+__all__ = ["AdversarySpec", "INPUT_SCHEDULES", "NULL_ADVERSARY"]
+
+#: Recognized agreement input-schedule names (None means the protocol's
+#: default prefix-of-ones assignment).
+INPUT_SCHEDULES = ("blocks", "spread", "tie", "shuffle")
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """One adversary: message, node, and input fault policies.
+
+    The null spec (all defaults) arms nothing and is treated everywhere as
+    "no adversary", so passing ``AdversarySpec()`` is exactly equivalent to
+    passing ``None``.
+    """
+
+    #: Probability that a sent message is silently discarded in transit.
+    drop_rate: float = 0.0
+    #: Probability that a sent message arrives ``delay_rounds`` rounds late.
+    delay_rate: float = 0.0
+    #: How late a delayed message arrives (>= 1 extra round).
+    delay_rounds: int = 1
+    #: Probability that a delivered message arrives twice.
+    duplicate_rate: float = 0.0
+    #: Explicit transit drops: ``(round, sender, port)`` triples.
+    drop_schedule: tuple[tuple[int, int, int], ...] = ()
+    #: Explicit crash-stop schedule: ``(node, round)`` — the node fails
+    #: *before* executing the given round.
+    crashes: tuple[tuple[int, int], ...] = ()
+    #: Additionally crash this many uniformly random nodes ...
+    crash_count: int = 0
+    #: ... each before a round drawn uniformly from ``[0, crash_by)``.
+    crash_by: int = 1
+    #: Agreement input assignment: one of :data:`INPUT_SCHEDULES` or None.
+    input_schedule: str | None = None
+    #: Flip this fraction of the assigned inputs (adversary-chosen nodes).
+    flip_fraction: float = 0.0
+    #: Pin the adversary's random stream.  None (default) derives a fresh
+    #: stream from the trial RNG, so trials see independent fault patterns
+    #: while staying reproducible from the scenario seed.
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "delay_rate", "duplicate_rate", "flip_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.delay_rounds < 1:
+            raise ValueError(f"delay_rounds must be >= 1, got {self.delay_rounds}")
+        if self.crash_count < 0:
+            raise ValueError(f"crash_count must be >= 0, got {self.crash_count}")
+        if self.crash_by < 1:
+            raise ValueError(f"crash_by must be >= 1, got {self.crash_by}")
+        if self.input_schedule is not None and self.input_schedule not in INPUT_SCHEDULES:
+            raise ValueError(
+                f"input_schedule must be one of {INPUT_SCHEDULES}, "
+                f"got {self.input_schedule!r}"
+            )
+        for entry in self.drop_schedule:
+            if len(entry) != 3 or any(x < 0 for x in entry):
+                raise ValueError(
+                    f"drop_schedule entries are (round, sender, port) triples "
+                    f"of non-negative ints, got {entry!r}"
+                )
+        for entry in self.crashes:
+            if len(entry) != 2 or any(x < 0 for x in entry):
+                raise ValueError(
+                    f"crashes entries are (node, round) pairs of non-negative "
+                    f"ints, got {entry!r}"
+                )
+
+    # -- classification --------------------------------------------------------
+
+    @property
+    def has_message_faults(self) -> bool:
+        return (
+            self.drop_rate > 0
+            or self.delay_rate > 0
+            or self.duplicate_rate > 0
+            or bool(self.drop_schedule)
+        )
+
+    @property
+    def has_crashes(self) -> bool:
+        return self.crash_count > 0 or bool(self.crashes)
+
+    @property
+    def has_input_faults(self) -> bool:
+        return self.input_schedule is not None or self.flip_fraction > 0
+
+    @property
+    def is_null(self) -> bool:
+        """True when the spec arms nothing at all."""
+        return not (self.has_message_faults or self.has_crashes or self.has_input_faults)
+
+    def required_capabilities(self) -> set[str]:
+        """Capability tags a protocol must declare to honour this spec.
+
+        ``"faults"`` — engine-level message/crash faults; ``"inputs"`` —
+        adversarial initial-value assignment.  Matches
+        :attr:`~repro.runtime.registry.ProtocolSpec.supports`.
+        """
+        needed: set[str] = set()
+        if self.has_message_faults or self.has_crashes:
+            needed.add("faults")
+        if self.has_input_faults:
+            needed.add("inputs")
+        return needed
+
+    # -- derivation ------------------------------------------------------------
+
+    def derive_rng(self, trial_rng: RandomSource) -> RandomSource:
+        """The adversary's private random stream for one trial.
+
+        With ``seed`` unset, a child of the trial RNG: every trial draws an
+        independent (but seed-reproducible) fault pattern.  With ``seed``
+        set, a fixed stream: every trial suffers the *same* fault pattern.
+        """
+        if self.seed is not None:
+            return RandomSource(self.seed)
+        return trial_rng.spawn()
+
+    def arm(self, rng: RandomSource, n: int):
+        """Instantiate runtime state for one run on an n-node network."""
+        from repro.adversary.armed import ArmedAdversary
+
+        return ArmedAdversary(self, rng, n)
+
+    # -- identity / serialization ---------------------------------------------
+
+    def key_dict(self) -> dict:
+        """JSON-ready identity for result-store cache keys."""
+        return {
+            "drop_rate": self.drop_rate,
+            "delay_rate": self.delay_rate,
+            "delay_rounds": self.delay_rounds,
+            "duplicate_rate": self.duplicate_rate,
+            "drop_schedule": [list(e) for e in self.drop_schedule],
+            "crashes": [list(e) for e in self.crashes],
+            "crash_count": self.crash_count,
+            "crash_by": self.crash_by,
+            "input_schedule": self.input_schedule,
+            "flip_fraction": self.flip_fraction,
+            "seed": self.seed,
+        }
+
+    def describe(self) -> str:
+        """Compact human-readable summary (CLI/table output)."""
+        parts: list[str] = []
+        if self.drop_rate:
+            parts.append(f"drop={self.drop_rate:g}")
+        if self.drop_schedule:
+            parts.append(f"drop-edges={len(self.drop_schedule)}")
+        if self.delay_rate:
+            parts.append(f"delay={self.delay_rate:g}x{self.delay_rounds}")
+        if self.duplicate_rate:
+            parts.append(f"dup={self.duplicate_rate:g}")
+        if self.crash_count:
+            parts.append(f"crash={self.crash_count}@<{self.crash_by}")
+        if self.crashes:
+            parts.append(f"crash-nodes={len(self.crashes)}")
+        if self.input_schedule is not None:
+            parts.append(f"input={self.input_schedule}")
+        if self.flip_fraction:
+            parts.append(f"flip={self.flip_fraction:g}")
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+        return ",".join(parts) if parts else "none"
+
+    @classmethod
+    def parse(cls, text: str | None) -> "AdversarySpec":
+        """Parse the CLI's compact spec grammar into a spec.
+
+        Comma-separated ``key=value`` clauses::
+
+            drop=0.1,delay=0.05,delay-rounds=2,dup=0.01,
+            crash=3@5,crash-node=7@2,drop-edge=1:0:3,
+            input=tie,flip=0.1,seed=42
+
+        ``crash=N@R`` crashes N random nodes before rounds < R (``@R``
+        optional, default 1); ``crash-node`` and ``drop-edge`` may repeat.
+        Empty text or ``"none"`` parses to the null spec.
+        """
+        if text is None or not text.strip() or text.strip() == "none":
+            return cls()
+        kwargs: dict = {}
+        crashes: list[tuple[int, int]] = []
+        drop_schedule: list[tuple[int, int, int]] = []
+        for clause in text.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            if "=" not in clause:
+                raise ValueError(f"adversary clause {clause!r} is not key=value")
+            key, _, value = clause.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if key not in (
+                "drop", "delay", "delay-rounds", "dup", "crash",
+                "crash-node", "drop-edge", "input", "flip", "seed",
+            ):
+                raise ValueError(f"unknown adversary key {key!r}")
+            try:
+                if key == "drop":
+                    kwargs["drop_rate"] = float(value)
+                elif key == "delay":
+                    kwargs["delay_rate"] = float(value)
+                elif key == "delay-rounds":
+                    kwargs["delay_rounds"] = int(value)
+                elif key == "dup":
+                    kwargs["duplicate_rate"] = float(value)
+                elif key == "crash":
+                    count, _, by = value.partition("@")
+                    kwargs["crash_count"] = int(count)
+                    kwargs["crash_by"] = int(by) if by else 1
+                elif key == "crash-node":
+                    node, _, rnd = value.partition("@")
+                    crashes.append((int(node), int(rnd) if rnd else 0))
+                elif key == "drop-edge":
+                    rnd, sender, port = value.split(":")
+                    drop_schedule.append((int(rnd), int(sender), int(port)))
+                elif key == "input":
+                    kwargs["input_schedule"] = value
+                elif key == "flip":
+                    kwargs["flip_fraction"] = float(value)
+                else:
+                    kwargs["seed"] = int(value)
+            except ValueError:
+                raise ValueError(
+                    f"bad adversary clause {clause!r}: expected "
+                    f"{'ROUND:SENDER:PORT' if key == 'drop-edge' else 'a number'}"
+                ) from None
+        if crashes:
+            kwargs["crashes"] = tuple(crashes)
+        if drop_schedule:
+            kwargs["drop_schedule"] = tuple(drop_schedule)
+        return cls(**kwargs)
+
+    def with_updates(self, **changes) -> "AdversarySpec":
+        """A copy with some fields replaced (CLI flag merging)."""
+        return replace(self, **changes)
+
+
+#: The do-nothing adversary; equivalent to passing None everywhere.
+NULL_ADVERSARY = AdversarySpec()

@@ -92,8 +92,16 @@ def classical_le_complete(
     n: int,
     rng: RandomSource,
     referees: int | None = None,
+    adversary=None,
 ) -> LeaderElectionResult:
-    """Run the [KPP+15b]-style classical LE protocol on K_n."""
+    """Run the [KPP+15b]-style classical LE protocol on K_n.
+
+    ``adversary`` is an optional
+    :class:`~repro.adversary.AdversarySpec` applied at the engine level
+    (message drop/delay/duplicate, crash-stop schedules).  Its random
+    stream derives from ``rng`` before the per-node streams, so a null
+    (or absent) spec leaves the run bit-identical to the fault-free path.
+    """
     if n < 2:
         raise ValueError(f"need n >= 2 nodes, got {n}")
     if referees is None:
@@ -103,6 +111,11 @@ def classical_le_complete(
 
     topology = CompleteTopology(n)
     metrics = MetricsRecorder()
+    armed = (
+        adversary.arm(adversary.derive_rng(rng), n)
+        if adversary is not None and not adversary.is_null
+        else None
+    )
     node_rngs = rng.spawn_many(n)
     nodes = [_KPPNode(v, n - 1, node_rngs[v], referees) for v in range(n)]
     probability = candidate_probability(n)
@@ -112,18 +125,20 @@ def classical_le_complete(
         node.start(probability, space)
         candidates += node.is_candidate
 
-    engine = SynchronousEngine(topology, nodes, metrics, label="kpp-le")
+    engine = SynchronousEngine(
+        topology, nodes, metrics, label="kpp-le", adversary=armed
+    )
     engine.run(max_rounds=4)
 
     statuses = {v: nodes[v].status for v in range(n)}
     # Candidates that never heard anything higher may tie only on rank
     # collisions (probability ≤ 1/n² — Fact C.2).
     meta = {"candidates": candidates, "referees": referees}
-    if engine.undelivered():
-        meta["undelivered"] = engine.undelivered()
+    meta.update(engine.accounting_meta())
     return LeaderElectionResult(
         n=n,
         statuses=statuses,
         metrics=metrics,
         meta=meta,
+        crashed=engine.crashed_nodes,
     )

@@ -78,13 +78,23 @@ class _CPRNode(Node):
 def classical_le_diameter2(
     topology: Topology,
     rng: RandomSource,
+    adversary=None,
 ) -> LeaderElectionResult:
-    """Run the classical Õ(n) LE baseline on a diameter-≤2 network."""
+    """Run the classical Õ(n) LE baseline on a diameter-≤2 network.
+
+    ``adversary`` is an optional
+    :class:`~repro.adversary.AdversarySpec` applied at the engine level.
+    """
     n = topology.n
     if n < 2:
         raise ValueError(f"need n >= 2 nodes, got {n}")
 
     metrics = MetricsRecorder()
+    armed = (
+        adversary.arm(adversary.derive_rng(rng), n)
+        if adversary is not None and not adversary.is_null
+        else None
+    )
     node_rngs = rng.spawn_many(n)
     nodes = [
         _CPRNode(v, topology.degree(v), node_rngs[v]) for v in range(n)
@@ -96,16 +106,18 @@ def classical_le_diameter2(
         node.start(probability, space)
         candidates += node.is_candidate
 
-    engine = SynchronousEngine(topology, nodes, metrics, label="cpr-le")
+    engine = SynchronousEngine(
+        topology, nodes, metrics, label="cpr-le", adversary=armed
+    )
     engine.run(max_rounds=4)
 
     statuses = {v: nodes[v].status for v in range(n)}
     meta = {"candidates": candidates}
-    if engine.undelivered():
-        meta["undelivered"] = engine.undelivered()
+    meta.update(engine.accounting_meta())
     return LeaderElectionResult(
         n=n,
         statuses=statuses,
         metrics=metrics,
         meta=meta,
+        crashed=engine.crashed_nodes,
     )

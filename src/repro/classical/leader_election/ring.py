@@ -90,12 +90,23 @@ class _LCRNode(Node):
         return list(per_port.items())
 
 
-def lcr_ring(n: int, rng: RandomSource) -> LeaderElectionResult:
-    """Run Chang–Roberts on an oriented ring of n nodes."""
+def lcr_ring(n: int, rng: RandomSource, adversary=None) -> LeaderElectionResult:
+    """Run Chang–Roberts on an oriented ring of n nodes.
+
+    ``adversary`` (an optional :class:`~repro.adversary.AdversarySpec`)
+    injects engine-level faults; a dropped winning probe or halt token
+    makes the ring run out its round budget undecided — exactly the
+    resilience behaviour fault sweeps measure.
+    """
     if n < 3:
         raise ValueError(f"ring needs n >= 3 nodes, got {n}")
     topology = cycle(n)
     metrics = MetricsRecorder()
+    armed = (
+        adversary.arm(adversary.derive_rng(rng), n)
+        if adversary is not None and not adversary.is_null
+        else None
+    )
     node_rngs = rng.spawn_many(n)
     space = rank_space(n)
     ids = [node_rngs[v].uniform_int(1, space) for v in range(n)]
@@ -103,17 +114,19 @@ def lcr_ring(n: int, rng: RandomSource) -> LeaderElectionResult:
     for v in range(n):
         cw, _ = _ring_ports(n, v)
         nodes.append(_LCRNode(v, 2, node_rngs[v], ids[v], cw))
-    engine = SynchronousEngine(topology, nodes, metrics, label="lcr")
+    engine = SynchronousEngine(
+        topology, nodes, metrics, label="lcr", adversary=armed
+    )
     engine.run(max_rounds=3 * n + 4)
     statuses = {v: nodes[v].status for v in range(n)}
     for v in range(n):  # anyone still undecided (duplicate-id pathology)
         if statuses[v] is Status.UNDECIDED:
             statuses[v] = Status.NON_ELECTED
     meta = {"unique_ids": len(set(ids)) == n}
-    if engine.undelivered():
-        meta["undelivered"] = engine.undelivered()
+    meta.update(engine.accounting_meta())
     return LeaderElectionResult(
         n=n, statuses=statuses, metrics=metrics, meta=meta,
+        crashed=engine.crashed_nodes,
     )
 
 
@@ -201,12 +214,22 @@ class _HSNode(Node):
         return list(per_port.items())
 
 
-def hirschberg_sinclair_ring(n: int, rng: RandomSource) -> LeaderElectionResult:
-    """Run Hirschberg–Sinclair on an oriented ring of n nodes."""
+def hirschberg_sinclair_ring(
+    n: int, rng: RandomSource, adversary=None
+) -> LeaderElectionResult:
+    """Run Hirschberg–Sinclair on an oriented ring of n nodes.
+
+    ``adversary`` injects engine-level faults, as in :func:`lcr_ring`.
+    """
     if n < 3:
         raise ValueError(f"ring needs n >= 3 nodes, got {n}")
     topology = cycle(n)
     metrics = MetricsRecorder()
+    armed = (
+        adversary.arm(adversary.derive_rng(rng), n)
+        if adversary is not None and not adversary.is_null
+        else None
+    )
     node_rngs = rng.spawn_many(n)
     space = rank_space(n)
     ids = [node_rngs[v].uniform_int(1, space) for v in range(n)]
@@ -214,15 +237,17 @@ def hirschberg_sinclair_ring(n: int, rng: RandomSource) -> LeaderElectionResult:
     for v in range(n):
         cw, ccw = _ring_ports(n, v)
         nodes.append(_HSNode(v, 2, node_rngs[v], ids[v], cw, ccw))
-    engine = SynchronousEngine(topology, nodes, metrics, label="hs")
+    engine = SynchronousEngine(
+        topology, nodes, metrics, label="hs", adversary=armed
+    )
     engine.run(max_rounds=12 * n + 16)
     statuses = {v: nodes[v].status for v in range(n)}
     for v in range(n):
         if statuses[v] is Status.UNDECIDED:
             statuses[v] = Status.NON_ELECTED
     meta = {"unique_ids": len(set(ids)) == n}
-    if engine.undelivered():
-        meta["undelivered"] = engine.undelivered()
+    meta.update(engine.accounting_meta())
     return LeaderElectionResult(
         n=n, statuses=statuses, metrics=metrics, meta=meta,
+        crashed=engine.crashed_nodes,
     )

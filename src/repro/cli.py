@@ -13,7 +13,14 @@ Commands:
                                   ``benchmarks/results/cache/`` unless
                                   ``--no-cache``);
 * ``scenarios``                 — list the scenario catalogue and registry;
+* ``cache list|stats|clear``    — inspect or empty the on-disk result cache;
 * ``routing-demo``              — the Appendix-A superposed-send demo.
+
+``elect``, ``agree``, and ``sweep`` accept adversary flags (``--drop-rate``,
+``--crash N[@R]``, and the full ``--adversary`` spec grammar of
+:meth:`repro.adversary.AdversarySpec.parse`) for deterministic
+fault-injected runs; results then carry fault accounting and cache under
+adversary-aware keys.
 
 Protocol dispatch goes through :mod:`repro.runtime`: the registry resolves
 protocols by name and the scenario layer binds topologies, so the CLI holds
@@ -35,6 +42,60 @@ def _apply_engine(engine: str | None) -> None:
     """Select the engine backend process-wide (workers inherit the env)."""
     if engine is not None:
         os.environ["REPRO_ENGINE"] = engine
+
+
+def _adversary_from_args(args):
+    """Merge ``--adversary`` / ``--drop-rate`` / ``--crash`` into one spec.
+
+    Returns None when no adversary flag was given at all.  When flags were
+    given, returns the merged spec *even if null* — an explicit
+    ``--drop-rate 0`` or ``--adversary none`` is a request for the
+    fault-free baseline, which on a catalogue fault scenario means
+    stripping its built-in adversary.  Shorthand flags override the spec
+    string's fields.
+    """
+    from repro.adversary import AdversarySpec
+
+    text = getattr(args, "adversary", None)
+    drop_rate = getattr(args, "drop_rate", None)
+    crash = getattr(args, "crash", None)
+    if text is None and drop_rate is None and crash is None:
+        return None
+    spec = AdversarySpec.parse(text)
+    updates: dict = {}
+    if drop_rate is not None:
+        updates["drop_rate"] = drop_rate
+    if crash is not None:
+        count, _, by = crash.partition("@")
+        updates["crash_count"] = int(count)
+        if by:
+            updates["crash_by"] = int(by)
+    if updates:
+        spec = spec.with_updates(**updates)
+    return spec
+
+
+def _add_adversary_flags(parser) -> None:
+    parser.add_argument(
+        "--drop-rate",
+        type=float,
+        default=None,
+        help="adversary: drop each sent message with this probability",
+    )
+    parser.add_argument(
+        "--crash",
+        default=None,
+        metavar="N[@R]",
+        help="adversary: crash-stop N random nodes before rounds < R "
+        "(default R=1: before the first round)",
+    )
+    parser.add_argument(
+        "--adversary",
+        default=None,
+        metavar="SPEC",
+        help="full adversary spec, e.g. "
+        "'drop=0.1,delay=0.05,dup=0.01,crash=2@4,input=tie,seed=7'",
+    )
 
 #: elect topology → (quantum protocol, classical protocol, topology family,
 #: topology params).  One table, no if/elif chain.
@@ -98,6 +159,30 @@ def _cmd_elect(args) -> int:
     quantum_params = dict(_ELECT_SIDE_PARAMS.get((args.topology, "quantum"), {}))
     classical_params = dict(_ELECT_SIDE_PARAMS.get((args.topology, "classical"), {}))
 
+    try:
+        adversary = _adversary_from_args(args)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if adversary is not None and adversary.is_null:
+        adversary = None  # elect has no catalogue adversary to strip
+    if adversary is not None:
+        classical_spec = registry.get(classical_name)
+        missing = adversary.required_capabilities() - set(classical_spec.supports)
+        if missing:
+            print(
+                f"protocol {classical_name!r} does not support adversary "
+                f"capabilities {sorted(missing)}",
+                file=sys.stderr,
+            )
+            return 2
+        classical_params["adversary"] = adversary
+        print(
+            f"adversary [{adversary.describe()}] armed on the engine-driven "
+            f"classical side (the quantum protocol runs fault-free)",
+            file=sys.stderr,
+        )
+
     spec = TopologySpec(family, topo_params)
     if spec.consumes_trial_rng:
         topology = spec.build(args.n, rng.spawn())
@@ -137,14 +222,32 @@ def _cmd_agree(args) -> int:
     registry = default_registry()
     rng = RandomSource(args.seed)
     topology = CompleteTopology(args.n)
-    ones = int(args.fraction * args.n)
+    try:
+        adversary = _adversary_from_args(args)
+        if adversary is not None and adversary.is_null:
+            adversary = None  # agree has no catalogue adversary to strip
+        if adversary is not None:
+            unsupported = adversary.required_capabilities() - {"inputs"}
+            if unsupported:
+                raise ValueError(
+                    f"agreement supports only the input adversary "
+                    f"(input=/flip=); got capabilities {sorted(unsupported)}"
+                )
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    side_params = {"fraction": args.fraction}
+    if adversary is not None:
+        side_params["adversary"] = adversary
     quantum = registry.get("agreement/quantum").run(
-        topology, rng.spawn(), fraction=args.fraction
+        topology, rng.spawn(), **side_params
     )
     classical = registry.get("agreement/classical-shared").run(
-        topology, rng.spawn(), fraction=args.fraction
+        topology, rng.spawn(), **side_params
     )
-    print(f"implicit agreement on K_{args.n} ({ones} ones)")
+    ones = int(args.fraction * args.n)
+    suffix = f", adversary [{adversary.describe()}]" if adversary is not None else ""
+    print(f"implicit agreement on K_{args.n} ({ones} benign ones{suffix})")
     for label, outcome in (("quantum  ", quantum), ("classical", classical)):
         print(
             f"  {label}: value={outcome.detail.get('value')} "
@@ -178,6 +281,7 @@ def _cmd_sweep(args) -> int:
         return 2
     try:
         sizes = _parse_sizes(args.sizes)
+        adversary = _adversary_from_args(args)
     except ValueError as error:
         print(error, file=sys.stderr)
         return 2
@@ -201,6 +305,43 @@ def _cmd_sweep(args) -> int:
         except KeyError as error:
             print(error, file=sys.stderr)
             return 2
+        if adversary is not None and adversary.is_null:
+            # Explicit fault-free baseline: strip any catalogue adversary.
+            quantum_scenario = quantum_scenario.with_overrides(adversary=None)
+            classical_scenario = classical_scenario.with_overrides(adversary=None)
+        elif adversary is not None:
+            # Arm each side only where the protocol supports the spec (the
+            # quantum protocols are not engine-driven, so e.g. --drop-rate
+            # on E1 applies to the classical side alone, as in `elect`).
+            from repro.runtime import default_registry
+
+            registry = default_registry()
+            armed_sides = []
+            unarmed_sides = []
+            sides = {"quantum": quantum_scenario, "classical": classical_scenario}
+            for label, side_scenario in sides.items():
+                supports = set(registry.get(side_scenario.protocol).supports)
+                if adversary.required_capabilities() <= supports:
+                    sides[label] = side_scenario.with_overrides(adversary=adversary)
+                    armed_sides.append(label)
+                else:
+                    unarmed_sides.append(label)
+            if not armed_sides:
+                print(
+                    f"neither side of {args.experiment} supports adversary "
+                    f"capabilities {sorted(adversary.required_capabilities())}",
+                    file=sys.stderr,
+                )
+                return 2
+            if unarmed_sides:
+                print(
+                    f"adversary [{adversary.describe()}] armed on the "
+                    f"{' and '.join(armed_sides)} side only "
+                    f"({' and '.join(unarmed_sides)} runs fault-free)",
+                    file=sys.stderr,
+                )
+            quantum_scenario = sides["quantum"]
+            classical_scenario = sides["classical"]
         # Independent seeds per side (the catalogue convention: the classical
         # series must not share the quantum series' RNG streams).
         quantum_seed = args.seed
@@ -241,6 +382,8 @@ def _cmd_sweep(args) -> int:
     except KeyError as error:
         print(error, file=sys.stderr)
         return 2
+    if adversary is not None:
+        scenario = scenario.with_overrides(adversary=adversary)
     try:
         run = run_scenario(scenario, jobs=args.jobs, seed=args.seed, **overrides)
     except ValueError as error:
@@ -257,12 +400,18 @@ def _cmd_sweep(args) -> int:
         ]
         for ts in run.trial_sets
     ]
+    adversary_note = (
+        f", adversary [{scenario.adversary.describe()}]"
+        if scenario.adversary is not None
+        else ""
+    )
     print(
         render_table(
             ["n", "msgs mean", "p50", "p90", "rounds", "success"],
             rows,
             title=f"{scenario.name} ({scenario.protocol} on "
-            f"{scenario.topology.family}, {run.trial_sets[0].trials} trials/size)",
+            f"{scenario.topology.family}, {run.trial_sets[0].trials} "
+            f"trials/size{adversary_note})",
         )
     )
     if len(run.sizes) >= 2:
@@ -289,14 +438,63 @@ def _cmd_scenarios(args) -> int:
             scenario.topology.family,
             ",".join(str(n) for n in scenario.sizes),
             str(scenario.trials),
+            scenario.adversary.describe() if scenario.adversary else "-",
         ]
         for _, scenario in sorted(SCENARIOS.items())
     ]
     print(
         render_table(
-            ["scenario", "protocol", "topology", "sizes", "trials"],
+            ["scenario", "protocol", "topology", "sizes", "trials", "adversary"],
             rows,
             title="scenario catalogue (run with: repro sweep --scenario <name>)",
+        )
+    )
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    import json
+
+    from repro.analysis.tables import render_table
+    from repro.runtime import ResultStore
+
+    store = ResultStore()
+    if args.cache_command == "stats":
+        stats = store.stats()
+        print(f"root       : {stats['root']}")
+        print(f"entries    : {stats['entries']}")
+        print(f"bytes      : {stats['bytes']:,}")
+        print(f"entry cap  : {stats['max_entries']:,}")
+        return 0
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
+        return 0
+    # list: oldest writes first — the order eviction will take them in,
+    # so the head of the listing is exactly what the cap claims next.
+    paths = store.entries()
+    shown = paths[: args.limit] if args.limit > 0 else paths
+    rows = []
+    for path in shown:
+        try:
+            size = f"{path.stat().st_size:,}"
+            payload = json.loads(path.read_text())
+            scenario = str(payload.get("scenario", "?"))
+            n = str(payload.get("trial_set", {}).get("n", "?"))
+            adversary = payload.get("identity", {}).get("adversary")
+            fault = "yes" if adversary else "-"
+        except (OSError, json.JSONDecodeError):
+            scenario, n, fault, size = "<unreadable>", "?", "?", "?"
+        rows.append([path.name, scenario, n, fault, size])
+    if not rows:
+        print(f"result cache at {store.root} is empty")
+        return 0
+    print(
+        render_table(
+            ["file", "scenario", "n", "adversary", "bytes"],
+            rows,
+            title=f"result cache ({len(paths)} entries, oldest/evicted-first, "
+            f"showing {len(rows)})",
         )
     )
     return 0
@@ -351,12 +549,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine backend: vectorized 'fast' (default) or the "
         "'reference' oracle loop (both are trace-equivalent)",
     )
+    _add_adversary_flags(elect)
     elect.set_defaults(handler=_cmd_elect)
 
     agree = commands.add_parser("agree", help="run implicit agreement")
     agree.add_argument("--n", type=int, default=4096)
     agree.add_argument("--fraction", type=float, default=0.3)
     agree.add_argument("--seed", type=int, default=0)
+    _add_adversary_flags(agree)
     agree.set_defaults(handler=_cmd_agree)
 
     sweep = commands.add_parser(
@@ -394,7 +594,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the on-disk result cache and the per-worker topology "
         "memo; every trial recomputes from scratch",
     )
+    _add_adversary_flags(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
+
+    cache = commands.add_parser(
+        "cache", help="inspect or empty the on-disk result cache"
+    )
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+    cache_list = cache_commands.add_parser("list", help="list cache entries")
+    cache_list.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        help="show at most this many oldest entries (0: all)",
+    )
+    cache_list.set_defaults(handler=_cmd_cache)
+    cache_commands.add_parser(
+        "stats", help="entry count / total size / cap"
+    ).set_defaults(handler=_cmd_cache)
+    cache_commands.add_parser(
+        "clear", help="delete every cache entry"
+    ).set_defaults(handler=_cmd_cache)
 
     scenarios = commands.add_parser(
         "scenarios", help="list the scenario catalogue / protocol registry"

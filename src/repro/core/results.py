@@ -18,6 +18,11 @@ class LeaderElectionResult:
     others NON_ELECTED (implicit variant: non-leaders need not know the
     leader's identity; ``explicit`` runs additionally populate
     ``known_leader``).
+
+    Under an adversary, ``crashed`` lists the crash-stopped nodes; as is
+    standard for crash-stop faults, the correctness condition then applies
+    to the *surviving* nodes only (a crashed candidate frozen at ⊥ does
+    not invalidate the survivors' election).
     """
 
     n: int
@@ -25,10 +30,15 @@ class LeaderElectionResult:
     metrics: MetricsRecorder
     meta: dict = field(default_factory=dict)
     known_leader: dict[int, int] | None = None
+    crashed: frozenset[int] = frozenset()
 
     @property
     def elected(self) -> list[int]:
-        return [v for v, s in self.statuses.items() if s is Status.ELECTED]
+        return [
+            v
+            for v, s in self.statuses.items()
+            if s is Status.ELECTED and v not in self.crashed
+        ]
 
     @property
     def leader(self) -> int | None:
@@ -40,7 +50,9 @@ class LeaderElectionResult:
         if len(self.elected) != 1:
             return False
         return all(
-            s in (Status.ELECTED, Status.NON_ELECTED) for s in self.statuses.values()
+            s in (Status.ELECTED, Status.NON_ELECTED)
+            for v, s in self.statuses.items()
+            if v not in self.crashed
         )
 
     @property

@@ -22,6 +22,18 @@ across every topology family.  The default backend can be overridden
 per-engine (``backend=``) or process-wide via the ``REPRO_ENGINE``
 environment variable (which worker processes inherit).
 
+Fault injection: the engine optionally takes an armed adversary
+(:meth:`repro.adversary.AdversarySpec.arm`) that may drop, delay, or
+duplicate messages in transit and crash-stop nodes on a schedule.  Both
+backends consume the adversary identically — each round's sends are
+flattened in canonical order (sender ascending, outbox position) before
+fault masks are drawn — so trial results stay bit-identical across
+backends under the same adversary seed.  The fast backend applies the
+masks directly on its batched outbox arrays; the reference backend is the
+differential oracle for faulty runs too.  Undelivered-message accounting
+distinguishes adversary losses from protocol slack
+(:meth:`SynchronousEngine.undelivered_detail`).
+
 Note on buffer reuse: inbox lists are recycled across rounds, so a node
 that wants to retain its inbox beyond the current ``step`` call must copy
 it (all in-repo protocols already do).
@@ -76,6 +88,7 @@ class SynchronousEngine:
         metrics: MetricsRecorder,
         label: str = "engine",
         backend: str | None = None,
+        adversary=None,
     ):
         if len(nodes) != topology.n:
             raise ValueError(
@@ -89,20 +102,40 @@ class SynchronousEngine:
         self.metrics = metrics
         self.label = label
         self.backend = backend
+        #: An :class:`~repro.adversary.ArmedAdversary` (or None).  Armed
+        #: state is single-use: one adversary per engine per protocol run.
+        self.adversary = adversary
         self.rounds_executed = 0
         self._in_flight = 0
+        self._dropped_protocol = 0
+        self._dropped_adversary = 0
+        self._crashed: set[int] = set()
 
     def run(self, max_rounds: int) -> int:
         """Run until all nodes halt or ``max_rounds`` elapse; returns rounds used."""
         if self.backend == "fast":
             return self._run_fast(max_rounds)
+        if self.adversary is not None:
+            return self._run_reference_adversary(max_rounds)
         return self._run_reference(max_rounds)
+
+    def _apply_crashes(self, round_index: int, alive: int) -> int:
+        """Crash-stop scheduled victims before they execute ``round_index``."""
+        for v in self.adversary.crashes_at(round_index):
+            node = self.nodes[v]
+            if not node.halted:
+                node.halted = True
+                self._crashed.add(v)
+                self.adversary.note_crash(round_index)
+                alive -= 1
+        return alive
 
     # -- reference backend -----------------------------------------------------
 
     def _run_reference(self, max_rounds: int) -> int:
         n = self.topology.n
         self._in_flight = 0
+        self._dropped_adversary = 0
         dropped = 0
         inboxes: list[list[tuple[int, Message]]] = [[] for _ in range(n)]
         spare: list[list[tuple[int, Message]]] = [[] for _ in range(n)]
@@ -140,7 +173,99 @@ class SynchronousEngine:
             for box in spare:
                 box.clear()
             self.rounds_executed += 1
-        self._in_flight = dropped + sum(len(inbox) for inbox in inboxes)
+        self._dropped_protocol = dropped
+        self._in_flight = sum(len(inbox) for inbox in inboxes)
+        return self.rounds_executed
+
+    def _run_reference_adversary(self, max_rounds: int) -> int:
+        """Reference oracle under faults: collect, then fault, then deliver.
+
+        The two-pass shape keeps the round's sends in the same canonical
+        order (sender ascending, outbox position) the fast backend batches
+        them in, so both backends hand :meth:`ArmedAdversary.message_masks`
+        identical arrays and consume the adversary stream identically.
+        """
+        n = self.topology.n
+        adv = self.adversary
+        delay_rounds = adv.spec.delay_rounds
+        self._in_flight = 0
+        dropped_protocol = 0
+        dropped_adversary = 0
+        inboxes: list[list[tuple[int, Message]]] = [[] for _ in range(n)]
+        spare: list[list[tuple[int, Message]]] = [[] for _ in range(n)]
+        alive = sum(not node.halted for node in self.nodes)
+        for _ in range(max_rounds):
+            round_index = self.rounds_executed
+            alive = self._apply_crashes(round_index, alive)
+            if alive == 0:
+                break
+            sends: list[tuple[int, int, Message]] = []
+            messages_this_round = 0
+            for v, node in enumerate(self.nodes):
+                if node.halted:
+                    if v in self._crashed:
+                        dropped_adversary += len(inboxes[v])
+                    else:
+                        dropped_protocol += len(inboxes[v])
+                    continue
+                outbox = node.step(round_index, inboxes[v])
+                if node.halted:
+                    alive -= 1
+                used_ports: set[int] = set()
+                for port, message in outbox:
+                    if port in used_ports:
+                        raise CongestViolation(
+                            f"node {v} sent two messages on port {port} in "
+                            f"round {round_index}"
+                        )
+                    used_ports.add(port)
+                    message.sender = v
+                    message.sender_port = port
+                    sends.append((v, port, message))
+                    messages_this_round += message.message_units(n)
+            self.metrics.charge(self.label, messages=messages_this_round, rounds=1)
+            next_inboxes = spare
+            for receiver, port, message in adv.pop_delayed(round_index + 1):
+                next_inboxes[receiver].append((port, message))
+            masks = None
+            if sends and adv.has_message_faults:
+                count = len(sends)
+                senders_arr = np.fromiter(
+                    (s for s, _, _ in sends), dtype=np.int64, count=count
+                )
+                ports_arr = np.fromiter(
+                    (p for _, p, _ in sends), dtype=np.int64, count=count
+                )
+                masks = adv.message_masks(round_index, senders_arr, ports_arr)
+            for i, (v, port, message) in enumerate(sends):
+                receiver = self.topology.neighbor_at_port(v, port)
+                receiver_port = self.topology.port_to(receiver, v)
+                if masks is not None:
+                    drop, delay, duplicate = masks
+                    if drop[i]:
+                        dropped_adversary += 1
+                        continue
+                    if delay[i]:
+                        adv.push_delayed(
+                            round_index + 1 + delay_rounds,
+                            receiver,
+                            receiver_port,
+                            message,
+                        )
+                        continue
+                    next_inboxes[receiver].append((receiver_port, message))
+                    if duplicate[i]:
+                        next_inboxes[receiver].append((receiver_port, message))
+                else:
+                    next_inboxes[receiver].append((receiver_port, message))
+            spare = inboxes
+            inboxes = next_inboxes
+            for box in spare:
+                box.clear()
+            self.rounds_executed += 1
+        self._dropped_protocol = dropped_protocol
+        self._dropped_adversary = dropped_adversary
+        self._in_flight = sum(len(inbox) for inbox in inboxes) + adv.pending_delayed
         return self.rounds_executed
 
     # -- fast (vectorized) backend ---------------------------------------------
@@ -165,15 +290,19 @@ class SynchronousEngine:
         table = self.topology.port_table()
         max_ports = max(1, table.max_ports)
         capacity = congest_capacity_bits(n) if n >= 2 else 1
+        adv = self.adversary
         self._in_flight = 0
-        dropped = 0
+        dropped_protocol = 0
+        dropped_adversary = 0
         inboxes: list[list[tuple[int, Message]]] = [[] for _ in range(n)]
         spare: list[list[tuple[int, Message]]] = [[] for _ in range(n)]
         alive = sum(not node.halted for node in self.nodes)
         for _ in range(max_rounds):
+            round_index = self.rounds_executed
+            if adv is not None:
+                alive = self._apply_crashes(round_index, alive)
             if alive == 0:
                 break
-            round_index = self.rounds_executed
             # Collect all outboxes into parallel per-node chunks; everything
             # per-message below runs at C speed (zip/chain/numpy), leaving
             # only the sender-stamp loop in Python.
@@ -183,7 +312,10 @@ class SynchronousEngine:
             message_chunks: list[tuple] = []
             for v, node in enumerate(self.nodes):
                 if node.halted:
-                    dropped += len(inboxes[v])
+                    if v in self._crashed:
+                        dropped_adversary += len(inboxes[v])
+                    else:
+                        dropped_protocol += len(inboxes[v])
                     continue
                 outbox = node.step(round_index, inboxes[v])
                 if node.halted:
@@ -195,6 +327,9 @@ class SynchronousEngine:
                     port_chunks.append(out_ports)
                     message_chunks.append(out_messages)
             next_inboxes = spare
+            if adv is not None:
+                for receiver, port, message in adv.pop_delayed(round_index + 1):
+                    next_inboxes[receiver].append((port, message))
             if chunk_sizes:
                 payloads: list[Message] = list(
                     itertools.chain.from_iterable(message_chunks)
@@ -240,6 +375,35 @@ class SynchronousEngine:
                 for message, sender, port in zip(payloads, sender_ints, port_ints):
                     message.sender = sender
                     message.sender_port = port
+                if adv is not None and adv.has_message_faults:
+                    # Fault masks over the whole batched round: dropped
+                    # messages vanish (charged but undelivered), delayed
+                    # ones join a later round's inbox, duplicated ones
+                    # appear twice back-to-back — all by index gymnastics
+                    # on the same parallel arrays, no per-message loop.
+                    drop, delay, duplicate = adv.message_masks(
+                        round_index, sender_arr, port_arr
+                    )
+                    if drop.any() or delay.any() or duplicate.any():
+                        dropped_adversary += int(drop.sum())
+                        if delay.any():
+                            arrival_round = round_index + 1 + adv.spec.delay_rounds
+                            for i in np.nonzero(delay)[0].tolist():
+                                adv.push_delayed(
+                                    arrival_round,
+                                    int(receiver_arr[i]),
+                                    int(arrival_arr[i]),
+                                    payloads[i],
+                                )
+                        keep = np.nonzero(~(drop | delay))[0]
+                        if duplicate.any():
+                            keep = np.repeat(
+                                keep, np.where(duplicate[keep], 2, 1)
+                            )
+                        receiver_arr = receiver_arr[keep]
+                        arrival_arr = arrival_arr[keep]
+                        payloads = [payloads[i] for i in keep.tolist()]
+                        count = len(payloads)
                 # Deliver grouped by receiver.  The stable sort preserves
                 # (sender, outbox-position) order within each inbox —
                 # identical to the reference engine's append order.
@@ -257,7 +421,7 @@ class SynchronousEngine:
                         next_inboxes[receiver].extend(
                             grouped[starts[i] : starts[i + 1]]
                         )
-                else:
+                elif count == 1:
                     next_inboxes[int(receiver_arr[0])].append(pairs[0])
             else:
                 messages_this_round = 0
@@ -267,7 +431,11 @@ class SynchronousEngine:
             for box in spare:
                 box.clear()
             self.rounds_executed += 1
-        self._in_flight = dropped + sum(len(inbox) for inbox in inboxes)
+        self._dropped_protocol = dropped_protocol
+        self._dropped_adversary = dropped_adversary
+        self._in_flight = sum(len(inbox) for inbox in inboxes)
+        if adv is not None:
+            self._in_flight += adv.pending_delayed
         return self.rounds_executed
 
     @staticmethod
@@ -283,11 +451,64 @@ class SynchronousEngine:
                 f"{slot % max_ports} in round {round_index}"
             )
 
-    def undelivered(self) -> int:
-        """Messages never consumed when :meth:`run` last returned.
+    # -- accounting ------------------------------------------------------------
 
-        Non-zero only when the engine halted mid-protocol: the round budget
-        ran out with sends pending, or messages were addressed to nodes
-        that had already halted and so never read them.
+    @property
+    def crashed_nodes(self) -> frozenset:
+        """Nodes the adversary crash-stopped (empty without an adversary).
+
+        Protocols hand this to their result so correctness conditions can
+        be evaluated over the surviving nodes, the standard crash-stop
+        convention.
         """
-        return self._in_flight
+        return frozenset(self._crashed)
+
+    def undelivered(self) -> int:
+        """Total messages never consumed when :meth:`run` last returned.
+
+        The sum of :meth:`undelivered_detail`'s three classes; non-zero
+        only when the engine halted mid-protocol or an adversary interfered.
+        """
+        return self._in_flight + self._dropped_protocol + self._dropped_adversary
+
+    def undelivered_detail(self) -> dict:
+        """Undelivered messages split by cause.
+
+        * ``in_flight`` — sends still queued when the round budget ran out
+          (including adversary-delayed messages whose delay never expired);
+        * ``dropped_protocol`` — protocol slack: messages addressed to
+          nodes that had already halted on their own;
+        * ``dropped_adversary`` — adversary losses: transit drops plus
+          messages addressed to crash-stopped nodes.
+        """
+        return {
+            "in_flight": self._in_flight,
+            "dropped_protocol": self._dropped_protocol,
+            "dropped_adversary": self._dropped_adversary,
+        }
+
+    def fault_stats(self) -> dict | None:
+        """The armed adversary's fault accounting, or None when unarmed."""
+        if self.adversary is None:
+            return None
+        return self.adversary.stats(self.rounds_executed)
+
+    def accounting_meta(self) -> dict:
+        """Result-meta entries for undelivered and fault accounting.
+
+        Without an adversary, entries appear only when something went
+        undelivered (the legacy convention).  With an adversary armed,
+        every key is always present — including zeros — so per-trial
+        extras aggregate cleanly across a sweep.
+        """
+        meta: dict = {}
+        total = self.undelivered()
+        if total or self.adversary is not None:
+            meta["undelivered"] = total
+            meta["undelivered_in_flight"] = self._in_flight
+            meta["undelivered_dropped_protocol"] = self._dropped_protocol
+            meta["undelivered_dropped_adversary"] = self._dropped_adversary
+        stats = self.fault_stats()
+        if stats is not None:
+            meta.update(stats)
+        return meta

@@ -78,7 +78,10 @@ def bbht_average_success(iteration_cap: int, marked_fraction: float) -> float:
     if abs(sin_2theta) < 1e-9:  # ε_f ≈ 1: sin²((2j+1)·π/2) = 1 for every j
         return 1.0
     m = iteration_cap
-    return 0.5 - math.sin(4.0 * m * theta) / (4.0 * m * sin_2theta)
+    # The expectation is in [0, 1] exactly; near θ = π/2 the ratio loses a
+    # few ulps to cancellation and can overshoot by ~1e-9, so clamp.
+    value = 0.5 - math.sin(4.0 * m * theta) / (4.0 * m * sin_2theta)
+    return min(1.0, max(0.0, value))
 
 
 def attempts_for_confidence(alpha: float, per_attempt_success: float = 0.25) -> int:

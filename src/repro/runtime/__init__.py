@@ -17,6 +17,7 @@ memo (:meth:`TopologySpec.build_cached`) and the on-disk
 and extend grids incrementally.
 """
 
+from repro.adversary import AdversarySpec
 from repro.runtime.catalog import (
     EXPERIMENT_SWEEPS,
     SCENARIOS,
@@ -50,6 +51,7 @@ from repro.runtime.scenario import (
 from repro.runtime.store import DEFAULT_CACHE_DIR, ResultStore
 
 __all__ = [
+    "AdversarySpec",
     "DEFAULT_CACHE_DIR",
     "EXPERIMENT_SWEEPS",
     "ProtocolRegistry",

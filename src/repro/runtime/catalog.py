@@ -3,7 +3,11 @@
 Each entry binds a registered protocol to a topology family and a default
 size grid.  Benchmarks and the CLI pull scenarios from here (overriding
 grids/seeds as needed), so a new scenario family — LE on a torus, agreement
-under skewed inputs — costs exactly one declaration.
+under skewed inputs, leader election under message loss — costs exactly
+one declaration.  Fault-injected families carry an
+:class:`~repro.adversary.AdversarySpec` (message drops, crash-stop
+schedules, worst-case agreement inputs) that every trial replays
+deterministically.
 
 ``EXPERIMENT_SWEEPS`` maps the paper's size-sweep experiments to their
 quantum/classical scenario pair; experiments that sweep a parameter other
@@ -13,6 +17,7 @@ ablations) are driven by their dedicated bench modules instead.
 
 from __future__ import annotations
 
+from repro.adversary import AdversarySpec
 from repro.runtime.scenario import Scenario, TopologySpec
 
 __all__ = [
@@ -249,6 +254,68 @@ def _catalogue() -> dict[str, Scenario]:
             trials=3,
             seed=131,
             description="Hirschberg–Sinclair on rings (O(n log n) baseline)",
+        ),
+        # -- fault-injected resilience families (repro.adversary) -------------
+        Scenario(
+            name="complete-le-lossy/classical",
+            protocol="le-complete/classical",
+            topology=complete,
+            sizes=(64, 128, 256),
+            trials=3,
+            seed=140,
+            adversary=AdversarySpec(drop_rate=0.05),
+            description="KPP LE on K_n under 5% transit message loss",
+        ),
+        Scenario(
+            name="ring-le-lossy/lcr",
+            protocol="le-ring/lcr",
+            topology=TopologySpec("cycle"),
+            sizes=(32, 64, 128),
+            trials=3,
+            seed=150,
+            adversary=AdversarySpec(drop_rate=0.02),
+            description="LCR under 2% loss: does the halt wave survive?",
+        ),
+        Scenario(
+            name="ring-le-crash/hs",
+            protocol="le-ring/hs",
+            topology=TopologySpec("cycle"),
+            sizes=(32, 64),
+            trials=3,
+            seed=160,
+            adversary=AdversarySpec(crash_count=2, crash_by=8),
+            description="Hirschberg–Sinclair with 2 crash-stops in rounds 0-7",
+        ),
+        Scenario(
+            name="diameter2-le-lossy/classical",
+            protocol="le-diameter2/classical",
+            topology=TopologySpec("erdos-renyi", (("p", 0.5),), fixed_seed=1000),
+            sizes=(128, 256),
+            trials=3,
+            seed=170,
+            normalize_by="candidates",
+            adversary=AdversarySpec(drop_rate=0.05),
+            description="CPR-style diameter-2 LE under 5% transit loss",
+        ),
+        Scenario(
+            name="agreement-worstcase/quantum",
+            protocol="agreement/quantum",
+            topology=complete,
+            sizes=(256, 1024),
+            trials=3,
+            seed=180,
+            adversary=AdversarySpec(input_schedule="tie"),
+            description="Quantum agreement against the worst-case tie input",
+        ),
+        Scenario(
+            name="agreement-worstcase/classical",
+            protocol="agreement/classical-shared",
+            topology=complete,
+            sizes=(256, 1024),
+            trials=3,
+            seed=181,
+            adversary=AdversarySpec(input_schedule="tie"),
+            description="AMP18 agreement against the worst-case tie input",
         ),
     ]
     return {scenario.name: scenario for scenario in scenarios}

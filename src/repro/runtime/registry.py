@@ -69,6 +69,12 @@ class ProtocolSpec:
     builder: Builder
     defaults: tuple[tuple[str, object], ...] = ()
     description: str = ""
+    #: Adversary capabilities the builder honours: "faults" (engine-level
+    #: message/crash injection via an ``adversary=`` kwarg) and/or "inputs"
+    #: (adversarial initial-value schedules).  A scenario whose
+    #: :class:`~repro.adversary.AdversarySpec` needs capabilities outside
+    #: this set is rejected before the trial runs.
+    supports: tuple[str, ...] = ()
 
     def run(self, topology: Topology, rng: RandomSource, **params) -> TrialOutcome:
         """Run one trial with registered defaults overridden by ``params``."""
@@ -169,10 +175,17 @@ def _from_mst(result) -> TrialOutcome:
 # -- shared input generators --------------------------------------------------
 
 
-def _binary_inputs(n: int, fraction: float) -> list[int]:
-    """0/1 input vector with ``fraction`` ones (the CLI/bench convention)."""
-    ones = int(fraction * n)
-    return [1] * ones + [0] * (n - ones)
+def _agreement_inputs(n: int, fraction: float, adversary, rng) -> list[int]:
+    """Benign inputs, or the adversary's schedule when one is armed.
+
+    The benign convention itself lives in
+    :func:`repro.adversary.inputs.benign_inputs` (one definition, so the
+    faulty and fault-free paths cannot diverge); ``adversarial_inputs``
+    falls back to it for a None/null spec.
+    """
+    from repro.adversary.inputs import adversarial_inputs
+
+    return adversarial_inputs(n, fraction, adversary, rng)
 
 
 def _random_weights(topology: Topology, rng: RandomSource) -> dict:
@@ -279,44 +292,43 @@ def _run_classical_le_general(topology, rng, **params) -> TrialOutcome:
     return _from_le(classical_le_general(topology, rng, **params))
 
 
-def _run_lcr_ring(topology, rng) -> TrialOutcome:
+def _run_lcr_ring(topology, rng, adversary=None) -> TrialOutcome:
     from repro.classical.leader_election.ring import lcr_ring
 
-    return _from_le(lcr_ring(topology.n, rng))
+    return _from_le(lcr_ring(topology.n, rng, adversary=adversary))
 
 
-def _run_hs_ring(topology, rng) -> TrialOutcome:
+def _run_hs_ring(topology, rng, adversary=None) -> TrialOutcome:
     from repro.classical.leader_election.ring import hirschberg_sinclair_ring
 
-    return _from_le(hirschberg_sinclair_ring(topology.n, rng))
+    return _from_le(hirschberg_sinclair_ring(topology.n, rng, adversary=adversary))
 
 
-def _run_quantum_agreement(topology, rng, fraction: float = 0.3, **params) -> TrialOutcome:
+def _run_quantum_agreement(
+    topology, rng, fraction: float = 0.3, adversary=None, **params
+) -> TrialOutcome:
     from repro.core.agreement import quantum_agreement
 
-    return _from_agreement(
-        quantum_agreement(_binary_inputs(topology.n, fraction), rng, **params)
-    )
+    inputs = _agreement_inputs(topology.n, fraction, adversary, rng)
+    return _from_agreement(quantum_agreement(inputs, rng, **params))
 
 
 def _run_classical_agreement_shared(
-    topology, rng, fraction: float = 0.3, **params
+    topology, rng, fraction: float = 0.3, adversary=None, **params
 ) -> TrialOutcome:
     from repro.classical.agreement.amp18 import classical_agreement_shared
 
-    return _from_agreement(
-        classical_agreement_shared(_binary_inputs(topology.n, fraction), rng, **params)
-    )
+    inputs = _agreement_inputs(topology.n, fraction, adversary, rng)
+    return _from_agreement(classical_agreement_shared(inputs, rng, **params))
 
 
 def _run_classical_agreement_private(
-    topology, rng, fraction: float = 0.3
+    topology, rng, fraction: float = 0.3, adversary=None
 ) -> TrialOutcome:
     from repro.classical.agreement.amp18 import classical_agreement_private
 
-    return _from_agreement(
-        classical_agreement_private(_binary_inputs(topology.n, fraction), rng)
-    )
+    inputs = _agreement_inputs(topology.n, fraction, adversary, rng)
+    return _from_agreement(classical_agreement_private(inputs, rng))
 
 
 def _run_quantum_mst(topology, rng, **params) -> TrialOutcome:
@@ -428,6 +440,7 @@ def register_builtin_protocols(registry: ProtocolRegistry) -> ProtocolRegistry:
             topologies=("complete",),
             builder=_run_classical_le_complete,
             description="[KPP+15b]-style classical LE on K_n: Θ̃(√n) messages.",
+            supports=("faults",),
         ),
         ProtocolSpec(
             name="le-mixing/quantum",
@@ -460,6 +473,7 @@ def register_builtin_protocols(registry: ProtocolRegistry) -> ProtocolRegistry:
             topologies=("diameter2-gnp", "erdos-renyi", "star", "wheel"),
             builder=_run_classical_le_diameter2,
             description="[CPR20]-style classical LE on diameter-2 graphs: Θ(n).",
+            supports=("faults",),
         ),
         ProtocolSpec(
             name="le-general/quantum",
@@ -484,6 +498,7 @@ def register_builtin_protocols(registry: ProtocolRegistry) -> ProtocolRegistry:
             topologies=("cycle",),
             builder=_run_lcr_ring,
             description="LCR ring baseline: O(n²) messages.",
+            supports=("faults",),
         ),
         ProtocolSpec(
             name="le-ring/hs",
@@ -492,6 +507,7 @@ def register_builtin_protocols(registry: ProtocolRegistry) -> ProtocolRegistry:
             topologies=("cycle",),
             builder=_run_hs_ring,
             description="Hirschberg–Sinclair ring baseline: O(n log n) messages.",
+            supports=("faults",),
         ),
         ProtocolSpec(
             name="agreement/quantum",
@@ -501,6 +517,7 @@ def register_builtin_protocols(registry: ProtocolRegistry) -> ProtocolRegistry:
             builder=_run_quantum_agreement,
             defaults=(("fraction", 0.3),),
             description="QuantumAgreement with shared coin: Õ(n^1/5) (Thm 6.7).",
+            supports=("inputs",),
         ),
         ProtocolSpec(
             name="agreement/classical-shared",
@@ -510,6 +527,7 @@ def register_builtin_protocols(registry: ProtocolRegistry) -> ProtocolRegistry:
             builder=_run_classical_agreement_shared,
             defaults=(("fraction", 0.3),),
             description="[AMP18] shared-coin agreement: Õ(n^2/5) messages.",
+            supports=("inputs",),
         ),
         ProtocolSpec(
             name="agreement/classical-private",
@@ -519,6 +537,7 @@ def register_builtin_protocols(registry: ProtocolRegistry) -> ProtocolRegistry:
             builder=_run_classical_agreement_private,
             defaults=(("fraction", 0.3),),
             description="Private-coin agreement via leader election: Θ̃(√n).",
+            supports=("inputs",),
         ),
         ProtocolSpec(
             name="mst/quantum",

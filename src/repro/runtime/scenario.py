@@ -233,6 +233,10 @@ class TopologySpec:
         return topology
 
 
+#: Sentinel distinguishing "keep the current adversary" from "set None".
+_KEEP = object()
+
+
 @dataclass(frozen=True)
 class Scenario:
     """A named, reproducible (protocol × topology × size-grid) binding."""
@@ -247,6 +251,10 @@ class Scenario:
     #: Divide each trial's messages by this ``extra`` key (rounded), e.g.
     #: "candidates" for the benchmarks' per-candidate normalization.
     normalize_by: str | None = None
+    #: Optional :class:`~repro.adversary.AdversarySpec` injected into every
+    #: trial.  Participates in the result-store cache key; a null spec is
+    #: normalized to None so it never perturbs identity or RNG streams.
+    adversary: object | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -256,6 +264,8 @@ class Scenario:
             raise ValueError(f"scenario {self.name!r} has sizes < 2: {self.sizes}")
         if self.trials < 1:
             raise ValueError(f"scenario {self.name!r} needs >= 1 trial")
+        if self.adversary is not None and self.adversary.is_null:
+            object.__setattr__(self, "adversary", None)
 
     @property
     def param_dict(self) -> dict:
@@ -268,8 +278,13 @@ class Scenario:
         seed: int | None = None,
         params: dict | None = None,
         name: str | None = None,
+        adversary: object = _KEEP,
     ) -> "Scenario":
-        """A copy with grid/seed/params swapped out (bench & CLI overrides)."""
+        """A copy with grid/seed/params swapped out (bench & CLI overrides).
+
+        ``adversary`` replaces the scenario's adversary spec when given
+        (pass None to strip one off); omitted, the existing spec is kept.
+        """
         merged_params = self.param_dict
         if params:
             merged_params.update(params)
@@ -280,6 +295,7 @@ class Scenario:
             trials=trials if trials is not None else self.trials,
             seed=seed if seed is not None else self.seed,
             params=tuple(sorted(merged_params.items())),
+            adversary=self.adversary if adversary is _KEEP else adversary,
         )
 
     def run_trial(self, n: int, rng: RandomSource, registry=None):
@@ -292,15 +308,24 @@ class Scenario:
         from repro.runtime.registry import default_registry
 
         registry = registry if registry is not None else default_registry()
+        spec = registry.get(self.protocol)
+        run_params = self.param_dict
+        if self.adversary is not None:
+            missing = self.adversary.required_capabilities() - set(spec.supports)
+            if missing:
+                raise ValueError(
+                    f"scenario {self.name!r}: protocol {self.protocol!r} does "
+                    f"not support adversary capabilities {sorted(missing)} "
+                    f"(supports: {sorted(spec.supports) or 'none'})"
+                )
+            run_params["adversary"] = self.adversary
         if self.topology.consumes_trial_rng:
             topology = self.topology.build(n, rng.spawn())
             protocol_rng = rng.spawn()
         else:
             topology = self.topology.build_cached(n)
             protocol_rng = rng
-        outcome = registry.get(self.protocol).run(
-            topology, protocol_rng, **self.param_dict
-        )
+        outcome = spec.run(topology, protocol_rng, **run_params)
         if self.normalize_by is not None:
             divisor = outcome.extra.get(self.normalize_by)
             if divisor is None:

@@ -5,8 +5,9 @@ per JSON file under a cache directory (default
 ``benchmarks/results/cache/``, resolved against the working directory;
 pin it with ``REPRO_RESULT_CACHE``).  The cache key digests everything
 that determines a trial set bit-for-bit — protocol, topology spec,
-protocol params, normalization, seed, trial count, size, and the size's
-grid position (seeds are spawned in grid order) — so a cache hit is
+protocol params, normalization, adversary spec, seed, trial count, size,
+and the size's grid position (seeds are spawned in grid order) — so a
+cache hit is
 always exact: ``repro sweep`` re-run with the same scenario skips straight
 to aggregation, and appending sizes to the grid only computes the new
 ones.
@@ -28,17 +29,26 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime.runner import TrialSet
     from repro.runtime.scenario import Scenario
 
-__all__ = ["DEFAULT_CACHE_DIR", "ResultStore"]
+__all__ = ["DEFAULT_CACHE_DIR", "DEFAULT_CACHE_MAX_ENTRIES", "ResultStore"]
 
 #: Default cache location, overridable via ``REPRO_RESULT_CACHE``.
 DEFAULT_CACHE_DIR = "benchmarks/results/cache"
 
+#: Default entry cap, overridable via ``REPRO_RESULT_CACHE_MAX``.
+DEFAULT_CACHE_MAX_ENTRIES = 4096
+
 #: Bump when the on-disk layout changes; old entries are simply missed.
-_FORMAT_VERSION = 1
+#: v2: identity gained the scenario's adversary spec.
+_FORMAT_VERSION = 2
 
 
 def _default_root() -> pathlib.Path:
     return pathlib.Path(os.environ.get("REPRO_RESULT_CACHE", DEFAULT_CACHE_DIR))
+
+
+def _default_max_entries() -> int:
+    raw = os.environ.get("REPRO_RESULT_CACHE_MAX", "")
+    return int(raw) if raw else DEFAULT_CACHE_MAX_ENTRIES
 
 
 def _slug(name: str) -> str:
@@ -46,10 +56,25 @@ def _slug(name: str) -> str:
 
 
 class ResultStore:
-    """Directory of cached trial sets keyed on (scenario identity, n)."""
+    """Directory of cached trial sets keyed on (scenario identity, n).
 
-    def __init__(self, root: str | os.PathLike | None = None):
+    The store is size-capped: whenever a save pushes the entry count past
+    ``max_entries``, the least-recently-written files are evicted (an
+    eviction only ever costs a recompute — every entry is reproducible
+    from its scenario).
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike | None = None,
+        max_entries: int | None = None,
+    ):
         self.root = pathlib.Path(root) if root is not None else _default_root()
+        self.max_entries = (
+            max_entries if max_entries is not None else _default_max_entries()
+        )
+        if self.max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {self.max_entries}")
 
     # -- keying ----------------------------------------------------------------
 
@@ -73,6 +98,11 @@ class ResultStore:
             },
             "params": [list(item) for item in scenario.params],
             "normalize_by": scenario.normalize_by,
+            "adversary": (
+                scenario.adversary.key_dict()
+                if scenario.adversary is not None
+                else None
+            ),
             "seed": scenario.seed,
             "trials": scenario.trials,
             "n": n,
@@ -131,7 +161,57 @@ class ResultStore:
         tmp = path.with_suffix(".tmp")
         tmp.write_text(json.dumps(payload, sort_keys=True, default=str, indent=1))
         tmp.replace(path)  # atomic on POSIX: readers never see partial JSON
+        self.evict()
         return path
+
+    # -- hygiene ---------------------------------------------------------------
+
+    def entries(self) -> list[pathlib.Path]:
+        """Every cache file, oldest write first.
+
+        Files that vanish mid-listing (a concurrent sweep's eviction or a
+        ``clear``) are silently skipped — the cache directory is shared.
+        """
+        if not self.root.is_dir():
+            return []
+        stamped = []
+        for path in self.root.glob("*.json"):
+            try:
+                stamped.append((path.stat().st_mtime, path.name, path))
+            except OSError:
+                continue
+        return [path for _, _, path in sorted(stamped)]
+
+    def stats(self) -> dict:
+        """Cache summary: root, entry count, total bytes, entry cap."""
+        paths = self.entries()
+        total = 0
+        for path in paths:
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return {
+            "root": str(self.root),
+            "entries": len(paths),
+            "bytes": total,
+            "max_entries": self.max_entries,
+        }
+
+    def evict(self) -> int:
+        """Drop least-recently-written entries beyond ``max_entries``."""
+        if not self.root.is_dir():
+            return 0
+        # Runs on every save: bail on a bare count before paying for the
+        # per-file stat + sort that ordering the eviction needs.
+        count = sum(1 for _ in self.root.glob("*.json"))
+        if count <= self.max_entries:
+            return 0
+        paths = self.entries()
+        excess = len(paths) - self.max_entries
+        for path in paths[:excess]:
+            path.unlink(missing_ok=True)
+        return max(0, excess)
 
     def clear(self) -> int:
         """Delete every cache entry; returns how many files were removed."""

@@ -1,0 +1,255 @@
+"""Engine-level fault semantics, identical on both backends.
+
+Deterministic, schedule-driven cases (no rate randomness) pin down the
+exact contract: what gets dropped, when delayed messages arrive, how
+duplicates are ordered, and how undelivered accounting attributes losses.
+"""
+
+import pytest
+
+from repro.adversary import AdversarySpec
+from repro.network import graphs
+from repro.network.engine import SynchronousEngine
+from repro.network.message import Message
+from repro.network.metrics import MetricsRecorder
+from repro.network.node import Node
+from repro.util.rng import RandomSource
+
+BACKENDS = ("fast", "reference")
+
+
+class Recorder(Node):
+    """Sends a tagged message on every port each round; records its inbox."""
+
+    def __init__(self, uid, degree, rng, send_rounds=2, lifetime=6):
+        super().__init__(uid, degree, rng)
+        self.send_rounds = send_rounds
+        self.lifetime = lifetime
+        self.received = []
+
+    def step(self, round_index, inbox):
+        self.received.extend(
+            (round_index, port, m.sender, m.payload) for port, m in inbox
+        )
+        if round_index < self.send_rounds:
+            return [
+                (p, Message("t", payload=(self.uid, round_index)))
+                for p in range(self.degree)
+            ]
+        if round_index >= self.lifetime:
+            self.halt()
+        return []
+
+
+def _run(topology, spec, backend, seed=3, **node_kwargs):
+    rng = RandomSource(seed)
+    armed = spec.arm(spec.derive_rng(rng), topology.n) if spec else None
+    nodes = [
+        Recorder(v, topology.degree(v), rng.spawn(), **node_kwargs)
+        for v in range(topology.n)
+    ]
+    metrics = MetricsRecorder()
+    engine = SynchronousEngine(
+        topology, nodes, metrics, backend=backend, adversary=armed
+    )
+    engine.run(max_rounds=10)
+    return engine, metrics, nodes
+
+
+class TestScheduledDrops:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_exact_edge_is_dropped(self, backend):
+        topology = graphs.cycle(4)
+        # Drop node 0's round-0 send on port 0 only.
+        spec = AdversarySpec(drop_schedule=((0, 0, 0),))
+        engine, metrics, nodes = _run(topology, spec, backend)
+        clean_engine, clean_metrics, clean_nodes = _run(topology, None, backend)
+        # Metrics still charge the dropped send.
+        assert metrics.messages == clean_metrics.messages
+        received = [n.received for n in nodes]
+        clean = [n.received for n in clean_nodes]
+        missing = [
+            entry
+            for box, clean_box in zip(received, clean)
+            for entry in clean_box
+            if entry not in box
+        ]
+        assert len(missing) == 1
+        assert missing[0][2] == 0  # the dropped message came from node 0
+        assert engine.undelivered_detail()["dropped_adversary"] == 1
+        assert engine.fault_stats()["fault_messages_dropped"] == 1
+
+
+class TestDelay:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_delayed_messages_arrive_late_and_first(self, backend):
+        topology = graphs.path(2)
+        spec = AdversarySpec(delay_rate=1.0, delay_rounds=2)
+        engine, _, nodes = _run(topology, spec, backend, send_rounds=1)
+        # Round-0 sends normally arrive in round 1; delayed by 2 they land
+        # in round 3.
+        for node in nodes:
+            rounds_seen = [entry[0] for entry in node.received]
+            assert rounds_seen == [3]
+        assert engine.fault_stats()["fault_messages_delayed"] == 2
+        assert engine.undelivered() == 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_delay_past_halt_counts_in_flight(self, backend):
+        topology = graphs.path(2)
+        spec = AdversarySpec(delay_rate=1.0, delay_rounds=9)
+        engine, _, nodes = _run(topology, spec, backend, send_rounds=1, lifetime=3)
+        assert all(node.received == [] for node in nodes)
+        # Both delayed messages never arrived: still in flight at return.
+        assert engine.undelivered_detail()["in_flight"] == 2
+
+
+class TestDuplicates:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_duplicates_arrive_back_to_back(self, backend):
+        topology = graphs.path(2)
+        spec = AdversarySpec(duplicate_rate=1.0)
+        engine, metrics, nodes = _run(topology, spec, backend, send_rounds=1)
+        for node in nodes:
+            assert len(node.received) == 2
+            assert node.received[0] == node.received[1]
+        # Duplication is free for the protocol: one charge per send.
+        assert metrics.messages == 2
+        assert engine.fault_stats()["fault_messages_duplicated"] == 2
+
+
+class TestCrashes:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_crash_before_round_zero_silences_node(self, backend):
+        topology = graphs.cycle(4)
+        spec = AdversarySpec(crashes=((2, 0),))
+        engine, _, nodes = _run(topology, spec, backend, send_rounds=1)
+        senders_seen = {entry[2] for node in nodes for entry in node.received}
+        assert 2 not in senders_seen
+        assert nodes[2].received == []
+        assert engine.fault_stats()["fault_nodes_crashed"] == 1
+        # Node 2's neighbours each sent it one message: adversary losses.
+        assert engine.undelivered_detail()["dropped_adversary"] == 2
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_crash_mid_run_keeps_earlier_sends(self, backend):
+        topology = graphs.cycle(4)
+        spec = AdversarySpec(crashes=((1, 1),))
+        _, _, nodes = _run(topology, spec, backend, send_rounds=2)
+        # Node 1's round-0 sends were delivered (crash hits before round 1).
+        round0_from_1 = [
+            entry
+            for node in nodes
+            for entry in node.received
+            if entry[2] == 1 and entry[3] == (1, 0)
+        ]
+        assert len(round0_from_1) == 2
+        round1_from_1 = [
+            entry
+            for node in nodes
+            for entry in node.received
+            if entry[2] == 1 and entry[3] == (1, 1)
+        ]
+        assert round1_from_1 == []
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_crashing_everyone_halts_the_run(self, backend):
+        topology = graphs.cycle(4)
+        spec = AdversarySpec(crashes=tuple((v, 1) for v in range(4)))
+        engine, metrics, _ = _run(topology, spec, backend)
+        assert engine.rounds_executed == 1
+        assert metrics.rounds == 1
+
+
+class TestAccountingMeta:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_fault_keys_always_present_when_armed(self, backend):
+        topology = graphs.cycle(4)
+        # Armed but harmless: scheduled drop on a round that never sends.
+        spec = AdversarySpec(drop_schedule=((9, 0, 0),))
+        engine, _, _ = _run(topology, spec, backend)
+        meta = engine.accounting_meta()
+        assert meta["fault_messages_dropped"] == 0
+        assert meta["undelivered"] == 0
+        # No fault fired: the whole run is the clean tail.
+        assert meta["fault_rounds_to_recovery"] == engine.rounds_executed
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_recovery_counts_clean_tail_rounds(self, backend):
+        topology = graphs.cycle(4)
+        spec = AdversarySpec(drop_schedule=((1, 0, 0),))
+        engine, _, _ = _run(topology, spec, backend)
+        meta = engine.accounting_meta()
+        # Fault fired in round 1; the run executed rounds 0..6 (halt at
+        # lifetime 6), so 5 clean rounds followed.
+        assert meta["fault_rounds_to_recovery"] == engine.rounds_executed - 2
+
+    def test_unarmed_engine_reports_no_fault_stats(self):
+        topology = graphs.cycle(4)
+        engine, _, _ = _run(topology, None, "fast")
+        assert engine.fault_stats() is None
+        assert engine.accounting_meta() == {}
+
+
+class TestCrashStopSuccess:
+    """Crash-stop convention: correctness applies to survivors only."""
+
+    def test_crashed_candidates_do_not_invalidate_survivors(self):
+        from repro.classical.leader_election.complete_kpp import (
+            classical_le_complete,
+        )
+
+        from repro.network.node import Status
+
+        spec = AdversarySpec(crash_count=6, crash_by=2, seed=4)
+        result = classical_le_complete(64, RandomSource(0), adversary=spec)
+        assert result.meta["fault_nodes_crashed"] == 6
+        assert len(result.crashed) == 6
+        # A crashed candidate is frozen at ⊥, which must not count against
+        # the surviving nodes' election.
+        assert any(result.statuses[v] is Status.UNDECIDED for v in result.crashed)
+        assert result.success
+        assert result.leader is not None
+        assert result.leader not in result.crashed
+
+    def test_crashed_nodes_property_empty_without_adversary(self):
+        from repro.classical.leader_election.complete_kpp import (
+            classical_le_complete,
+        )
+
+        result = classical_le_complete(16, RandomSource(0))
+        assert result.crashed == frozenset()
+
+
+class TestUndeliveredSplit:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_protocol_slack_vs_adversary_losses(self, backend):
+        topology = graphs.path(3)
+
+        class EdgeCase(Node):
+            # Node 0 halts immediately; node 1 keeps messaging both sides.
+            def step(self, round_index, inbox):
+                if self.uid == 0:
+                    self.halt()
+                    return []
+                if self.uid == 1 and round_index < 3:
+                    return [(p, Message("m")) for p in range(self.degree)]
+                if round_index >= 3:
+                    self.halt()
+                return []
+
+        rng = RandomSource(0)
+        spec = AdversarySpec(crashes=((2, 1),))
+        armed = spec.arm(spec.derive_rng(rng), 3)
+        nodes = [EdgeCase(v, topology.degree(v), rng.spawn()) for v in range(3)]
+        engine = SynchronousEngine(
+            topology, nodes, MetricsRecorder(), backend=backend, adversary=armed
+        )
+        engine.run(max_rounds=6)
+        detail = engine.undelivered_detail()
+        # Messages to node 0 (halted by choice) are protocol slack; messages
+        # to node 2 (crash-stopped before its first read) are adversary
+        # losses — three each, one per sending round.
+        assert detail["dropped_protocol"] == 3
+        assert detail["dropped_adversary"] == 3
+        assert engine.undelivered() == 6

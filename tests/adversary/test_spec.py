@@ -1,0 +1,141 @@
+"""Tests for AdversarySpec: validation, parsing, classification, arming."""
+
+import pytest
+
+from repro.adversary import NULL_ADVERSARY, AdversarySpec, ArmedAdversary
+from repro.util.rng import RandomSource
+
+
+class TestValidation:
+    def test_null_by_default(self):
+        spec = AdversarySpec()
+        assert spec.is_null
+        assert not spec.has_message_faults
+        assert not spec.has_crashes
+        assert not spec.has_input_faults
+        assert spec.required_capabilities() == set()
+
+    @pytest.mark.parametrize(
+        "field", ["drop_rate", "delay_rate", "duplicate_rate", "flip_fraction"]
+    )
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
+    def test_rates_must_be_probabilities(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            AdversarySpec(**{field: value})
+
+    def test_delay_rounds_positive(self):
+        with pytest.raises(ValueError, match="delay_rounds"):
+            AdversarySpec(delay_rounds=0)
+
+    def test_unknown_input_schedule_rejected(self):
+        with pytest.raises(ValueError, match="input_schedule"):
+            AdversarySpec(input_schedule="chaos")
+
+    def test_bad_schedule_entries_rejected(self):
+        with pytest.raises(ValueError, match="drop_schedule"):
+            AdversarySpec(drop_schedule=((1, 2),))
+        with pytest.raises(ValueError, match="crashes"):
+            AdversarySpec(crashes=((-1, 0),))
+
+    def test_capability_classification(self):
+        assert AdversarySpec(drop_rate=0.1).required_capabilities() == {"faults"}
+        assert AdversarySpec(crash_count=1).required_capabilities() == {"faults"}
+        assert AdversarySpec(input_schedule="tie").required_capabilities() == {
+            "inputs"
+        }
+        both = AdversarySpec(drop_rate=0.1, flip_fraction=0.1)
+        assert both.required_capabilities() == {"faults", "inputs"}
+
+
+class TestParse:
+    def test_empty_and_none_parse_to_null(self):
+        assert AdversarySpec.parse(None).is_null
+        assert AdversarySpec.parse("").is_null
+        assert AdversarySpec.parse("none").is_null
+
+    def test_full_grammar_round_trip(self):
+        spec = AdversarySpec.parse(
+            "drop=0.1,delay=0.05,delay-rounds=2,dup=0.01,crash=3@5,"
+            "crash-node=7@2,drop-edge=1:0:3,input=tie,flip=0.1,seed=42"
+        )
+        assert spec == AdversarySpec(
+            drop_rate=0.1,
+            delay_rate=0.05,
+            delay_rounds=2,
+            duplicate_rate=0.01,
+            crash_count=3,
+            crash_by=5,
+            crashes=((7, 2),),
+            drop_schedule=((1, 0, 3),),
+            input_schedule="tie",
+            flip_fraction=0.1,
+            seed=42,
+        )
+
+    def test_crash_without_round_defaults_to_first(self):
+        spec = AdversarySpec.parse("crash=2")
+        assert spec.crash_count == 2
+        assert spec.crash_by == 1
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown adversary key"):
+            AdversarySpec.parse("explode=1")
+
+    def test_malformed_clause_rejected(self):
+        with pytest.raises(ValueError, match="key=value"):
+            AdversarySpec.parse("drop")
+        with pytest.raises(ValueError, match="bad adversary clause"):
+            AdversarySpec.parse("drop=lots")
+
+    def test_describe_is_compact_and_stable(self):
+        spec = AdversarySpec(drop_rate=0.1, crash_count=2, crash_by=4)
+        assert spec.describe() == "drop=0.1,crash=2@<4"
+        assert NULL_ADVERSARY.describe() == "none"
+
+
+class TestDerivationAndArming:
+    def test_unpinned_stream_varies_per_trial(self):
+        spec = AdversarySpec(drop_rate=0.5)
+        root = RandomSource(0)
+        a = spec.derive_rng(root).generator.random(8)
+        b = spec.derive_rng(root).generator.random(8)
+        assert list(a) != list(b)
+
+    def test_pinned_seed_gives_one_stream(self):
+        spec = AdversarySpec(drop_rate=0.5, seed=9)
+        a = spec.derive_rng(RandomSource(0)).generator.random(8)
+        b = spec.derive_rng(RandomSource(1)).generator.random(8)
+        assert list(a) == list(b)
+
+    def test_arm_builds_crash_plan(self):
+        spec = AdversarySpec(crashes=((3, 2), (1, 0)), crash_count=2, crash_by=4)
+        armed = spec.arm(RandomSource(5), n=8)
+        assert isinstance(armed, ArmedAdversary)
+        scheduled = {
+            v for r in range(8) for v in armed.crashes_at(r)
+        }
+        assert {1, 3} <= scheduled
+        assert len(scheduled) == 4  # 2 explicit + 2 random victims
+        assert armed.crashes_at(0) and 1 in armed.crashes_at(0)
+        assert 3 in armed.crashes_at(2)
+
+    def test_explicit_crash_beats_random_victim(self):
+        # Node 0 explicitly crashes at round 7; even if the random draw
+        # also picks node 0, the explicit round must win.
+        spec = AdversarySpec(crashes=((0, 7),), crash_count=8, crash_by=3)
+        armed = spec.arm(RandomSource(1), n=8)
+        assert 0 in armed.crashes_at(7)
+
+    def test_spec_is_hashable_and_picklable(self):
+        import pickle
+
+        spec = AdversarySpec(drop_rate=0.1, crashes=((1, 2),))
+        assert hash(spec) == hash(AdversarySpec(drop_rate=0.1, crashes=((1, 2),)))
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_key_dict_is_json_ready(self):
+        import json
+
+        spec = AdversarySpec(drop_rate=0.1, drop_schedule=((0, 1, 2),))
+        text = json.dumps(spec.key_dict(), sort_keys=True)
+        assert "drop_rate" in text and "[0, 1, 2]" in text

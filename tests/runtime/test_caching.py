@@ -178,3 +178,51 @@ class TestResultStore:
         serial = run_scenario(scenario, jobs=1, store=ResultStore(tmp_path / "a"))
         parallel = run_scenario(scenario, jobs=2, store=ResultStore(tmp_path / "b"))
         assert serial.trial_sets == parallel.trial_sets
+
+
+class TestEviction:
+    def test_cap_evicts_oldest_entries(self, tmp_path):
+        import os
+        import time
+
+        writer = ResultStore(tmp_path)  # default cap: nothing evicted yet
+        scenarios = [_star_scenario(seed=s, sizes=(16,)) for s in range(5)]
+        now = time.time()
+        for i, scenario in enumerate(scenarios):
+            run_scenario(scenario, jobs=1, store=writer)
+            # mtime granularity can be coarse; pin an explicit write order.
+            os.utime(writer.path_for(scenario, 16, 0), (now + i, now + i))
+        capped = ResultStore(tmp_path, max_entries=3)
+        assert capped.evict() == 2
+        assert capped.stats()["entries"] == 3
+        # The two oldest writes are gone, the three newest survive.
+        assert capped.load(scenarios[0], 16, 0) is None
+        assert capped.load(scenarios[1], 16, 0) is None
+        for scenario in scenarios[2:]:
+            assert capped.load(scenario, 16, 0) is not None
+
+    def test_eviction_only_costs_a_recompute(self, tmp_path):
+        store = ResultStore(tmp_path, max_entries=1)
+        scenario = _star_scenario(sizes=(16, 32))
+        capped = run_scenario(scenario, jobs=1, store=store)
+        assert store.stats()["entries"] == 1
+        again = run_scenario(scenario, jobs=1, store=store)
+        assert capped.trial_sets == again.trial_sets
+
+    def test_cap_must_be_positive(self, tmp_path):
+        import pytest
+
+        with pytest.raises(ValueError, match="max_entries"):
+            ResultStore(tmp_path, max_entries=0)
+
+    def test_env_cap(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_CACHE_MAX", "7")
+        assert ResultStore(tmp_path).max_entries == 7
+
+    def test_stats_counts_entries_and_bytes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_scenario(_star_scenario(), jobs=1, store=store)
+        stats = store.stats()
+        assert stats["entries"] == 2
+        assert stats["bytes"] > 0
+        assert stats["root"] == str(tmp_path)

@@ -119,6 +119,151 @@ class TestScenariosCommand:
         assert "quantum" in out and "classical" in out
 
 
+class TestAdversaryFlags:
+    def test_parser_accepts_adversary_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--scenario", "ring-le/lcr", "--drop-rate", "0.1",
+             "--crash", "2@4", "--adversary", "delay=0.05"]
+        )
+        assert args.drop_rate == 0.1
+        assert args.crash == "2@4"
+        assert args.adversary == "delay=0.05"
+
+    def test_elect_with_drop_rate(self, capsys):
+        code = main(
+            ["elect", "--topology", "complete", "--n", "64", "--seed", "3",
+             "--drop-rate", "0.05"]
+        )
+        captured = capsys.readouterr()
+        assert "adversary [drop=0.05] armed" in captured.err
+        assert code in (0, 1)
+
+    def test_elect_rejects_faults_on_non_engine_protocol(self, capsys):
+        code = main(
+            ["elect", "--topology", "hypercube", "--n", "16", "--drop-rate", "0.1"]
+        )
+        assert code == 2
+        assert "does not support adversary" in capsys.readouterr().err
+
+    def test_bad_adversary_spec_is_an_error(self, capsys):
+        assert main(["elect", "--adversary", "explode=1"]) == 2
+        assert "unknown adversary key" in capsys.readouterr().err
+
+    def test_agree_with_input_schedule(self, capsys):
+        code = main(
+            ["agree", "--n", "128", "--seed", "1", "--adversary", "input=tie"]
+        )
+        out = capsys.readouterr().out
+        assert "adversary [input=tie]" in out
+        assert code in (0, 1)
+
+    def test_agree_rejects_message_faults(self, capsys):
+        assert main(["agree", "--n", "64", "--drop-rate", "0.1"]) == 2
+        assert "input adversary" in capsys.readouterr().err
+
+    def test_sweep_with_drop_rate_end_to_end(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path))
+        argv = ["sweep", "--scenario", "ring-le/lcr", "--sizes", "8,16",
+                "--trials", "2", "--jobs", "1", "--drop-rate", "0.1"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "adversary [drop=0.1]" in out
+        # The fault sweep cached under its own (adversary-aware) keys...
+        faulty_entries = sorted(tmp_path.glob("*.json"))
+        assert len(faulty_entries) == 2
+        # ... and a cached re-run reproduces the same table.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == out
+        # The fault-free sweep misses those keys and writes its own.
+        assert main(argv[:-2]) == 0
+        assert len(sorted(tmp_path.glob("*.json"))) == 4
+
+    def test_sweep_experiment_arms_supporting_side_only(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path))
+        code = main(
+            ["sweep", "--experiment", "E1", "--sizes", "32", "--trials", "1",
+             "--jobs", "1", "--drop-rate", "0.05"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "armed on the classical side only" in captured.err
+
+    def test_sweep_experiment_with_no_supporting_side_errors(self, capsys):
+        code = main(
+            ["sweep", "--experiment", "E3", "--sizes", "64", "--trials", "1",
+             "--jobs", "1", "--drop-rate", "0.05"]
+        )
+        assert code == 2
+        assert "neither side of E3" in capsys.readouterr().err
+
+    def test_sweep_fault_scenario_from_catalogue(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path))
+        code = main(
+            ["sweep", "--scenario", "complete-le-lossy/classical",
+             "--sizes", "64", "--trials", "2", "--jobs", "1"]
+        )
+        assert code == 0
+        assert "adversary [drop=0.05]" in capsys.readouterr().out
+
+    def test_explicit_zero_drop_rate_strips_catalogue_adversary(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path))
+        lossy = ["sweep", "--scenario", "ring-le-lossy/lcr", "--sizes", "32",
+                 "--trials", "3", "--jobs", "1"]
+        assert main(lossy) == 0
+        lossy_out = capsys.readouterr().out
+        assert "adversary [drop=0.02]" in lossy_out
+        # --drop-rate 0 is a request for the fault-free baseline, not a no-op.
+        assert main(lossy + ["--drop-rate", "0"]) == 0
+        baseline_out = capsys.readouterr().out
+        assert "adversary" not in baseline_out
+        assert baseline_out != lossy_out
+        # ... and --adversary none does the same.
+        assert main(lossy + ["--adversary", "none"]) == 0
+        assert "adversary" not in capsys.readouterr().out
+
+    def test_scenarios_table_shows_adversary_column(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "ring-le-lossy/lcr" in out
+        assert "drop=0.02" in out
+
+
+class TestCacheCommand:
+    def test_stats_and_clear(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path))
+        assert main(["cache", "stats"]) == 0
+        assert "entries    : 0" in capsys.readouterr().out
+        main(["sweep", "--scenario", "ring-le/lcr", "--sizes", "8",
+              "--trials", "1", "--jobs", "1"])
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        assert "entries    : 1" in capsys.readouterr().out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["cache", "stats"]) == 0
+        assert "entries    : 0" in capsys.readouterr().out
+
+    def test_list_empty_and_populated(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path))
+        assert main(["cache", "list"]) == 0
+        assert "empty" in capsys.readouterr().out
+        main(["sweep", "--scenario", "ring-le/lcr", "--sizes", "8",
+              "--trials", "1", "--jobs", "1", "--drop-rate", "0.1"])
+        capsys.readouterr()
+        assert main(["cache", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "ring-le/lcr" in out
+        assert "yes" in out  # adversary column
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+
 class TestElectTopologies:
     def test_diameter2_uses_true_diameter2_graph(self, capsys):
         # regression: used to draw erdos_renyi(n, 0.5) with no diameter check
