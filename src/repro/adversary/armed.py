@@ -137,6 +137,18 @@ class ArmedAdversary:
         self._delayed.setdefault(arrival_round, []).append((receiver, port, message))
         self._pending_delayed += 1
 
+    def push_delayed_many(
+        self, arrival_round: int, entries: list[tuple[int, int, object]]
+    ) -> None:
+        """Queue a whole round's delayed ``(receiver, port, payload)`` rows.
+
+        The batch dispatch path collects its delayed rows in one list (in
+        canonical send order — the same order repeated :meth:`push_delayed`
+        calls would enqueue them) and hands them over in one call.
+        """
+        self._delayed.setdefault(arrival_round, []).extend(entries)
+        self._pending_delayed += len(entries)
+
     def pop_delayed(self, arrival_round: int) -> list[tuple[int, int, object]]:
         """Messages whose delay expires at ``arrival_round`` (queue order)."""
         entries = self._delayed.pop(arrival_round, [])

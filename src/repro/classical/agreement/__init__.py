@@ -1,4 +1,4 @@
-"""Classical agreement baselines ([AMP18])."""
+"""Classical agreement baselines ([AMP18]) — analytical and engine-driven."""
 
 from repro.classical.agreement.amp18 import (
     classical_agreement_private,
@@ -6,10 +6,18 @@ from repro.classical.agreement.amp18 import (
     default_epsilon_classical,
     default_inform_width_classical,
 )
+from repro.classical.agreement.amp18_engine import (
+    classical_agreement_engine,
+    default_epsilon_engine,
+    default_inform_width_engine,
+)
 
 __all__ = [
+    "classical_agreement_engine",
     "classical_agreement_private",
     "classical_agreement_shared",
     "default_epsilon_classical",
+    "default_epsilon_engine",
     "default_inform_width_classical",
+    "default_inform_width_engine",
 ]

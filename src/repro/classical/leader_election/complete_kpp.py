@@ -19,8 +19,17 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.core.candidates import candidate_probability, rank_space
 from repro.core.results import LeaderElectionResult
+from repro.network.batch import (
+    STATUS_ELECTED,
+    STATUS_NON_ELECTED,
+    BatchProtocol,
+    MessageBatch,
+    wants_batch_dispatch,
+)
 from repro.network.engine import SynchronousEngine
 from repro.network.message import Message
 from repro.network.metrics import MetricsRecorder
@@ -88,11 +97,88 @@ class _KPPNode(Node):
         return []
 
 
+#: KPP wire vocabulary shared by the scalar and array-native implementations.
+_KPP_RANK, _KPP_BEST = 0, 1
+
+
+class _KPPBatch(BatchProtocol):
+    """Array-native three-round birthday protocol.
+
+    Column state: ``is_candidate``, ``rank``, ``best_seen``.  Round 0
+    draws each candidate's referee ports from the *same* per-node RNG
+    streams as the scalar :class:`_KPPNode` (a short Python loop over the
+    few Θ(log n · n / n) candidates); rounds 1 and 2 are pure numpy — the
+    referee replies of round 1 are literally the inbox batch turned
+    around (``senders = receivers``) with the group-maximum rank gathered
+    in.
+    """
+
+    def __init__(self, n: int, rngs, referees: int):
+        super().__init__(n)
+        self.rngs = rngs
+        self.referees = referees
+        self.is_candidate = np.zeros(n, dtype=bool)
+        self.rank = np.zeros(n, dtype=np.int64)
+        self.best_seen = np.zeros(n, dtype=np.int64)
+
+    def start(self, probability: float, space: int) -> int:
+        """Candidate/rank draws, mirroring ``_KPPNode.start`` per stream."""
+        for v in range(self.n):
+            if self.rngs[v].bernoulli(probability):
+                self.is_candidate[v] = True
+                self.rank[v] = self.rngs[v].uniform_int(1, space)
+            else:
+                self.status_codes[v] = STATUS_NON_ELECTED
+        return int(np.count_nonzero(self.is_candidate))
+
+    def step_batch(self, round_index, inbox):
+        n = self.n
+        if round_index == 0:
+            candidates = np.nonzero(self.is_candidate & ~self.halted)[0]
+            port_chunks = [
+                self.rngs[v].sample_without_replacement(n - 1, self.referees)
+                for v in candidates.tolist()
+            ]
+            if not port_chunks:
+                return None
+            senders = np.repeat(candidates, self.referees)
+            return MessageBatch(
+                senders=senders,
+                ports=np.concatenate(port_chunks),
+                kinds=np.full(len(senders), _KPP_RANK, dtype=np.int64),
+                values=self.rank[senders],
+            )
+        if round_index == 1:
+            if not len(inbox):
+                return None
+            rec = inbox.receivers
+            np.maximum.at(self.best_seen, rec, inbox.values)
+            return MessageBatch(
+                senders=rec,
+                ports=inbox.ports,
+                kinds=np.full(len(inbox), _KPP_BEST, dtype=np.int64),
+                values=self.best_seen[rec],
+            )
+        if round_index == 2:
+            highest = self.best_seen.copy()
+            if len(inbox):
+                np.maximum.at(highest, inbox.receivers, inbox.values)
+            alive = ~self.halted
+            candidate = self.is_candidate & alive
+            self.status_codes[candidate & (highest > self.rank)] = (
+                STATUS_NON_ELECTED
+            )
+            self.status_codes[candidate & (highest <= self.rank)] = STATUS_ELECTED
+            self.halted |= alive
+        return None
+
+
 def classical_le_complete(
     n: int,
     rng: RandomSource,
     referees: int | None = None,
     adversary=None,
+    node_api: str = "scalar",
 ) -> LeaderElectionResult:
     """Run the [KPP+15b]-style classical LE protocol on K_n.
 
@@ -101,6 +187,11 @@ def classical_le_complete(
     (message drop/delay/duplicate, crash-stop schedules).  Its random
     stream derives from ``rng`` before the per-node streams, so a null
     (or absent) spec leaves the run bit-identical to the fault-free path.
+
+    ``node_api`` selects the engine dispatch: ``"scalar"`` steps
+    :class:`_KPPNode` instances, ``"batch"`` (or ``"auto"``) runs the
+    array-native :class:`_KPPBatch` program — bit-identical by
+    construction under the same seeds and adversary specs.
     """
     if n < 2:
         raise ValueError(f"need n >= 2 nodes, got {n}")
@@ -117,20 +208,26 @@ def classical_le_complete(
         else None
     )
     node_rngs = rng.spawn_many(n)
-    nodes = [_KPPNode(v, n - 1, node_rngs[v], referees) for v in range(n)]
     probability = candidate_probability(n)
     space = rank_space(n)
-    candidates = 0
-    for node in nodes:
-        node.start(probability, space)
-        candidates += node.is_candidate
-
+    if wants_batch_dispatch(node_api):
+        program = _KPPBatch(n, node_rngs, referees)
+        candidates = program.start(probability, space)
+    else:
+        program = [_KPPNode(v, n - 1, node_rngs[v], referees) for v in range(n)]
+        candidates = 0
+        for node in program:
+            node.start(probability, space)
+            candidates += node.is_candidate
     engine = SynchronousEngine(
-        topology, nodes, metrics, label="kpp-le", adversary=armed
+        topology, program, metrics, label="kpp-le", adversary=armed
     )
     engine.run(max_rounds=4)
-
-    statuses = {v: nodes[v].status for v in range(n)}
+    statuses = (
+        program.statuses()
+        if isinstance(program, BatchProtocol)
+        else {v: program[v].status for v in range(n)}
+    )
     # Candidates that never heard anything higher may tie only on rank
     # collisions (probability ≤ 1/n² — Fact C.2).
     meta = {"candidates": candidates, "referees": referees}

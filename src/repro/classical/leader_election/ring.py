@@ -14,8 +14,17 @@ library-wide anonymous-network convention.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.candidates import rank_space
 from repro.core.results import LeaderElectionResult
+from repro.network.batch import (
+    STATUS_ELECTED,
+    STATUS_NON_ELECTED,
+    BatchProtocol,
+    MessageBatch,
+    wants_batch_dispatch,
+)
 from repro.network.engine import SynchronousEngine
 from repro.network.graphs import cycle
 from repro.network.message import Message
@@ -26,12 +35,12 @@ from repro.util.rng import RandomSource
 __all__ = ["lcr_ring", "hirschberg_sinclair_ring"]
 
 
-def _ring_ports(n: int, v: int) -> tuple[int, int]:
+def _ring_ports(topology, v: int) -> tuple[int, int]:
     """(clockwise_port, counterclockwise_port) of node v on cycle(n).
 
     The oriented-ring assumption: every node knows which port is clockwise.
     """
-    topology = cycle(n)
+    n = topology.n
     cw = topology.port_to(v, (v + 1) % n)
     ccw = topology.port_to(v, (v - 1) % n)
     return cw, ccw
@@ -90,13 +99,110 @@ class _LCRNode(Node):
         return list(per_port.items())
 
 
-def lcr_ring(n: int, rng: RandomSource, adversary=None) -> LeaderElectionResult:
+#: LCR wire vocabulary shared by the scalar and array-native implementations.
+_LCR_PROBE, _LCR_HALT = 0, 1
+
+
+class _LCRBatch(BatchProtocol):
+    """Array-native Chang–Roberts: the whole ring advances per numpy call.
+
+    State is three columns (``ring_id``, ``cw_port``, inherited
+    ``status_codes``/``halted``); each round reduces the inbox groups with
+    ``np.maximum.at`` and emits at most one message per node — the same
+    per-port collapse the scalar :class:`_LCRNode` performs, expressed
+    once over all nodes.  Trace-identical to the scalar implementation
+    (same RNG draws, same canonical send order, same CONGEST collapse
+    priorities), which the parity property tests assert bit-for-bit.
+    """
+
+    def __init__(self, topology, ring_ids: list[int]):
+        n = topology.n
+        super().__init__(n)
+        self.ring_id = np.asarray(ring_ids, dtype=np.int64)
+        self.cw_port = np.asarray(
+            [topology.port_to(v, (v + 1) % n) for v in range(n)], dtype=np.int64
+        )
+
+    def step_batch(self, round_index, inbox):
+        n = self.n
+        if round_index == 0:
+            # Every alive node opens with its own id clockwise ("started").
+            senders = np.nonzero(~self.halted)[0]
+            return MessageBatch(
+                senders=senders,
+                ports=self.cw_port[senders],
+                kinds=np.full(len(senders), _LCR_PROBE, dtype=np.int64),
+                values=self.ring_id[senders],
+            )
+        if not len(inbox):
+            return None
+        rec = inbox.receivers
+        probe = inbox.kinds == _LCR_PROBE
+        halt = inbox.kinds == _LCR_HALT
+        own = probe & (inbox.values == self.ring_id[rec])
+        any_own = np.zeros(n, dtype=bool)
+        any_own[rec[own]] = True
+        any_halt = np.zeros(n, dtype=bool)
+        any_halt[rec[halt]] = True
+        greater = probe & (inbox.values > self.ring_id[rec])
+        best = np.full(n, -1, dtype=np.int64)
+        np.maximum.at(best, rec[greater], inbox.values[greater])
+        # The scalar per-port collapse keeps the *last* halt a node
+        # appended; track each receiver's last inbound halt position.
+        last_halt = np.full(n, -1, dtype=np.int64)
+        np.maximum.at(last_halt, rec[halt], np.arange(len(inbox))[halt])
+        entering_elected = self.status_codes == STATUS_ELECTED
+        # Status transitions (ELECTED absorbs within a round, exactly as
+        # the scalar message loop behaves for any inbox interleaving).
+        self.status_codes[any_own] = STATUS_ELECTED
+        self.status_codes[any_halt & ~entering_elected & ~any_own] = (
+            STATUS_NON_ELECTED
+        )
+        # Outgoing message per node after the CONGEST collapse: a halt
+        # with the node's own id when its probe returned, else the last
+        # forwarded halt, else the strongest bigger probe — and an
+        # already-elected node only ever re-announces its own halt.
+        halt_own = any_own
+        halt_fwd = ~any_own & ~entering_elected & any_halt
+        probe_out = (
+            ~any_own & ~entering_elected & ~any_halt & (best >= 0)
+        )
+        senders = np.nonzero(halt_own | halt_fwd | probe_out)[0]
+        self.halted |= any_halt
+        if not len(senders):
+            return None
+        kinds = np.where(probe_out[senders], _LCR_PROBE, _LCR_HALT)
+        values = np.where(
+            halt_own[senders],
+            self.ring_id[senders],
+            np.where(
+                halt_fwd[senders],
+                inbox.values[last_halt[senders]],
+                best[senders],
+            ),
+        )
+        return MessageBatch(
+            senders=senders,
+            ports=self.cw_port[senders],
+            kinds=kinds,
+            values=values,
+        )
+
+
+def lcr_ring(
+    n: int, rng: RandomSource, adversary=None, node_api: str = "scalar"
+) -> LeaderElectionResult:
     """Run Chang–Roberts on an oriented ring of n nodes.
 
     ``adversary`` (an optional :class:`~repro.adversary.AdversarySpec`)
     injects engine-level faults; a dropped winning probe or halt token
     makes the ring run out its round budget undecided — exactly the
     resilience behaviour fault sweeps measure.
+
+    ``node_api`` selects the engine dispatch: ``"scalar"`` steps the
+    legacy :class:`_LCRNode` instances one by one, ``"batch"`` (or
+    ``"auto"``) runs the array-native :class:`_LCRBatch` program — both
+    are bit-identical under the same seeds and adversary specs.
     """
     if n < 3:
         raise ValueError(f"ring needs n >= 3 nodes, got {n}")
@@ -110,15 +216,22 @@ def lcr_ring(n: int, rng: RandomSource, adversary=None) -> LeaderElectionResult:
     node_rngs = rng.spawn_many(n)
     space = rank_space(n)
     ids = [node_rngs[v].uniform_int(1, space) for v in range(n)]
-    nodes = []
-    for v in range(n):
-        cw, _ = _ring_ports(n, v)
-        nodes.append(_LCRNode(v, 2, node_rngs[v], ids[v], cw))
+    if wants_batch_dispatch(node_api):
+        program = _LCRBatch(topology, ids)
+    else:
+        program = [
+            _LCRNode(v, 2, node_rngs[v], ids[v], _ring_ports(topology, v)[0])
+            for v in range(n)
+        ]
     engine = SynchronousEngine(
-        topology, nodes, metrics, label="lcr", adversary=armed
+        topology, program, metrics, label="lcr", adversary=armed
     )
     engine.run(max_rounds=3 * n + 4)
-    statuses = {v: nodes[v].status for v in range(n)}
+    statuses = (
+        program.statuses()
+        if isinstance(program, BatchProtocol)
+        else {v: program[v].status for v in range(n)}
+    )
     for v in range(n):  # anyone still undecided (duplicate-id pathology)
         if statuses[v] is Status.UNDECIDED:
             statuses[v] = Status.NON_ELECTED
@@ -235,7 +348,7 @@ def hirschberg_sinclair_ring(
     ids = [node_rngs[v].uniform_int(1, space) for v in range(n)]
     nodes = []
     for v in range(n):
-        cw, ccw = _ring_ports(n, v)
+        cw, ccw = _ring_ports(topology, v)
         nodes.append(_HSNode(v, 2, node_rngs[v], ids[v], cw, ccw))
     engine = SynchronousEngine(
         topology, nodes, metrics, label="hs", adversary=armed

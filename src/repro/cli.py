@@ -12,9 +12,20 @@ Commands:
                                   backend; per-size results are cached under
                                   ``benchmarks/results/cache/`` unless
                                   ``--no-cache``);
-* ``scenarios``                 — list the scenario catalogue and registry;
+* ``scenarios``                 — list the scenario catalogue (``--json``
+                                  for a machine-readable dump);
+* ``protocols``                 — list the protocol registry with its
+                                  capability tags (``--json`` for tooling);
 * ``cache list|stats|clear``    — inspect or empty the on-disk result cache;
 * ``routing-demo``              — the Appendix-A superposed-send demo.
+
+``elect``, ``agree``, and ``sweep`` accept ``--node-api {auto,batch,scalar}``
+selecting the engine dispatch for protocols that declare the ``batch``
+capability: ``auto`` (the default) runs the array-native
+:class:`~repro.network.batch.BatchProtocol` implementation when one
+exists, ``scalar`` forces the legacy per-node path, and ``batch``
+requires the array-native path (an error for scalar-only protocols).
+Both paths are bit-identical under the same seeds and adversary specs.
 
 ``elect``, ``agree``, and ``sweep`` accept adversary flags (``--drop-rate``,
 ``--crash N[@R]``, and the full ``--adversary`` spec grammar of
@@ -73,6 +84,17 @@ def _adversary_from_args(args):
     if updates:
         spec = spec.with_updates(**updates)
     return spec
+
+
+def _add_node_api_flag(parser) -> None:
+    parser.add_argument(
+        "--node-api",
+        choices=("auto", "batch", "scalar"),
+        default="auto",
+        help="engine dispatch for batch-capable protocols: array-native "
+        "'batch', legacy per-node 'scalar', or 'auto' (batch when "
+        "available; both are bit-identical)",
+    )
 
 
 def _add_adversary_flags(parser) -> None:
@@ -183,6 +205,15 @@ def _cmd_elect(args) -> int:
             file=sys.stderr,
         )
 
+    classical_spec = registry.get(classical_name)
+    try:
+        resolved_api = classical_spec.resolve_node_api(args.node_api)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if "batch" in classical_spec.supports:
+        classical_params["node_api"] = resolved_api
+
     spec = TopologySpec(family, topo_params)
     if spec.consumes_trial_rng:
         topology = spec.build(args.n, rng.spawn())
@@ -245,15 +276,26 @@ def _cmd_agree(args) -> int:
     classical = registry.get("agreement/classical-shared").run(
         topology, rng.spawn(), **side_params
     )
+    # Third row: the engine-driven AMP18 realization (real CONGEST
+    # messages), dispatched through the requested node API.  It needs a
+    # ring of successors to inform, so the degenerate K_2 (which the
+    # analytical rows accept) simply omits the row.
+    rows = [("quantum  ", quantum), ("classical", classical)]
+    if args.n >= 3:
+        engine_spec = registry.get("agreement/amp18-engine")
+        engine_params = dict(side_params)
+        engine_params["node_api"] = engine_spec.resolve_node_api(args.node_api)
+        engine_side = engine_spec.run(topology, rng.spawn(), **engine_params)
+        rows.append((f"engine[{engine_params['node_api']}]", engine_side))
     ones = int(args.fraction * args.n)
     suffix = f", adversary [{adversary.describe()}]" if adversary is not None else ""
     print(f"implicit agreement on K_{args.n} ({ones} benign ones{suffix})")
-    for label, outcome in (("quantum  ", quantum), ("classical", classical)):
+    for label, outcome in rows:
         print(
             f"  {label}: value={outcome.detail.get('value')} "
             f"messages={int(outcome.messages):,} valid={outcome.success}"
         )
-    return 0 if quantum.success and classical.success else 1
+    return 0 if all(outcome.success for _, outcome in rows) else 1
 
 
 def _parse_sizes(text: str | None) -> tuple[int, ...] | None:
@@ -305,6 +347,39 @@ def _cmd_sweep(args) -> int:
         except KeyError as error:
             print(error, file=sys.stderr)
             return 2
+        if args.node_api != "auto":
+            # Like adversary arming: an explicit batch request applies to
+            # the sides that have an array-native implementation; scalar
+            # applies everywhere.
+            from repro.runtime import default_registry
+
+            registry = default_registry()
+            sides = {"quantum": quantum_scenario, "classical": classical_scenario}
+            skipped = []
+            for label, side_scenario in sides.items():
+                supports = registry.get(side_scenario.protocol).supports
+                if args.node_api == "batch" and "batch" not in supports:
+                    skipped.append(label)
+                else:
+                    sides[label] = side_scenario.with_overrides(
+                        node_api=args.node_api
+                    )
+            if args.node_api == "batch" and len(skipped) == 2:
+                print(
+                    f"neither side of {args.experiment} has an array-native "
+                    f"implementation (--node-api batch)",
+                    file=sys.stderr,
+                )
+                return 2
+            if skipped:
+                print(
+                    f"--node-api batch applies to the "
+                    f"{' and '.join(sorted(set(sides) - set(skipped)))} side "
+                    f"only ({' and '.join(skipped)} stays scalar)",
+                    file=sys.stderr,
+                )
+            quantum_scenario = sides["quantum"]
+            classical_scenario = sides["classical"]
         if adversary is not None and adversary.is_null:
             # Explicit fault-free baseline: strip any catalogue adversary.
             quantum_scenario = quantum_scenario.with_overrides(adversary=None)
@@ -384,6 +459,8 @@ def _cmd_sweep(args) -> int:
         return 2
     if adversary is not None:
         scenario = scenario.with_overrides(adversary=adversary)
+    if args.node_api != "auto":
+        scenario = scenario.with_overrides(node_api=args.node_api)
     try:
         run = run_scenario(scenario, jobs=args.jobs, seed=args.seed, **overrides)
     except ValueError as error:
@@ -405,13 +482,18 @@ def _cmd_sweep(args) -> int:
         if scenario.adversary is not None
         else ""
     )
+    api_note = (
+        f", node-api {scenario.resolved_node_api}"
+        if scenario.resolved_node_api != "scalar"
+        else ""
+    )
     print(
         render_table(
             ["n", "msgs mean", "p50", "p90", "rounds", "success"],
             rows,
             title=f"{scenario.name} ({scenario.protocol} on "
             f"{scenario.topology.family}, {run.trial_sets[0].trials} "
-            f"trials/size{adversary_note})",
+            f"trials/size{adversary_note}{api_note})",
         )
     )
     if len(run.sizes) >= 2:
@@ -419,17 +501,72 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
-def _cmd_scenarios(args) -> int:
+def _scenario_dict(scenario) -> dict:
+    """JSON-ready catalogue entry for ``repro scenarios --json``."""
+    return {
+        "name": scenario.name,
+        "protocol": scenario.protocol,
+        "topology": {
+            "family": scenario.topology.family,
+            "params": dict(scenario.topology.params),
+            "fixed_seed": scenario.topology.fixed_seed,
+        },
+        "sizes": list(scenario.sizes),
+        "params": dict(scenario.params),
+        "trials": scenario.trials,
+        "seed": scenario.seed,
+        "normalize_by": scenario.normalize_by,
+        "adversary": (
+            scenario.adversary.key_dict() if scenario.adversary else None
+        ),
+        "node_api": scenario.node_api,
+        "resolved_node_api": scenario.resolved_node_api,
+        "description": scenario.description,
+    }
+
+
+def _cmd_protocols(args) -> int:
+    import json
+
     from repro.analysis.tables import render_table
-    from repro.runtime import SCENARIOS, default_registry
+    from repro.runtime import default_registry
+
+    if getattr(args, "json", False):
+        print(json.dumps(
+            [spec.describe_dict() for spec in default_registry()], indent=2
+        ))
+        return 0
+    rows = [
+        [
+            spec.name,
+            spec.side,
+            spec.family,
+            ",".join(sorted(spec.supports)) or "-",
+            spec.description,
+        ]
+        for spec in default_registry()
+    ]
+    print(render_table(["protocol", "side", "family", "supports", "claim"],
+                       rows, title="registered protocols"))
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    import json
+
+    from repro.analysis.tables import render_table
+    from repro.runtime import SCENARIOS
 
     if args.protocols:
-        rows = [
-            [spec.name, spec.side, spec.family, spec.description]
-            for spec in default_registry()
-        ]
-        print(render_table(["protocol", "side", "family", "claim"], rows,
-                           title="registered protocols"))
+        return _cmd_protocols(args)
+    if getattr(args, "json", False):
+        print(json.dumps(
+            [
+                _scenario_dict(scenario)
+                for _, scenario in sorted(SCENARIOS.items())
+            ],
+            indent=2,
+        ))
         return 0
     rows = [
         [
@@ -549,6 +686,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine backend: vectorized 'fast' (default) or the "
         "'reference' oracle loop (both are trace-equivalent)",
     )
+    _add_node_api_flag(elect)
     _add_adversary_flags(elect)
     elect.set_defaults(handler=_cmd_elect)
 
@@ -556,6 +694,7 @@ def build_parser() -> argparse.ArgumentParser:
     agree.add_argument("--n", type=int, default=4096)
     agree.add_argument("--fraction", type=float, default=0.3)
     agree.add_argument("--seed", type=int, default=0)
+    _add_node_api_flag(agree)
     _add_adversary_flags(agree)
     agree.set_defaults(handler=_cmd_agree)
 
@@ -594,6 +733,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the on-disk result cache and the per-worker topology "
         "memo; every trial recomputes from scratch",
     )
+    _add_node_api_flag(sweep)
     _add_adversary_flags(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
@@ -622,7 +762,24 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios.add_argument(
         "--protocols", action="store_true", help="list registered protocols instead"
     )
+    scenarios.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable catalogue dump (adversary specs, node-api, "
+        "grids) for tooling and CI",
+    )
     scenarios.set_defaults(handler=_cmd_scenarios)
+
+    protocols = commands.add_parser(
+        "protocols", help="list the protocol registry with capability tags"
+    )
+    protocols.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable registry dump (supports tags, defaults, "
+        "topologies) for tooling and CI",
+    )
+    protocols.set_defaults(handler=_cmd_protocols)
 
     demo = commands.add_parser("routing-demo", help="Appendix-A superposed send")
     demo.add_argument("--leaves", type=int, default=3)

@@ -1,5 +1,11 @@
 """Classical CONGEST substrate: topologies, messages, metrics, engine, walks."""
 
+from repro.network.batch import (
+    STATUS_CODES,
+    BatchProtocol,
+    MessageBatch,
+    ScalarAdapter,
+)
 from repro.network.engine import (
     BACKENDS,
     CongestViolation,
@@ -51,6 +57,7 @@ from repro.network.topology import (
 
 __all__ = [
     "BACKENDS",
+    "BatchProtocol",
     "BipartitePortTable",
     "CONGEST_FACTOR",
     "CSRPortTable",
@@ -62,11 +69,14 @@ __all__ = [
     "HypercubePortTable",
     "HypercubeTopology",
     "Message",
+    "MessageBatch",
     "MetricsRecorder",
     "Node",
     "PhaseMetrics",
     "PortTable",
     "RandomWalk",
+    "STATUS_CODES",
+    "ScalarAdapter",
     "SpanningTree",
     "StarPortTable",
     "StarTopology",

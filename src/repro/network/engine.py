@@ -6,15 +6,24 @@ and charges every delivered message to the metrics recorder.  It is used by
 the classical baselines whose round counts are small enough to simulate
 directly (ring LE, KPP complete-graph LE, CPR diameter-2 LE, ...).
 
-Two interchangeable backends implement :meth:`SynchronousEngine.run`:
+Three dispatch paths implement :meth:`SynchronousEngine.run`:
 
-* ``"fast"`` (the default) batches each round's outboxes into parallel
-  arrays and resolves all receivers and arrival ports with numpy gathers
-  through the topology's precomputed
+* ``"fast"`` (the default scalar backend) batches each round's outboxes
+  into parallel arrays and resolves all receivers and arrival ports with
+  numpy gathers through the topology's precomputed
   :class:`~repro.network.porttable.PortTable` — O(1) routing per message
   and vectorized CONGEST-violation detection;
 * ``"reference"`` is the original one-message-at-a-time Python loop, kept
-  as the differential-testing oracle.
+  as the differential-testing oracle;
+* the **batch** path (:meth:`_run_fast_batch`) engages automatically when
+  the engine is constructed with a
+  :class:`~repro.network.batch.BatchProtocol` instead of a node list: the
+  whole round is one ``step_batch`` call over array inboxes/outboxes fed
+  straight from the port-table gathers — no per-node dispatch, no tuple
+  materialization.  It reuses the fast backend's routing arrays and is
+  backend-independent (selecting ``backend="reference"`` with a batch
+  program still runs the batch path; the differential oracle for a batch
+  protocol is its *scalar* implementation on either scalar backend).
 
 Both backends are trace-equivalent by construction — same delivery order,
 same metrics charges, same RNG consumption — which the test suite asserts
@@ -45,10 +54,16 @@ import gc
 import itertools
 import operator
 import os
+import warnings
 
 import numpy as np
 
-from repro.network.message import Message, congest_capacity_bits
+from repro.network.batch import BatchProtocol, MessageBatch
+from repro.network.message import (
+    Message,
+    congest_capacity_bits,
+    message_units_array,
+)
 from repro.network.metrics import MetricsRecorder
 from repro.network.node import Node
 from repro.network.topology import Topology
@@ -79,26 +94,69 @@ class CongestViolation(RuntimeError):
 
 
 class SynchronousEngine:
-    """Runs :class:`~repro.network.node.Node` instances in lockstep rounds."""
+    """Runs a node program — scalar ``Node`` list or ``BatchProtocol`` —
+    in lockstep rounds.
+
+    ``program`` is either a list of :class:`~repro.network.node.Node`
+    instances (dispatched per node through the ``fast``/``reference``
+    backends) or one :class:`~repro.network.batch.BatchProtocol`
+    (dispatched whole-network-per-round through the batch path).  The
+    legacy ``nodes=`` keyword still works but is deprecated — prefer the
+    positional ``program`` argument, or better, build runs through the
+    protocol registry (:mod:`repro.runtime`), which owns the node-API
+    selection (``--node-api``).
+    """
 
     def __init__(
         self,
         topology: Topology,
-        nodes: list[Node],
-        metrics: MetricsRecorder,
+        program=None,
+        metrics: MetricsRecorder = None,
         label: str = "engine",
         backend: str | None = None,
         adversary=None,
+        *,
+        nodes: list[Node] | None = None,
     ):
-        if len(nodes) != topology.n:
-            raise ValueError(
-                f"topology has {topology.n} nodes but {len(nodes)} were provided"
+        if nodes is not None:
+            if program is not None:
+                raise TypeError(
+                    "pass either the positional `program` argument or the "
+                    "legacy nodes= keyword, not both"
+                )
+            warnings.warn(
+                "SynchronousEngine(nodes=...) is deprecated; pass the node "
+                "list (or a BatchProtocol) as the second positional "
+                "`program` argument, or dispatch through the protocol "
+                "registry (repro.runtime), which selects the node API",
+                DeprecationWarning,
+                stacklevel=2,
             )
+            program = nodes
+        if program is None:
+            raise TypeError("SynchronousEngine needs a node program")
+        if metrics is None:
+            raise TypeError("SynchronousEngine needs a MetricsRecorder")
+        if isinstance(program, BatchProtocol):
+            if program.n != topology.n:
+                raise ValueError(
+                    f"topology has {topology.n} nodes but the batch program "
+                    f"has {program.n}"
+                )
+            self.program: BatchProtocol | None = program
+            self.nodes = []
+        else:
+            if len(program) != topology.n:
+                raise ValueError(
+                    f"topology has {topology.n} nodes but {len(program)} "
+                    f"were provided"
+                )
+            self.program = None
+            self.nodes = program
         backend = backend if backend is not None else default_backend()
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         self.topology = topology
-        self.nodes = nodes
         self.metrics = metrics
         self.label = label
         self.backend = backend
@@ -113,6 +171,18 @@ class SynchronousEngine:
 
     def run(self, max_rounds: int) -> int:
         """Run until all nodes halt or ``max_rounds`` elapse; returns rounds used."""
+        if self.program is not None:
+            if self.backend == "reference":
+                warnings.warn(
+                    "backend='reference' has no effect on a BatchProtocol "
+                    "program: the batch dispatch path will run.  The "
+                    "differential oracle for a batch protocol is its scalar "
+                    "implementation — select it with node_api='scalar' "
+                    "(CLI: --node-api scalar)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return self._run_fast_batch(max_rounds)
         if self.backend == "fast":
             return self._run_fast(max_rounds)
         if self.adversary is not None:
@@ -361,7 +431,7 @@ class SynchronousEngine:
                     bits = np.fromiter(
                         (m.bits for m in payloads), dtype=np.int64, count=count
                     )
-                    units = np.maximum(1, -(-bits // capacity))
+                    units = message_units_array(bits, capacity)
                     messages_this_round = int(units.sum())
                 else:
                     messages_this_round = count
@@ -434,6 +504,222 @@ class SynchronousEngine:
         self._dropped_protocol = dropped_protocol
         self._dropped_adversary = dropped_adversary
         self._in_flight = sum(len(inbox) for inbox in inboxes)
+        if adv is not None:
+            self._in_flight += adv.pending_delayed
+        return self.rounds_executed
+
+    # -- batch (array-native) dispatch path ------------------------------------
+
+    def _apply_crashes_batch(self, round_index: int, alive: int) -> int:
+        """Crash-stop scheduled victims of a :class:`BatchProtocol` program."""
+        program = self.program
+        halted = program.halted_mask()
+        for v in self.adversary.crashes_at(round_index):
+            if not halted[v]:
+                program.force_halt(v)
+                self._crashed.add(v)
+                self.adversary.note_crash(round_index)
+                alive -= 1
+        return alive
+
+    def _run_fast_batch(self, max_rounds: int) -> int:
+        # Same GC rationale as the scalar fast path; batch protocols that
+        # stay array-native allocate almost nothing per round, but the
+        # ScalarAdapter's tuple churn benefits exactly like _run_fast.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            return self._run_fast_batch_inner(max_rounds)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _run_fast_batch_inner(self, max_rounds: int) -> int:
+        """One ``step_batch`` call per round over the whole alive network.
+
+        Trace-equivalent to the scalar backends by construction: inbound
+        rows to halted nodes are dropped with the same accounting, fault
+        masks are drawn over the same canonically-ordered ``(senders,
+        ports)`` arrays, delayed arrivals precede the round's direct
+        sends, and the stable receiver sort reproduces the scalar
+        backends' per-inbox append order.
+        """
+        program = self.program
+        n = self.topology.n
+        table = self.topology.port_table()
+        max_ports = max(1, table.max_ports)
+        capacity = congest_capacity_bits(n) if n >= 2 else 1
+        adv = self.adversary
+        object_mode = program.uses_messages
+        self._in_flight = 0
+        dropped_protocol = 0
+        dropped_adversary = 0
+        empty = MessageBatch.empty(object_mode)
+        inbox = empty
+        alive = program.alive_count()
+        for _ in range(max_rounds):
+            round_index = self.rounds_executed
+            if adv is not None:
+                alive = self._apply_crashes_batch(round_index, alive)
+            if alive == 0:
+                break
+            if len(inbox):
+                # Halted receivers drop their pending inbox rows — same
+                # classification as the scalar paths (crash-stopped nodes
+                # charge the adversary, self-halted ones the protocol).
+                to_halted = program.halted_mask()[inbox.receivers]
+                if to_halted.any():
+                    if self._crashed:
+                        crashed = np.fromiter(
+                            self._crashed, dtype=np.int64, count=len(self._crashed)
+                        )
+                        to_crashed = to_halted & np.isin(inbox.receivers, crashed)
+                        dropped_adversary += int(np.count_nonzero(to_crashed))
+                        dropped_protocol += int(
+                            np.count_nonzero(to_halted & ~to_crashed)
+                        )
+                    else:
+                        dropped_protocol += int(np.count_nonzero(to_halted))
+                    inbox = inbox.take(np.nonzero(~to_halted)[0])
+            outbox = program.step_batch(round_index, inbox)
+            alive = program.alive_count()
+            count = 0 if outbox is None else len(outbox)
+            messages_this_round = 0
+            delayed = adv.pop_delayed(round_index + 1) if adv is not None else []
+            receiver_arr = arrival_arr = None
+            if count:
+                senders = outbox.senders
+                ports = outbox.ports
+                if count > 1 and np.any(np.diff(senders) < 0):
+                    raise ValueError(
+                        f"step_batch outbox violates canonical sender order "
+                        f"in round {round_index} (senders must be ascending)"
+                    )
+                bad_index = table.find_bad_port(senders, ports)
+                if bad_index is not None:
+                    raise ValueError(
+                        f"node {int(senders[bad_index])} sent on invalid "
+                        f"port {int(ports[bad_index])} in round {round_index}"
+                    )
+                self._check_congest(senders, ports, max_ports, round_index)
+                receiver_arr = table.receivers(senders, ports)
+                arrival_arr = table.reverse_ports(senders, ports, receiver_arr)
+                if object_mode:
+                    payloads = outbox.payloads
+                    for message, sender, port in zip(
+                        payloads, senders.tolist(), ports.tolist()
+                    ):
+                        message.sender = sender
+                        message.sender_port = port
+                    if any(message.bits for message in payloads):
+                        bits = np.fromiter(
+                            (m.bits for m in payloads), dtype=np.int64, count=count
+                        )
+                        units = message_units_array(bits, capacity)
+                        messages_this_round = int(units.sum())
+                    else:
+                        messages_this_round = count
+                elif outbox.bits is not None and np.any(outbox.bits):
+                    units = message_units_array(outbox.bits, capacity)
+                    messages_this_round = int(units.sum())
+                else:
+                    messages_this_round = count
+                if adv is not None and adv.has_message_faults:
+                    # Same single message_masks call per round, over the
+                    # same canonical arrays, as both scalar backends.
+                    drop, delay, duplicate = adv.message_masks(
+                        round_index, senders, ports
+                    )
+                    if drop.any() or delay.any() or duplicate.any():
+                        dropped_adversary += int(drop.sum())
+                        if delay.any():
+                            arrival_round = round_index + 1 + adv.spec.delay_rounds
+                            held = np.nonzero(delay)[0].tolist()
+                            if object_mode:
+                                held_payloads = [payloads[i] for i in held]
+                            else:
+                                held_payloads = list(
+                                    zip(
+                                        senders[held].tolist(),
+                                        outbox.kinds[held].tolist(),
+                                        outbox.values[held].tolist(),
+                                        (
+                                            [0] * len(held)
+                                            if outbox.bits is None
+                                            else outbox.bits[held].tolist()
+                                        ),
+                                    )
+                                )
+                            adv.push_delayed_many(
+                                arrival_round,
+                                list(
+                                    zip(
+                                        receiver_arr[held].tolist(),
+                                        arrival_arr[held].tolist(),
+                                        held_payloads,
+                                    )
+                                ),
+                            )
+                        keep = np.nonzero(~(drop | delay))[0]
+                        if duplicate.any():
+                            keep = np.repeat(keep, np.where(duplicate[keep], 2, 1))
+                        receiver_arr = receiver_arr[keep]
+                        arrival_arr = arrival_arr[keep]
+                        outbox = outbox.take(keep)
+                        count = len(outbox)
+            # Assemble next round's inbox: delayed arrivals precede the
+            # round's direct sends (the scalar backends' append order);
+            # one stable sort groups rows by receiver while preserving it.
+            total = len(delayed) + count
+            if total:
+                d = len(delayed)
+                recv = np.empty(total, dtype=np.int64)
+                arrp = np.empty(total, dtype=np.int64)
+                orig = np.empty(total, dtype=np.int64)
+                if object_mode:
+                    pay: list = [None] * total
+                else:
+                    kinds = np.empty(total, dtype=np.int64)
+                    values = np.empty(total, dtype=np.int64)
+                    bits_col = np.zeros(total, dtype=np.int64)
+                for i, (receiver, port, payload) in enumerate(delayed):
+                    recv[i] = receiver
+                    arrp[i] = port
+                    if object_mode:
+                        orig[i] = payload.sender
+                        pay[i] = payload
+                    else:
+                        orig[i], kinds[i], values[i], bits_col[i] = payload
+                if count:
+                    recv[d:] = receiver_arr
+                    arrp[d:] = arrival_arr
+                    orig[d:] = outbox.senders
+                    if object_mode:
+                        pay[d:] = outbox.payloads
+                    else:
+                        kinds[d:] = outbox.kinds
+                        values[d:] = outbox.values
+                        if outbox.bits is not None:
+                            bits_col[d:] = outbox.bits
+                order = np.argsort(recv, kind="stable")
+                inbox = MessageBatch(
+                    senders=orig[order],
+                    ports=arrp[order],
+                    kinds=None if object_mode else kinds[order],
+                    values=None if object_mode else values[order],
+                    bits=None if object_mode else bits_col[order],
+                    payloads=(
+                        [pay[i] for i in order.tolist()] if object_mode else None
+                    ),
+                    receivers=recv[order],
+                )
+            else:
+                inbox = empty
+            self.metrics.charge(self.label, messages=messages_this_round, rounds=1)
+            self.rounds_executed += 1
+        self._dropped_protocol = dropped_protocol
+        self._dropped_adversary = dropped_adversary
+        self._in_flight = len(inbox)
         if adv is not None:
             self._in_flight += adv.pending_delayed
         return self.rounds_executed

@@ -13,12 +13,15 @@ import math
 from dataclasses import dataclass, field
 from typing import Any
 
+import numpy as np
+
 from repro.util.mathx import ceil_div
 
 __all__ = [
     "CONGEST_FACTOR",
     "Message",
     "congest_capacity_bits",
+    "message_units_array",
     "messages_for_bits",
 ]
 
@@ -40,6 +43,18 @@ def messages_for_bits(bits: int, n: int, factor: int = CONGEST_FACTOR) -> int:
     if bits == 0:
         return 0
     return ceil_div(bits, congest_capacity_bits(n, factor))
+
+
+def message_units_array(bits, capacity: int):
+    """Vectorized :meth:`Message.message_units` over a bits column.
+
+    ``bits`` is an int64 numpy array of declared wire sizes, ``capacity``
+    the single-message bit capacity (:func:`congest_capacity_bits`);
+    returns the per-message CONGEST unit counts (minimum 1, matching the
+    scalar rule).  Shared by the engine's batched accounting paths so the
+    array and scalar charge rules cannot drift apart.
+    """
+    return np.maximum(1, -(-np.asarray(bits) // capacity))
 
 
 @dataclass

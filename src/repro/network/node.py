@@ -46,6 +46,21 @@ class Node:
         return []
 
     def halt(self) -> None:
+        """Stop participating in the protocol from the next round on.
+
+        Halt semantics are identical across all three engine dispatch
+        paths (``fast``, ``reference``, and the batch path of
+        :class:`~repro.network.batch.BatchProtocol` programs):
+
+        * messages returned by the *same* ``step`` call that halts are
+          still sent (halting takes effect after the round's sends);
+        * from the next round on the node is never stepped again and any
+          message addressed to it is dropped on arrival — charged to the
+          sender's metrics when sent, then counted as ``dropped_protocol``
+          in :meth:`SynchronousEngine.undelivered_detail` (or
+          ``dropped_adversary`` when the halt was a crash-stop);
+        * the engine stops as soon as every node has halted.
+        """
         self.halted = True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -255,6 +255,28 @@ def _catalogue() -> dict[str, Scenario]:
             seed=131,
             description="Hirschberg–Sinclair on rings (O(n log n) baseline)",
         ),
+        # -- engine-driven agreement (array-native + fault-injectable) --------
+        Scenario(
+            name="agreement-engine/classical",
+            protocol="agreement/amp18-engine",
+            topology=complete,
+            sizes=(64, 256, 1024),
+            params=(("fraction", 0.3),),
+            trials=3,
+            seed=190,
+            description="Engine-driven AMP18 agreement on K_n (batch node API)",
+        ),
+        Scenario(
+            name="agreement-engine-lossy/classical",
+            protocol="agreement/amp18-engine",
+            topology=complete,
+            sizes=(64, 256),
+            params=(("fraction", 0.3),),
+            trials=3,
+            seed=191,
+            adversary=AdversarySpec(drop_rate=0.05),
+            description="Engine-driven AMP18 agreement under 5% transit loss",
+        ),
         # -- fault-injected resilience families (repro.adversary) -------------
         Scenario(
             name="complete-le-lossy/classical",

@@ -69,11 +69,14 @@ class ProtocolSpec:
     builder: Builder
     defaults: tuple[tuple[str, object], ...] = ()
     description: str = ""
-    #: Adversary capabilities the builder honours: "faults" (engine-level
-    #: message/crash injection via an ``adversary=`` kwarg) and/or "inputs"
-    #: (adversarial initial-value schedules).  A scenario whose
+    #: Capability tags the builder honours: "faults" (engine-level
+    #: message/crash injection via an ``adversary=`` kwarg), "inputs"
+    #: (adversarial initial-value schedules), and "batch" (an array-native
+    #: :class:`~repro.network.batch.BatchProtocol` implementation
+    #: selectable via a ``node_api=`` kwarg).  A scenario whose
     #: :class:`~repro.adversary.AdversarySpec` needs capabilities outside
-    #: this set is rejected before the trial runs.
+    #: this set — or that requests the batch node API without the tag —
+    #: is rejected before the trial runs.
     supports: tuple[str, ...] = ()
 
     def run(self, topology: Topology, rng: RandomSource, **params) -> TrialOutcome:
@@ -81,6 +84,41 @@ class ProtocolSpec:
         merged = dict(self.defaults)
         merged.update(params)
         return self.builder(topology, rng, **merged)
+
+    def resolve_node_api(self, requested: str = "auto") -> str:
+        """Concretize a ``--node-api`` request against this spec.
+
+        ``"auto"`` picks the array-native path when the protocol declares
+        the ``"batch"`` capability and the scalar path otherwise; an
+        explicit ``"batch"`` on a scalar-only protocol is an error (the
+        same convention as unsupported adversary capabilities).
+        """
+        if requested not in ("auto", "batch", "scalar"):
+            raise ValueError(
+                f"node_api must be 'auto', 'batch', or 'scalar', got "
+                f"{requested!r}"
+            )
+        if requested == "auto":
+            return "batch" if "batch" in self.supports else "scalar"
+        if requested == "batch" and "batch" not in self.supports:
+            raise ValueError(
+                f"protocol {self.name!r} has no array-native implementation "
+                f"(supports: {sorted(self.supports) or 'none'}); "
+                f"use --node-api auto or scalar"
+            )
+        return requested
+
+    def describe_dict(self) -> dict:
+        """JSON-ready description for ``repro protocols --json``."""
+        return {
+            "name": self.name,
+            "side": self.side,
+            "family": self.family,
+            "topologies": list(self.topologies),
+            "defaults": {key: value for key, value in self.defaults},
+            "supports": sorted(self.supports),
+            "description": self.description,
+        }
 
 
 class ProtocolRegistry:
@@ -292,10 +330,12 @@ def _run_classical_le_general(topology, rng, **params) -> TrialOutcome:
     return _from_le(classical_le_general(topology, rng, **params))
 
 
-def _run_lcr_ring(topology, rng, adversary=None) -> TrialOutcome:
+def _run_lcr_ring(topology, rng, adversary=None, node_api="scalar") -> TrialOutcome:
     from repro.classical.leader_election.ring import lcr_ring
 
-    return _from_le(lcr_ring(topology.n, rng, adversary=adversary))
+    return _from_le(
+        lcr_ring(topology.n, rng, adversary=adversary, node_api=node_api)
+    )
 
 
 def _run_hs_ring(topology, rng, adversary=None) -> TrialOutcome:
@@ -320,6 +360,20 @@ def _run_classical_agreement_shared(
 
     inputs = _agreement_inputs(topology.n, fraction, adversary, rng)
     return _from_agreement(classical_agreement_shared(inputs, rng, **params))
+
+
+def _run_classical_agreement_engine(
+    topology, rng, fraction: float = 0.3, adversary=None, node_api="scalar",
+    **params,
+) -> TrialOutcome:
+    from repro.classical.agreement.amp18_engine import classical_agreement_engine
+
+    inputs = _agreement_inputs(topology.n, fraction, adversary, rng)
+    return _from_agreement(
+        classical_agreement_engine(
+            inputs, rng, adversary=adversary, node_api=node_api, **params
+        )
+    )
 
 
 def _run_classical_agreement_private(
@@ -440,7 +494,7 @@ def register_builtin_protocols(registry: ProtocolRegistry) -> ProtocolRegistry:
             topologies=("complete",),
             builder=_run_classical_le_complete,
             description="[KPP+15b]-style classical LE on K_n: Θ̃(√n) messages.",
-            supports=("faults",),
+            supports=("batch", "faults"),
         ),
         ProtocolSpec(
             name="le-mixing/quantum",
@@ -498,7 +552,7 @@ def register_builtin_protocols(registry: ProtocolRegistry) -> ProtocolRegistry:
             topologies=("cycle",),
             builder=_run_lcr_ring,
             description="LCR ring baseline: O(n²) messages.",
-            supports=("faults",),
+            supports=("batch", "faults"),
         ),
         ProtocolSpec(
             name="le-ring/hs",
@@ -528,6 +582,17 @@ def register_builtin_protocols(registry: ProtocolRegistry) -> ProtocolRegistry:
             defaults=(("fraction", 0.3),),
             description="[AMP18] shared-coin agreement: Õ(n^2/5) messages.",
             supports=("inputs",),
+        ),
+        ProtocolSpec(
+            name="agreement/amp18-engine",
+            side="classical",
+            family="agreement",
+            topologies=("complete",),
+            builder=_run_classical_agreement_engine,
+            defaults=(("fraction", 0.3),),
+            description="Engine-driven [AMP18] agreement: real CONGEST "
+            "messages, fault-injectable, array-native.",
+            supports=("batch", "faults", "inputs"),
         ),
         ProtocolSpec(
             name="agreement/classical-private",

@@ -255,6 +255,12 @@ class Scenario:
     #: trial.  Participates in the result-store cache key; a null spec is
     #: normalized to None so it never perturbs identity or RNG streams.
     adversary: object | None = None
+    #: Engine dispatch request: ``"auto"`` (array-native when the protocol
+    #: declares the ``"batch"`` capability, scalar otherwise), ``"batch"``
+    #: (required — rejected for scalar-only protocols), or ``"scalar"``.
+    #: The *resolved* value participates in result-store cache keys, so
+    #: scalar and batch trial sets never serve each other.
+    node_api: str = "auto"
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -264,12 +270,33 @@ class Scenario:
             raise ValueError(f"scenario {self.name!r} has sizes < 2: {self.sizes}")
         if self.trials < 1:
             raise ValueError(f"scenario {self.name!r} needs >= 1 trial")
+        if self.node_api not in ("auto", "batch", "scalar"):
+            raise ValueError(
+                f"scenario {self.name!r}: node_api must be 'auto', 'batch', "
+                f"or 'scalar', got {self.node_api!r}"
+            )
         if self.adversary is not None and self.adversary.is_null:
             object.__setattr__(self, "adversary", None)
 
     @property
     def param_dict(self) -> dict:
         return dict(self.params)
+
+    @property
+    def resolved_node_api(self) -> str:
+        """The concrete node API this scenario's trials dispatch through.
+
+        Resolves ``"auto"`` against the protocol's ``supports`` tags in
+        the default registry; unknown protocols (unit-test fixtures) fall
+        back to the raw request.
+        """
+        from repro.runtime.registry import default_registry
+
+        try:
+            spec = default_registry().get(self.protocol)
+        except KeyError:
+            return self.node_api
+        return spec.resolve_node_api(self.node_api)
 
     def with_overrides(
         self,
@@ -279,11 +306,13 @@ class Scenario:
         params: dict | None = None,
         name: str | None = None,
         adversary: object = _KEEP,
+        node_api: str | None = None,
     ) -> "Scenario":
         """A copy with grid/seed/params swapped out (bench & CLI overrides).
 
         ``adversary`` replaces the scenario's adversary spec when given
         (pass None to strip one off); omitted, the existing spec is kept.
+        ``node_api`` replaces the dispatch request when given.
         """
         merged_params = self.param_dict
         if params:
@@ -296,6 +325,7 @@ class Scenario:
             seed=seed if seed is not None else self.seed,
             params=tuple(sorted(merged_params.items())),
             adversary=self.adversary if adversary is _KEEP else adversary,
+            node_api=node_api if node_api is not None else self.node_api,
         )
 
     def run_trial(self, n: int, rng: RandomSource, registry=None):
@@ -310,6 +340,13 @@ class Scenario:
         registry = registry if registry is not None else default_registry()
         spec = registry.get(self.protocol)
         run_params = self.param_dict
+        # Resolve the node-API request up front (explicit "batch" on a
+        # scalar-only protocol is rejected here, like unsupported
+        # adversary capabilities); only batch-capable builders take the
+        # kwarg, so legacy builders stay untouched.
+        resolved_api = spec.resolve_node_api(self.node_api)
+        if "batch" in spec.supports:
+            run_params["node_api"] = resolved_api
         if self.adversary is not None:
             missing = self.adversary.required_capabilities() - set(spec.supports)
             if missing:

@@ -13,7 +13,10 @@ to aggregation, and appending sizes to the grid only computes the new
 ones.
 
 Engine backend and job count are deliberately *not* part of the key: both
-are required (and tested) to leave aggregates bit-identical.
+are required (and tested) to leave aggregates bit-identical.  The
+*resolved* node API ("batch"/"scalar") **is** part of the key (format v3)
+even though the two are parity-tested too — an entry should always be
+reproducible under the dispatch path its key names.
 """
 
 from __future__ import annotations
@@ -39,7 +42,14 @@ DEFAULT_CACHE_MAX_ENTRIES = 4096
 
 #: Bump when the on-disk layout changes; old entries are simply missed.
 #: v2: identity gained the scenario's adversary spec.
-_FORMAT_VERSION = 2
+#: v3: identity records the *resolved* node API ("batch"/"scalar"), so
+#: cached scalar trial sets are never served for batch runs or vice versa.
+#: Both APIs are tested bit-identical, but the key must tell them apart —
+#: an entry should always reproduce under the dispatch path it names.
+#: The adversary convention is unchanged: fault-free scenarios keep a
+#: ``None`` adversary field, so fault-free keys stay stable within v3
+#: regardless of which adversary flags other runs use.
+_FORMAT_VERSION = 3
 
 
 def _default_root() -> pathlib.Path:
@@ -103,6 +113,7 @@ class ResultStore:
                 if scenario.adversary is not None
                 else None
             ),
+            "node_api": scenario.resolved_node_api,
             "seed": scenario.seed,
             "trials": scenario.trials,
             "n": n,

@@ -17,6 +17,12 @@ _SMALL_GRIDS = {
 @pytest.mark.parametrize("experiment", sorted(_SMALL_GRIDS))
 def test_aggregates_are_backend_invariant(monkeypatch, experiment):
     quantum, classical = experiment_pair(experiment)
+    # Pin scalar dispatch: the point here is fast-vs-reference backend
+    # invariance, and batch-capable protocols would otherwise resolve to
+    # the (backend-independent) batch path under both env settings.
+    # Batch-vs-scalar invariance has its own parity property suite.
+    classical = classical.with_overrides(node_api="scalar")
+    quantum = quantum.with_overrides(node_api="scalar")
     sizes, trials = _SMALL_GRIDS[experiment]
     per_backend = {}
     for backend in ("fast", "reference"):

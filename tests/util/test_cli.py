@@ -264,6 +264,118 @@ class TestCacheCommand:
             build_parser().parse_args(["cache"])
 
 
+class TestNodeApiFlag:
+    def test_parser_accepts_node_api(self):
+        for command in (["elect"], ["agree"], ["sweep", "--experiment", "E1"]):
+            args = build_parser().parse_args(command + ["--node-api", "batch"])
+            assert args.node_api == "batch"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["elect", "--node-api", "vector"])
+
+    def test_elect_complete_batch(self, capsys):
+        code = main(
+            ["elect", "--topology", "complete", "--n", "64", "--seed", "3",
+             "--node-api", "batch"]
+        )
+        assert "classical" in capsys.readouterr().out
+        assert code in (0, 1)
+
+    def test_elect_batch_and_scalar_agree(self, capsys):
+        argv = ["elect", "--topology", "complete", "--n", "64", "--seed", "5"]
+        assert main(argv + ["--node-api", "batch"]) in (0, 1)
+        batch_out = capsys.readouterr().out
+        assert main(argv + ["--node-api", "scalar"]) in (0, 1)
+        assert capsys.readouterr().out == batch_out
+
+    def test_agree_shows_engine_row(self, capsys):
+        code = main(["agree", "--n", "64", "--seed", "1", "--node-api", "batch"])
+        out = capsys.readouterr().out
+        assert "engine[batch]" in out
+        assert code in (0, 1)
+
+    def test_agree_k2_still_works_without_engine_row(self, capsys):
+        # The engine-driven row needs n >= 3; K_2 keeps the legacy rows.
+        code = main(["agree", "--n", "2", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert "quantum" in out and "classical" in out
+        assert "engine[" not in out
+        assert code in (0, 1)
+
+    def test_sweep_scenario_node_api_caches_separately(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path))
+        argv = ["sweep", "--scenario", "ring-le/lcr", "--sizes", "8",
+                "--trials", "2", "--jobs", "1"]
+        assert main(argv + ["--node-api", "batch"]) == 0
+        batch_out = capsys.readouterr().out
+        assert "node-api batch" in batch_out
+        assert main(argv + ["--node-api", "scalar"]) == 0
+        scalar_out = capsys.readouterr().out
+        # Bit-identical aggregates, separately-cached trial sets.
+        assert len(sorted(tmp_path.glob("*.json"))) == 2
+        strip = lambda s: s.replace("node-api batch", "").replace(", )", ")")
+        assert [r for r in strip(batch_out).splitlines() if "|" in r] == [
+            r for r in strip(scalar_out).splitlines() if "|" in r
+        ]
+
+    def test_sweep_batch_on_scalar_only_scenario_errors(self, capsys):
+        code = main(
+            ["sweep", "--scenario", "ring-le/hs", "--sizes", "8",
+             "--trials", "1", "--jobs", "1", "--node-api", "batch",
+             "--no-cache"]
+        )
+        assert code == 2
+        assert "array-native" in capsys.readouterr().err
+
+    def test_sweep_experiment_batch_arms_supporting_side_only(self, capsys):
+        code = main(
+            ["sweep", "--experiment", "E1", "--sizes", "16", "--trials", "1",
+             "--jobs", "1", "--no-cache", "--node-api", "batch"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "classical side only" in captured.err
+
+
+class TestProtocolsCommand:
+    def test_table_lists_supports_column(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        assert "agreement/amp18-engine" in out
+        assert "batch,faults" in out
+
+    def test_json_dump_is_machine_readable(self, capsys):
+        import json
+
+        assert main(["protocols", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in payload}
+        assert by_name["le-ring/lcr"]["supports"] == ["batch", "faults"]
+        assert by_name["le-ring/hs"]["supports"] == ["faults"]
+        assert by_name["agreement/amp18-engine"]["defaults"] == {"fraction": 0.3}
+
+    def test_scenarios_json_dump(self, capsys):
+        import json
+
+        assert main(["scenarios", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in payload}
+        assert by_name["ring-le/lcr"]["resolved_node_api"] == "batch"
+        assert by_name["ring-le/hs"]["resolved_node_api"] == "scalar"
+        assert by_name["ring-le-lossy/lcr"]["adversary"]["drop_rate"] == 0.02
+        assert by_name["complete-le/quantum"]["sizes"] == [256, 1024, 4096]
+
+    def test_scenarios_protocols_flag_still_works(self, capsys):
+        assert main(["scenarios", "--protocols", "--json"]) == 0
+        import json
+
+        assert any(
+            entry["name"] == "le-diameter2/quantum"
+            for entry in json.loads(capsys.readouterr().out)
+        )
+
+
 class TestElectTopologies:
     def test_diameter2_uses_true_diameter2_graph(self, capsys):
         # regression: used to draw erdos_renyi(n, 0.5) with no diameter check
