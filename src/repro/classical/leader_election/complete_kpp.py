@@ -31,6 +31,7 @@ from repro.network.batch import (
     wants_batch_dispatch,
 )
 from repro.network.engine import SynchronousEngine
+from repro.network.kernels import get_kernels
 from repro.network.message import Message
 from repro.network.metrics import MetricsRecorder
 from repro.network.node import Node, Status
@@ -117,6 +118,7 @@ class _KPPBatch(BatchProtocol):
         super().__init__(n)
         self.rngs = rngs
         self.referees = referees
+        self.kernels = get_kernels()
         self.is_candidate = np.zeros(n, dtype=bool)
         self.rank = np.zeros(n, dtype=np.int64)
         self.best_seen = np.zeros(n, dtype=np.int64)
@@ -152,7 +154,7 @@ class _KPPBatch(BatchProtocol):
             if not len(inbox):
                 return None
             rec = inbox.receivers
-            np.maximum.at(self.best_seen, rec, inbox.values)
+            self.kernels.scatter_max(self.best_seen, rec, inbox.values)
             return MessageBatch(
                 senders=rec,
                 ports=inbox.ports,
@@ -162,7 +164,7 @@ class _KPPBatch(BatchProtocol):
         if round_index == 2:
             highest = self.best_seen.copy()
             if len(inbox):
-                np.maximum.at(highest, inbox.receivers, inbox.values)
+                self.kernels.scatter_max(highest, inbox.receivers, inbox.values)
             alive = ~self.halted
             candidate = self.is_candidate & alive
             self.status_codes[candidate & (highest > self.rank)] = (

@@ -12,9 +12,19 @@ Runs on the real synchronous engine (three rounds).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.candidates import candidate_probability, rank_space
 from repro.core.results import LeaderElectionResult
+from repro.network.batch import (
+    STATUS_ELECTED,
+    STATUS_NON_ELECTED,
+    BatchProtocol,
+    MessageBatch,
+    wants_batch_dispatch,
+)
 from repro.network.engine import SynchronousEngine
+from repro.network.kernels import get_kernels
 from repro.network.message import Message
 from repro.network.metrics import MetricsRecorder
 from repro.network.node import Node, Status
@@ -75,15 +85,96 @@ class _CPRNode(Node):
         return []
 
 
+#: CPR wire vocabulary shared by the scalar and array-native implementations.
+_CPR_RANK, _CPR_BEST = 0, 1
+
+
+class _CPRBatch(BatchProtocol):
+    """Array-native three-round CPR protocol.
+
+    Column state: ``is_candidate``, ``rank``, ``best_seen``, plus the
+    per-node degree vector (one :meth:`PortTable.degrees_of` gather, no
+    per-node topology queries).  Round 0 broadcasts candidate ranks on
+    every port; round 1 turns the inbox around (``senders = receivers``)
+    with the group maximum gathered in; round 2 decides and halts.
+    """
+
+    def __init__(self, n: int, rngs, degrees: np.ndarray):
+        super().__init__(n)
+        self.rngs = rngs
+        self.degrees = degrees
+        self.kernels = get_kernels()
+        self.is_candidate = np.zeros(n, dtype=bool)
+        self.rank = np.zeros(n, dtype=np.int64)
+        self.best_seen = np.zeros(n, dtype=np.int64)
+
+    def start(self, probability: float, space: int) -> int:
+        """Candidate/rank draws, mirroring ``_CPRNode.start`` per stream."""
+        for v in range(self.n):
+            if self.rngs[v].bernoulli(probability):
+                self.is_candidate[v] = True
+                self.rank[v] = self.rngs[v].uniform_int(1, space)
+            else:
+                self.status_codes[v] = STATUS_NON_ELECTED
+        return int(np.count_nonzero(self.is_candidate))
+
+    def step_batch(self, round_index, inbox):
+        if round_index == 0:
+            candidates = np.nonzero(self.is_candidate & ~self.halted)[0]
+            if not len(candidates):
+                return None
+            counts = self.degrees[candidates]
+            total = int(counts.sum())
+            if total == 0:
+                return None
+            senders = np.repeat(candidates, counts)
+            starts = np.cumsum(counts) - counts
+            ports = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+            return MessageBatch(
+                senders=senders,
+                ports=ports,
+                kinds=np.full(total, _CPR_RANK, dtype=np.int64),
+                values=self.rank[senders],
+            )
+        if round_index == 1:
+            if not len(inbox):
+                return None
+            rec = inbox.receivers
+            self.kernels.scatter_max(self.best_seen, rec, inbox.values)
+            return MessageBatch(
+                senders=rec,
+                ports=inbox.ports,
+                kinds=np.full(len(inbox), _CPR_BEST, dtype=np.int64),
+                values=self.best_seen[rec],
+            )
+        if round_index == 2:
+            highest = self.best_seen.copy()
+            if len(inbox):
+                self.kernels.scatter_max(highest, inbox.receivers, inbox.values)
+            alive = ~self.halted
+            candidate = self.is_candidate & alive
+            self.status_codes[candidate & (highest > self.rank)] = (
+                STATUS_NON_ELECTED
+            )
+            self.status_codes[candidate & (highest <= self.rank)] = STATUS_ELECTED
+            self.halted |= alive
+        return None
+
+
 def classical_le_diameter2(
     topology: Topology,
     rng: RandomSource,
     adversary=None,
+    node_api: str = "scalar",
 ) -> LeaderElectionResult:
     """Run the classical Õ(n) LE baseline on a diameter-≤2 network.
 
     ``adversary`` is an optional
     :class:`~repro.adversary.AdversarySpec` applied at the engine level.
+    ``node_api`` selects the engine dispatch: ``"scalar"`` steps
+    :class:`_CPRNode` instances, ``"batch"`` (or ``"auto"``) runs the
+    array-native :class:`_CPRBatch` program — bit-identical by
+    construction under the same seeds and adversary specs.
     """
     n = topology.n
     if n < 2:
@@ -96,22 +187,33 @@ def classical_le_diameter2(
         else None
     )
     node_rngs = rng.spawn_many(n)
-    nodes = [
-        _CPRNode(v, topology.degree(v), node_rngs[v]) for v in range(n)
-    ]
+    # One vectorized degree gather through the cached port table instead of
+    # n per-node topology queries (the table is reused by the engine).
+    degrees = topology.port_table().degrees_of(np.arange(n))
     probability = candidate_probability(n)
     space = rank_space(n)
-    candidates = 0
-    for node in nodes:
-        node.start(probability, space)
-        candidates += node.is_candidate
+    if wants_batch_dispatch(node_api):
+        program = _CPRBatch(n, node_rngs, degrees)
+        candidates = program.start(probability, space)
+    else:
+        program = [
+            _CPRNode(v, int(degrees[v]), node_rngs[v]) for v in range(n)
+        ]
+        candidates = 0
+        for node in program:
+            node.start(probability, space)
+            candidates += node.is_candidate
 
     engine = SynchronousEngine(
-        topology, nodes, metrics, label="cpr-le", adversary=armed
+        topology, program, metrics, label="cpr-le", adversary=armed
     )
     engine.run(max_rounds=4)
 
-    statuses = {v: nodes[v].status for v in range(n)}
+    statuses = (
+        program.statuses()
+        if isinstance(program, BatchProtocol)
+        else {v: program[v].status for v in range(n)}
+    )
     meta = {"candidates": candidates}
     meta.update(engine.accounting_meta())
     return LeaderElectionResult(

@@ -27,6 +27,7 @@ from repro.network.batch import (
 )
 from repro.network.engine import SynchronousEngine
 from repro.network.graphs import cycle
+from repro.network.kernels import get_kernels
 from repro.network.message import Message
 from repro.network.metrics import MetricsRecorder
 from repro.network.node import Node, Status
@@ -118,6 +119,7 @@ class _LCRBatch(BatchProtocol):
     def __init__(self, topology, ring_ids: list[int]):
         n = topology.n
         super().__init__(n)
+        self.kernels = get_kernels()
         self.ring_id = np.asarray(ring_ids, dtype=np.int64)
         self.cw_port = np.asarray(
             [topology.port_to(v, (v + 1) % n) for v in range(n)], dtype=np.int64
@@ -146,11 +148,13 @@ class _LCRBatch(BatchProtocol):
         any_halt[rec[halt]] = True
         greater = probe & (inbox.values > self.ring_id[rec])
         best = np.full(n, -1, dtype=np.int64)
-        np.maximum.at(best, rec[greater], inbox.values[greater])
+        self.kernels.scatter_max(best, rec[greater], inbox.values[greater])
         # The scalar per-port collapse keeps the *last* halt a node
         # appended; track each receiver's last inbound halt position.
         last_halt = np.full(n, -1, dtype=np.int64)
-        np.maximum.at(last_halt, rec[halt], np.arange(len(inbox))[halt])
+        self.kernels.scatter_max(
+            last_halt, rec[halt], np.arange(len(inbox))[halt]
+        )
         entering_elected = self.status_codes == STATUS_ELECTED
         # Status transitions (ELECTED absorbs within a round, exactly as
         # the scalar message loop behaves for any inbox interleaving).
@@ -327,12 +331,208 @@ class _HSNode(Node):
         return list(per_port.items())
 
 
+#: HS wire vocabulary shared by the scalar and array-native implementations.
+#: Probes carry (id, hops-remaining) — id in ``values``, hops in the typed
+#: ``extras["hops"]`` column; replies/halts carry an id and hops = 0.
+_HS_PROBE, _HS_REPLY, _HS_HALT = 0, 1, 2
+
+
+class _HSBatch(BatchProtocol):
+    """Array-native Hirschberg–Sinclair: doubling probes, whole ring per call.
+
+    The scalar :class:`_HSNode` processes its inbox *sequentially* — a
+    reply may bump the phase whose new probes then outrank earlier
+    emissions in the per-port CONGEST collapse.  The batch form replays
+    that exactly: inbox rows are processed in per-receiver passes (pass k
+    handles every node's k-th message, so state updates from pass k are
+    visible in pass k+1), and emissions land in per-(node, direction)
+    outbox *slots* carrying the scalar collapse priorities (halt 3 >
+    reply 2 > probe 1, probes tie-break on larger id, first write wins
+    otherwise).  Slot fill sequence numbers reproduce the scalar dict's
+    insertion order, giving the identical canonical send order.
+    """
+
+    def __init__(self, topology, ring_ids: list[int]):
+        n = topology.n
+        super().__init__(n)
+        self.ring_id = np.asarray(ring_ids, dtype=np.int64)
+        self.cw_port = np.asarray(
+            [topology.port_to(v, (v + 1) % n) for v in range(n)], dtype=np.int64
+        )
+        self.ccw_port = np.asarray(
+            [topology.port_to(v, (v - 1) % n) for v in range(n)], dtype=np.int64
+        )
+        self.phase = np.zeros(n, dtype=np.int64)
+        self.replies = np.zeros(n, dtype=np.int64)
+        # Per-(node, direction) outbox slots: slot 2v is v's clockwise
+        # message this round, slot 2v+1 its counterclockwise one.
+        self.slot_rank = np.zeros(2 * n, dtype=np.int64)
+        self.slot_kind = np.zeros(2 * n, dtype=np.int64)
+        self.slot_value = np.zeros(2 * n, dtype=np.int64)
+        self.slot_hops = np.zeros(2 * n, dtype=np.int64)
+        self.slot_seq = np.zeros(2 * n, dtype=np.int64)
+        self._touched: list[np.ndarray] = []
+        self._seq = 0
+
+    # -- outbox slot machinery ---------------------------------------------
+
+    def _emit(self, nodes, dirs, kind, values, hops, rank) -> None:
+        """Offer one message per node to its (node, dir) slot.
+
+        Mirrors the scalar per-port collapse: higher rank replaces, equal
+        probe ranks tie-break on larger id, everything else keeps the
+        incumbent.  ``dirs``/``hops`` may be scalars or arrays.
+        """
+        seq = self._seq
+        self._seq += 1
+        if not len(nodes):
+            return
+        slots = 2 * nodes + dirs
+        cur = self.slot_rank[slots]
+        if rank == 1:
+            replace = (cur == 0) | (
+                (cur == 1) & (values > self.slot_value[slots])
+            )
+        else:
+            replace = cur < rank
+        if not replace.any():
+            return
+        s = slots[replace]
+        self.slot_kind[s] = kind
+        self.slot_value[s] = values[replace]
+        self.slot_hops[s] = hops[replace] if isinstance(hops, np.ndarray) else hops
+        # First fill records the insertion position (scalar dict order);
+        # replacements keep it, exactly like overwriting a dict key.
+        self.slot_seq[s[cur[replace] == 0]] = seq
+        self.slot_rank[s] = rank
+        self._touched.append(s)
+
+    def _flush(self):
+        if not self._touched:
+            return None
+        slots = np.unique(np.concatenate(self._touched))
+        senders = slots >> 1
+        dirs = slots & 1
+        order = np.lexsort((dirs, self.slot_seq[slots], senders))
+        slots = slots[order]
+        senders = senders[order]
+        dirs = dirs[order]
+        batch = MessageBatch(
+            senders=senders,
+            ports=np.where(
+                dirs == 0, self.cw_port[senders], self.ccw_port[senders]
+            ),
+            kinds=self.slot_kind[slots].copy(),
+            values=self.slot_value[slots].copy(),
+            extras={"hops": self.slot_hops[slots].copy()},
+        )
+        self.slot_rank[slots] = 0
+        self._touched = []
+        return batch
+
+    # -- per-pass protocol logic -------------------------------------------
+
+    def _pass(self, v, port, kind, val, hop) -> None:
+        """Process each selected node's next inbox message (≤ 1 per node)."""
+        arrive_dir = np.where(port == self.cw_port[v], 0, 1)
+        probe = kind == _HS_PROBE
+        reply = kind == _HS_REPLY
+        halt = kind == _HS_HALT
+        my_id = self.ring_id[v]
+
+        # Own probe circled the whole ring: we win (idempotent per round).
+        own = probe & (val == my_id) & (self.status_codes[v] != STATUS_ELECTED)
+        if own.any():
+            w = v[own]
+            self.status_codes[w] = STATUS_ELECTED
+            self._emit(w, 0, _HS_HALT, self.ring_id[w], 0, 3)
+
+        bigger = probe & (val > my_id)
+        fwd = bigger & (hop > 1)
+        if fwd.any():
+            self._emit(
+                v[fwd], 1 - arrive_dir[fwd], _HS_PROBE, val[fwd], hop[fwd] - 1, 1
+            )
+        turn = bigger & (hop == 1)
+        if turn.any():
+            self._emit(v[turn], arrive_dir[turn], _HS_REPLY, val[turn], 0, 2)
+
+        mine = reply & (val == my_id)
+        if mine.any():
+            w = v[mine]
+            self.replies[w] += 1
+            up = w[self.replies[w] == 2]
+            if len(up):
+                self.replies[up] = 0
+                self.phase[up] += 1
+                new_hops = np.int64(1) << self.phase[up]
+                self._emit(up, 0, _HS_PROBE, self.ring_id[up], new_hops, 1)
+                self._emit(up, 1, _HS_PROBE, self.ring_id[up], new_hops, 1)
+        fwd_reply = reply & (val != my_id)
+        if fwd_reply.any():
+            self._emit(
+                v[fwd_reply],
+                1 - arrive_dir[fwd_reply],
+                _HS_REPLY,
+                val[fwd_reply],
+                0,
+                2,
+            )
+
+        if halt.any():
+            elected = self.status_codes[v] == STATUS_ELECTED
+            # A halting node still processes its remaining inbox (and its
+            # same-round sends go out), matching scalar halt semantics.
+            self.halted[v[halt & elected]] = True
+            lose = halt & ~elected
+            if lose.any():
+                w = v[lose]
+                self.status_codes[w] = STATUS_NON_ELECTED
+                self._emit(w, 0, _HS_HALT, val[lose], 0, 3)
+                self.halted[w] = True
+
+    def step_batch(self, round_index, inbox):
+        self._seq = 0
+        if round_index == 0:
+            alive = np.nonzero(~self.halted)[0]
+            ones = np.ones(len(alive), dtype=np.int64)  # hops = 1 << phase 0
+            self._emit(alive, 0, _HS_PROBE, self.ring_id[alive], ones, 1)
+            self._emit(alive, 1, _HS_PROBE, self.ring_id[alive], ones, 1)
+            return self._flush()
+        if not len(inbox):
+            return None
+        rec = inbox.receivers
+        hops = inbox.extras["hops"]
+        # Pass k processes every node's k-th inbox row, so sequential
+        # per-node state updates land before the node's next message.
+        first = np.ones(len(rec), dtype=bool)
+        first[1:] = rec[1:] != rec[:-1]
+        starts = np.nonzero(first)[0]
+        sizes = np.diff(np.append(starts, len(rec)))
+        k_rank = np.arange(len(rec)) - np.repeat(starts, sizes)
+        for k in range(int(sizes.max())):
+            sel = np.nonzero(k_rank == k)[0]
+            self._pass(
+                rec[sel],
+                inbox.ports[sel],
+                inbox.kinds[sel],
+                inbox.values[sel],
+                hops[sel],
+            )
+        return self._flush()
+
+
 def hirschberg_sinclair_ring(
-    n: int, rng: RandomSource, adversary=None
+    n: int, rng: RandomSource, adversary=None, node_api: str = "scalar"
 ) -> LeaderElectionResult:
     """Run Hirschberg–Sinclair on an oriented ring of n nodes.
 
     ``adversary`` injects engine-level faults, as in :func:`lcr_ring`.
+
+    ``node_api`` selects the engine dispatch: ``"scalar"`` steps
+    :class:`_HSNode` instances one by one, ``"batch"`` (or ``"auto"``)
+    runs the array-native :class:`_HSBatch` program — bit-identical
+    under the same seeds and adversary specs.
     """
     if n < 3:
         raise ValueError(f"ring needs n >= 3 nodes, got {n}")
@@ -346,15 +546,22 @@ def hirschberg_sinclair_ring(
     node_rngs = rng.spawn_many(n)
     space = rank_space(n)
     ids = [node_rngs[v].uniform_int(1, space) for v in range(n)]
-    nodes = []
-    for v in range(n):
-        cw, ccw = _ring_ports(topology, v)
-        nodes.append(_HSNode(v, 2, node_rngs[v], ids[v], cw, ccw))
+    if wants_batch_dispatch(node_api):
+        program = _HSBatch(topology, ids)
+    else:
+        program = []
+        for v in range(n):
+            cw, ccw = _ring_ports(topology, v)
+            program.append(_HSNode(v, 2, node_rngs[v], ids[v], cw, ccw))
     engine = SynchronousEngine(
-        topology, nodes, metrics, label="hs", adversary=armed
+        topology, program, metrics, label="hs", adversary=armed
     )
     engine.run(max_rounds=12 * n + 16)
-    statuses = {v: nodes[v].status for v in range(n)}
+    statuses = (
+        program.statuses()
+        if isinstance(program, BatchProtocol)
+        else {v: program[v].status for v in range(n)}
+    )
     for v in range(n):
         if statuses[v] is Status.UNDECIDED:
             statuses[v] = Status.NON_ELECTED

@@ -4,7 +4,10 @@ Commands:
 
 * ``list``                      — list the reproduced experiments (E1–E12);
 * ``info E4``                   — show one experiment's claim and modules;
-* ``elect --topology complete`` — run a leader election and print the result;
+* ``elect --topology complete`` — run a paired leader election and print the
+                                  result; ``elect le-ring/lcr --topology
+                                  cycle -n 1000000`` runs a single registered
+                                  protocol on any topology family instead;
 * ``agree``                     — run quantum vs classical agreement;
 * ``sweep --experiment E1``     — run an experiment's scenario pair across
                                   its size grid, trials fanned over cores
@@ -26,6 +29,14 @@ capability: ``auto`` (the default) runs the array-native
 exists, ``scalar`` forces the legacy per-node path, and ``batch``
 requires the array-native path (an error for scalar-only protocols).
 Both paths are bit-identical under the same seeds and adversary specs.
+
+The same three commands accept ``--kernel {auto,numba,numpy}`` (env
+``REPRO_KERNEL``) selecting the compiled-kernel tier behind the batch
+engine's PortTable gathers: ``auto`` uses numba when importable, ``numpy``
+is the always-available bit-identical fallback, and an explicit ``numba``
+errors out when numba is missing rather than silently degrading.  The
+kernel tier never changes results, so it is deliberately excluded from
+result-cache keys.
 
 ``elect``, ``agree``, and ``sweep`` accept adversary flags (``--drop-rate``,
 ``--crash N[@R]``, and the full ``--adversary`` spec grammar of
@@ -53,6 +64,22 @@ def _apply_engine(engine: str | None) -> None:
     """Select the engine backend process-wide (workers inherit the env)."""
     if engine is not None:
         os.environ["REPRO_ENGINE"] = engine
+
+
+def _apply_kernel(kernel: str | None) -> str:
+    """Select the kernel tier process-wide; returns the resolved tier.
+
+    Raises RuntimeError for an explicit ``numba`` request when numba is
+    not installed — an explicit request never silently degrades.
+    """
+    from repro.network.kernels import resolve_kernel
+
+    resolved = resolve_kernel(kernel)
+    # Only export after a successful resolve: a rejected explicit request
+    # must not poison the process-wide default for later commands.
+    if kernel is not None:
+        os.environ["REPRO_KERNEL"] = kernel
+    return resolved
 
 
 def _adversary_from_args(args):
@@ -94,6 +121,18 @@ def _add_node_api_flag(parser) -> None:
         help="engine dispatch for batch-capable protocols: array-native "
         "'batch', legacy per-node 'scalar', or 'auto' (batch when "
         "available; both are bit-identical)",
+    )
+
+
+def _add_kernel_flag(parser) -> None:
+    parser.add_argument(
+        "--kernel",
+        choices=("auto", "numba", "numpy"),
+        default=None,
+        help="kernel tier for the engine's array primitives: 'numba' "
+        "requires the optional numba dependency, 'numpy' is the "
+        "always-available bit-identical fallback, 'auto' (default, or "
+        "the REPRO_KERNEL env var) picks numba when installed",
     )
 
 
@@ -169,17 +208,109 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_elect_single(args) -> int:
+    """Single-protocol elect: any registered protocol on any family.
+
+    The million-node path: ``repro elect le-ring/lcr --topology cycle
+    -n 1000000 --kernel auto`` runs one protocol without the paired
+    quantum/classical comparison (and without materializing edges on
+    arithmetic port-table families).
+    """
+    from repro.runtime import TopologySpec, default_registry
+    from repro.runtime.scenario import TOPOLOGY_FAMILIES
+    from repro.util.rng import RandomSource
+
+    registry = default_registry()
+    try:
+        spec = registry.get(args.protocol)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+    family = args.topology or spec.topologies[0]
+    if family not in TOPOLOGY_FAMILIES:
+        print(
+            f"unknown topology family {family!r}; available: "
+            f"{sorted(TOPOLOGY_FAMILIES)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    params: dict = {}
+    try:
+        adversary = _adversary_from_args(args)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if adversary is not None and adversary.is_null:
+        adversary = None
+    if adversary is not None:
+        missing = adversary.required_capabilities() - set(spec.supports)
+        if missing:
+            print(
+                f"protocol {spec.name!r} does not support adversary "
+                f"capabilities {sorted(missing)}",
+                file=sys.stderr,
+            )
+            return 2
+        params["adversary"] = adversary
+    try:
+        resolved_api = spec.resolve_node_api(args.node_api)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if "batch" in spec.supports:
+        params["node_api"] = resolved_api
+
+    rng = RandomSource(args.seed)
+    topo_spec = TopologySpec(family)
+    if topo_spec.consumes_trial_rng:
+        topology = topo_spec.build(args.n, rng.spawn())
+    else:
+        topology = topo_spec.build(args.n)
+    outcome = spec.run(topology, rng.spawn(), **params)
+    kernel = os.environ.get("REPRO_KERNEL", "auto")
+    print(
+        f"{spec.name} on {family}, n={topology.n} "
+        f"(node-api {resolved_api}, kernel {kernel})"
+    )
+    detail = " ".join(
+        f"{key}={value}" for key, value in sorted(outcome.detail.items())
+    )
+    print(
+        f"  messages={int(outcome.messages):,} rounds={int(outcome.rounds):,} "
+        f"success={outcome.success}" + (f" {detail}" if detail else "")
+    )
+    return 0 if outcome.success else 1
+
+
 def _cmd_elect(args) -> int:
     from repro.runtime import TopologySpec, default_registry
     from repro.util.rng import RandomSource
 
     _apply_engine(args.engine)
+    try:
+        _apply_kernel(args.kernel)
+    except (RuntimeError, ValueError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.protocol is not None:
+        return _cmd_elect_single(args)
+    if args.topology is not None and args.topology not in ELECT_SETUPS:
+        print(
+            f"paired elect does not support --topology {args.topology!r}: "
+            f"choose one of {sorted(ELECT_SETUPS)}; "
+            f"other families need an explicit protocol argument "
+            f"(e.g. repro elect le-ring/lcr --topology cycle)",
+            file=sys.stderr,
+        )
+        return 2
     registry = default_registry()
-    quantum_name, classical_name, family, topo_params = ELECT_SETUPS[args.topology]
+    topology_key = args.topology or "complete"
+    quantum_name, classical_name, family, topo_params = ELECT_SETUPS[topology_key]
     rng = RandomSource(args.seed)
 
-    quantum_params = dict(_ELECT_SIDE_PARAMS.get((args.topology, "quantum"), {}))
-    classical_params = dict(_ELECT_SIDE_PARAMS.get((args.topology, "classical"), {}))
+    quantum_params = dict(_ELECT_SIDE_PARAMS.get((topology_key, "quantum"), {}))
+    classical_params = dict(_ELECT_SIDE_PARAMS.get((topology_key, "classical"), {}))
 
     try:
         adversary = _adversary_from_args(args)
@@ -220,7 +351,7 @@ def _cmd_elect(args) -> int:
     else:
         topology = spec.build(args.n)
     n = topology.n
-    if args.topology == "hypercube":
+    if topology_key == "hypercube":
         if n != args.n:
             print(
                 f"warning: hypercube rounds --n up to a power of two "
@@ -235,7 +366,7 @@ def _cmd_elect(args) -> int:
         topology, rng.spawn(), **classical_params
     )
 
-    print(f"leader election on {args.topology}, n={n}")
+    print(f"leader election on {topology_key}, n={n}")
     for label, outcome in (("quantum  ", quantum), ("classical", classical)):
         print(
             f"  {label}: leader={outcome.detail.get('leader')} "
@@ -250,6 +381,11 @@ def _cmd_agree(args) -> int:
     from repro.runtime import default_registry
     from repro.util.rng import RandomSource
 
+    try:
+        _apply_kernel(args.kernel)
+    except (RuntimeError, ValueError) as error:
+        print(error, file=sys.stderr)
+        return 2
     registry = default_registry()
     rng = RandomSource(args.seed)
     topology = CompleteTopology(args.n)
@@ -328,6 +464,11 @@ def _cmd_sweep(args) -> int:
         print(error, file=sys.stderr)
         return 2
     _apply_engine(args.engine)
+    try:
+        _apply_kernel(args.kernel)
+    except (RuntimeError, ValueError) as error:
+        print(error, file=sys.stderr)
+        return 2
     if args.no_cache:
         # Disable both caches: the on-disk result store and the per-worker
         # topology memo (workers read the env).
@@ -503,6 +644,8 @@ def _cmd_sweep(args) -> int:
 
 def _scenario_dict(scenario) -> dict:
     """JSON-ready catalogue entry for ``repro scenarios --json``."""
+    from repro.network.kernels import resolve_kernel
+
     return {
         "name": scenario.name,
         "protocol": scenario.protocol,
@@ -521,6 +664,7 @@ def _scenario_dict(scenario) -> dict:
         ),
         "node_api": scenario.node_api,
         "resolved_node_api": scenario.resolved_node_api,
+        "kernel": resolve_kernel(),
         "description": scenario.description,
     }
 
@@ -532,8 +676,15 @@ def _cmd_protocols(args) -> int:
     from repro.runtime import default_registry
 
     if getattr(args, "json", False):
+        from repro.network.kernels import resolve_kernel
+
+        kernel = resolve_kernel()
         print(json.dumps(
-            [spec.describe_dict() for spec in default_registry()], indent=2
+            [
+                dict(spec.describe_dict(), kernel=kernel)
+                for spec in default_registry()
+            ],
+            indent=2,
         ))
         return 0
     rows = [
@@ -676,8 +827,22 @@ def build_parser() -> argparse.ArgumentParser:
     info.set_defaults(handler=_cmd_info)
 
     elect = commands.add_parser("elect", help="run a leader election")
-    elect.add_argument("--topology", choices=TOPOLOGIES, default="complete")
-    elect.add_argument("--n", type=int, default=1024)
+    elect.add_argument(
+        "protocol",
+        nargs="?",
+        default=None,
+        help="optional registered protocol name (e.g. le-ring/lcr) for a "
+        "single-protocol run on any topology family; omit for the paired "
+        "quantum-vs-classical comparison",
+    )
+    elect.add_argument(
+        "--topology",
+        default=None,
+        help=f"paired mode: one of {sorted(ELECT_SETUPS)} (default "
+        f"complete); single-protocol mode: any topology family name "
+        f"(e.g. cycle)",
+    )
+    elect.add_argument("-n", "--n", type=int, default=1024)
     elect.add_argument("--seed", type=int, default=0)
     elect.add_argument(
         "--engine",
@@ -687,6 +852,7 @@ def build_parser() -> argparse.ArgumentParser:
         "'reference' oracle loop (both are trace-equivalent)",
     )
     _add_node_api_flag(elect)
+    _add_kernel_flag(elect)
     _add_adversary_flags(elect)
     elect.set_defaults(handler=_cmd_elect)
 
@@ -695,6 +861,7 @@ def build_parser() -> argparse.ArgumentParser:
     agree.add_argument("--fraction", type=float, default=0.3)
     agree.add_argument("--seed", type=int, default=0)
     _add_node_api_flag(agree)
+    _add_kernel_flag(agree)
     _add_adversary_flags(agree)
     agree.set_defaults(handler=_cmd_agree)
 
@@ -734,6 +901,7 @@ def build_parser() -> argparse.ArgumentParser:
         "memo; every trial recomputes from scratch",
     )
     _add_node_api_flag(sweep)
+    _add_kernel_flag(sweep)
     _add_adversary_flags(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 

@@ -53,6 +53,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import ClassVar
 
 import numpy as np
 
@@ -121,7 +122,13 @@ class MessageBatch:
 
     * array-native: ``kinds`` (protocol-defined small-int message tags)
       and ``values`` (one int64 payload column), with optional ``bits``
-      wire sizes for CONGEST accounting (None ⇒ every row is one unit);
+      wire sizes for CONGEST accounting (None ⇒ every row is one unit)
+      and optional typed ``extras`` columns — a dict of extra payload
+      arrays (any numeric dtype) for protocols whose messages carry more
+      than one field (HS hop counters, Borůvka edge triples).  A protocol
+      that uses extras must put the *same* column names, zero-filled
+      where unused, on every outbox so the engine's delay queue keeps a
+      consistent schema;
     * object mode (:class:`ScalarAdapter` only): ``payloads`` is a list of
       :class:`~repro.network.message.Message` aligned with the columns.
     """
@@ -132,6 +139,7 @@ class MessageBatch:
     values: np.ndarray | None = None
     bits: np.ndarray | None = None
     payloads: list | None = None
+    extras: dict[str, np.ndarray] | None = None
     receivers: np.ndarray | None = None
 
     def __post_init__(self) -> None:
@@ -143,25 +151,48 @@ class MessageBatch:
             self.values = _as_i64(self.values)
         if self.bits is not None:
             self.bits = _as_i64(self.bits)
+        if self.extras is not None:
+            self.extras = {
+                name: np.ascontiguousarray(column)
+                for name, column in self.extras.items()
+            }
         if self.receivers is not None:
             self.receivers = _as_i64(self.receivers)
 
     def __len__(self) -> int:
         return len(self.senders)
 
+    #: Cached zero-row batches keyed by mode; empty batches are immutable
+    #: by convention (every consumer only reads), so the per-quiet-round
+    #: column allocations collapse into two shared instances.
+    _EMPTY_CACHE: ClassVar[dict[bool, "MessageBatch"]] = {}
+
     @classmethod
     def empty(cls, object_mode: bool = False) -> "MessageBatch":
-        """A zero-row batch (the inbox of a silent round)."""
-        zero = np.empty(0, dtype=np.int64)
-        if object_mode:
-            return cls(senders=zero, ports=zero, payloads=[], receivers=zero)
-        return cls(
-            senders=zero, ports=zero, kinds=zero, values=zero, receivers=zero
-        )
+        """A zero-row batch (the inbox of a silent round); shared, read-only."""
+        cached = cls._EMPTY_CACHE.get(object_mode)
+        if cached is None:
+            zero = np.empty(0, dtype=np.int64)
+            if object_mode:
+                cached = cls(senders=zero, ports=zero, payloads=[], receivers=zero)
+            else:
+                cached = cls(
+                    senders=zero, ports=zero, kinds=zero, values=zero,
+                    receivers=zero,
+                )
+            cls._EMPTY_CACHE[object_mode] = cached
+        return cached
 
     def take(self, indices: np.ndarray) -> "MessageBatch":
-        """A new batch with every column gathered at ``indices``."""
+        """A new batch with every present column gathered at ``indices``.
+
+        Absent optional columns (``bits``, ``payloads``, ``extras``) are
+        never touched, and gathering nothing returns the shared empty
+        batch instead of allocating fresh zero-length columns.
+        """
         idx = np.asarray(indices, dtype=np.int64)
+        if len(idx) == 0:
+            return MessageBatch.empty(self.payloads is not None)
         return MessageBatch(
             senders=self.senders[idx],
             ports=self.ports[idx],
@@ -172,6 +203,13 @@ class MessageBatch:
                 None
                 if self.payloads is None
                 else [self.payloads[i] for i in idx.tolist()]
+            ),
+            extras=(
+                None
+                if self.extras is None
+                else {
+                    name: column[idx] for name, column in self.extras.items()
+                }
             ),
             receivers=None if self.receivers is None else self.receivers[idx],
         )

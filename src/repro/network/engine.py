@@ -59,6 +59,7 @@ import warnings
 import numpy as np
 
 from repro.network.batch import BatchProtocol, MessageBatch
+from repro.network.kernels import get_kernels
 from repro.network.message import (
     Message,
     congest_capacity_bits,
@@ -115,6 +116,7 @@ class SynchronousEngine:
         label: str = "engine",
         backend: str | None = None,
         adversary=None,
+        kernel: str | None = None,
         *,
         nodes: list[Node] | None = None,
     ):
@@ -160,6 +162,11 @@ class SynchronousEngine:
         self.metrics = metrics
         self.label = label
         self.backend = backend
+        #: Kernel tier for the per-round array primitives (routing gather,
+        #: stable receiver sort).  ``None`` resolves the process default
+        #: (``REPRO_KERNEL``); both tiers are bit-identical, so the choice
+        #: affects wall-clock only.
+        self.kernels = get_kernels(kernel)
         #: An :class:`~repro.adversary.ArmedAdversary` (or None).  Armed
         #: state is single-use: one adversary per engine per protocol run.
         self.adversary = adversary
@@ -423,9 +430,8 @@ class SynchronousEngine:
                 self._check_congest(
                     sender_arr, port_arr, max_ports, round_index
                 )
-                receiver_arr = table.receivers(sender_arr, port_arr)
-                arrival_arr = table.reverse_ports(
-                    sender_arr, port_arr, receiver_arr
+                receiver_arr, arrival_arr = table.route(
+                    sender_arr, port_arr, self.kernels
                 )
                 if any(message.bits for message in payloads):
                     bits = np.fromiter(
@@ -556,6 +562,10 @@ class SynchronousEngine:
         dropped_adversary = 0
         empty = MessageBatch.empty(object_mode)
         inbox = empty
+        #: Extras column layout ((name, dtype), ...) captured from the
+        #: first outbox that carries typed extra payload columns; the
+        #: delay queue and inbox assembly preserve it for the whole run.
+        extra_schema: tuple | None = None
         alive = program.alive_count()
         for _ in range(max_rounds):
             round_index = self.rounds_executed
@@ -602,8 +612,24 @@ class SynchronousEngine:
                         f"port {int(ports[bad_index])} in round {round_index}"
                     )
                 self._check_congest(senders, ports, max_ports, round_index)
-                receiver_arr = table.receivers(senders, ports)
-                arrival_arr = table.reverse_ports(senders, ports, receiver_arr)
+                receiver_arr, arrival_arr = table.route(
+                    senders, ports, self.kernels
+                )
+                if not object_mode and outbox.extras is not None:
+                    if extra_schema is None:
+                        extra_schema = tuple(
+                            (name, column.dtype)
+                            for name, column in outbox.extras.items()
+                        )
+                    elif [name for name, _ in extra_schema] != list(
+                        outbox.extras
+                    ):
+                        raise ValueError(
+                            f"step_batch outbox changed its extras schema in "
+                            f"round {round_index}: expected columns "
+                            f"{[name for name, _ in extra_schema]}, got "
+                            f"{list(outbox.extras)}"
+                        )
                 if object_mode:
                     payloads = outbox.payloads
                     for message, sender, port in zip(
@@ -638,6 +664,14 @@ class SynchronousEngine:
                             if object_mode:
                                 held_payloads = [payloads[i] for i in held]
                             else:
+                                extra_held = (
+                                    ()
+                                    if outbox.extras is None
+                                    else tuple(
+                                        outbox.extras[name][held].tolist()
+                                        for name, _ in extra_schema
+                                    )
+                                )
                                 held_payloads = list(
                                     zip(
                                         senders[held].tolist(),
@@ -648,6 +682,7 @@ class SynchronousEngine:
                                             if outbox.bits is None
                                             else outbox.bits[held].tolist()
                                         ),
+                                        *extra_held,
                                     )
                                 )
                             adv.push_delayed_many(
@@ -682,6 +717,14 @@ class SynchronousEngine:
                     kinds = np.empty(total, dtype=np.int64)
                     values = np.empty(total, dtype=np.int64)
                     bits_col = np.zeros(total, dtype=np.int64)
+                    extra_cols = (
+                        []
+                        if extra_schema is None
+                        else [
+                            np.zeros(total, dtype=dtype)
+                            for _, dtype in extra_schema
+                        ]
+                    )
                 for i, (receiver, port, payload) in enumerate(delayed):
                     recv[i] = receiver
                     arrp[i] = port
@@ -689,7 +732,11 @@ class SynchronousEngine:
                         orig[i] = payload.sender
                         pay[i] = payload
                     else:
-                        orig[i], kinds[i], values[i], bits_col[i] = payload
+                        orig[i], kinds[i], values[i], bits_col[i] = payload[:4]
+                        # Rows delayed before the schema appeared carry no
+                        # extras tail; their columns stay zero-filled.
+                        for j, value in enumerate(payload[4:]):
+                            extra_cols[j][i] = value
                 if count:
                     recv[d:] = receiver_arr
                     arrp[d:] = arrival_arr
@@ -701,7 +748,10 @@ class SynchronousEngine:
                         values[d:] = outbox.values
                         if outbox.bits is not None:
                             bits_col[d:] = outbox.bits
-                order = np.argsort(recv, kind="stable")
+                        if outbox.extras is not None:
+                            for j, (name, _) in enumerate(extra_schema):
+                                extra_cols[j][d:] = outbox.extras[name]
+                order = self.kernels.stable_receiver_order(recv, n)
                 inbox = MessageBatch(
                     senders=orig[order],
                     ports=arrp[order],
@@ -710,6 +760,16 @@ class SynchronousEngine:
                     bits=None if object_mode else bits_col[order],
                     payloads=(
                         [pay[i] for i in order.tolist()] if object_mode else None
+                    ),
+                    extras=(
+                        None
+                        if object_mode or extra_schema is None
+                        else {
+                            name: column[order]
+                            for (name, _), column in zip(
+                                extra_schema, extra_cols
+                            )
+                        }
                     ),
                     receivers=recv[order],
                 )

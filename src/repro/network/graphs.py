@@ -14,6 +14,7 @@ import networkx as nx
 from repro.network.topology import (
     CompleteBipartiteTopology,
     CompleteTopology,
+    CycleTopology,
     ExplicitTopology,
     HypercubeTopology,
     StarTopology,
@@ -61,11 +62,15 @@ def hypercube(dimension: int) -> HypercubeTopology:
     return HypercubeTopology(dimension)
 
 
-def cycle(n: int) -> ExplicitTopology:
-    """Cycle C_n (used by the ring leader-election baselines)."""
+def cycle(n: int) -> CycleTopology:
+    """Cycle C_n (used by the ring leader-election baselines).
+
+    Arithmetic ports (no stored adjacency), so C_n scales to millions of
+    nodes; the port layout matches the old explicit construction exactly.
+    """
     if n < 3:
         raise ValueError(f"cycle needs n >= 3, got {n}")
-    return ExplicitTopology(n, [(i, (i + 1) % n) for i in range(n)])
+    return CycleTopology(n)
 
 
 def path(n: int) -> ExplicitTopology:

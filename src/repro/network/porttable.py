@@ -32,6 +32,7 @@ __all__ = [
     "BipartitePortTable",
     "CSRPortTable",
     "CompletePortTable",
+    "CyclePortTable",
     "HypercubePortTable",
     "PortTable",
     "StarPortTable",
@@ -88,6 +89,20 @@ class PortTable(ABC):
         if ports.size and (int(ports.min()) < 0 or int(ports.max()) >= degree):
             return int(np.argmax((ports < 0) | (ports >= degree)))
         return None
+
+    def route(
+        self, senders: np.ndarray, ports: np.ndarray, kernels=None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Both routing gathers at once: (receivers, arrival ports).
+
+        ``kernels`` is an optional
+        :class:`~repro.network.kernels.KernelSet`; tables whose routing is
+        a memory gather (CSR) dispatch it through the compiled tier when
+        one is active.  Arithmetic tables ignore it — their numpy
+        expressions are already O(1) per row.
+        """
+        receivers = self.receivers(senders, ports)
+        return receivers, self.reverse_ports(senders, ports, receivers)
 
     def port_to(self, v: int, u: int) -> int:
         """Scalar port of ``v`` leading to neighbour ``u``."""
@@ -173,6 +188,16 @@ class CSRPortTable(PortTable):
         self, senders: np.ndarray, ports: np.ndarray, receivers: np.ndarray
     ) -> np.ndarray:
         return self._reverse[self._offsets[senders] + ports]
+
+    def route(
+        self, senders: np.ndarray, ports: np.ndarray, kernels=None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if kernels is not None and kernels.is_numba:
+            return kernels.route_csr(
+                self._offsets, self._neighbors, self._reverse, senders, ports
+            )
+        base = self._offsets[senders] + ports
+        return self._neighbors[base], self._reverse[base]
 
     def port_to(self, v: int, u: int) -> int:
         key = v * self._n + u
@@ -315,3 +340,60 @@ class HypercubePortTable(PortTable):
         if diff == 0 or diff & (diff - 1):
             raise ValueError(f"{u} is not a neighbour of {v}")
         return diff.bit_length() - 1
+
+
+class CyclePortTable(PortTable):
+    """C_n: both ports of every node computed arithmetically.
+
+    Million-node rings never materialize their edge list.  The port
+    convention matches the explicit builder's sorted-adjacency order
+    exactly (so the two representations are trace-interchangeable): port
+    0 reaches the *smaller*-id neighbour, port 1 the larger.  For a
+    middle node ``v`` that is ``v-1``/``v+1``; the wrap nodes 0 and
+    ``n-1`` see their neighbours re-sorted (0: ports → 1, n−1;
+    n−1: ports → 0, n−2).
+    """
+
+    def __init__(self, n: int):
+        if n < 3:
+            raise ValueError(f"cycle needs at least 3 nodes, got {n}")
+        self._n = n
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def max_ports(self) -> int:
+        return 2
+
+    def degrees_of(self, nodes: np.ndarray) -> np.ndarray:
+        return np.full(len(nodes), 2, dtype=np.int64)
+
+    def _sorted_neighbors(
+        self, nodes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        n = self._n
+        prev = (nodes - 1) % n
+        nxt = (nodes + 1) % n
+        return np.minimum(prev, nxt), np.maximum(prev, nxt)
+
+    def receivers(self, senders: np.ndarray, ports: np.ndarray) -> np.ndarray:
+        lo, hi = self._sorted_neighbors(senders)
+        return np.where(ports == 0, lo, hi)
+
+    def reverse_ports(
+        self, senders: np.ndarray, ports: np.ndarray, receivers: np.ndarray
+    ) -> np.ndarray:
+        lo, _ = self._sorted_neighbors(receivers)
+        return np.where(senders == lo, 0, 1).astype(np.int64)
+
+    def find_bad_port(self, senders: np.ndarray, ports: np.ndarray) -> int | None:
+        return self._find_bad_port_uniform(ports, 2)
+
+    def port_to(self, v: int, u: int) -> int:
+        n = self._n
+        prev, nxt = (v - 1) % n, (v + 1) % n
+        if u not in (prev, nxt):
+            raise ValueError(f"{u} is not a neighbour of {v}")
+        return 0 if u == min(prev, nxt) else 1

@@ -25,6 +25,7 @@ from repro.util.mathx import is_power_of_two
 __all__ = [
     "CompleteBipartiteTopology",
     "CompleteTopology",
+    "CycleTopology",
     "ExplicitTopology",
     "HypercubeTopology",
     "StarTopology",
@@ -235,6 +236,63 @@ class CompleteTopology(Topology):
         from repro.network.porttable import CompletePortTable
 
         return CompletePortTable(self._n)
+
+
+class CycleTopology(Topology):
+    """C_n with arithmetic ports — million-node rings stay O(1) memory.
+
+    Port order matches :class:`ExplicitTopology`'s sorted adjacency (port
+    0 → smaller-id neighbour), so ``graphs.cycle`` swapping to this class
+    changes no trace: for a middle node that is ``v-1``/``v+1``; node 0's
+    ports reach 1 then n−1, node n−1's reach 0 then n−2.
+    """
+
+    def __init__(self, n: int):
+        if n < 3:
+            raise ValueError(f"cycle needs at least 3 nodes, got {n}")
+        self._n = n
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def degree(self, v: int) -> int:
+        self.validate_node(v)
+        return 2
+
+    def _sorted_neighbors(self, v: int) -> tuple[int, int]:
+        prev, nxt = (v - 1) % self._n, (v + 1) % self._n
+        return (prev, nxt) if prev < nxt else (nxt, prev)
+
+    def neighbor_at_port(self, v: int, port: int) -> int:
+        self.validate_node(v)
+        if port not in (0, 1):
+            raise ValueError(f"port {port} outside [0, 2)")
+        return self._sorted_neighbors(v)[port]
+
+    def port_to(self, v: int, u: int) -> int:
+        self.validate_node(v)
+        self.validate_node(u)
+        lo, hi = self._sorted_neighbors(v)
+        if u == lo:
+            return 0
+        if u == hi:
+            return 1
+        raise ValueError(f"{u} is not a neighbour of {v}")
+
+    def has_edge(self, u: int, v: int) -> bool:
+        self.validate_node(u)
+        self.validate_node(v)
+        diff = (u - v) % self._n
+        return diff in (1, self._n - 1)
+
+    def edge_count(self) -> int:
+        return self._n
+
+    def _build_port_table(self):
+        from repro.network.porttable import CyclePortTable
+
+        return CyclePortTable(self._n)
 
 
 class StarTopology(Topology):

@@ -186,6 +186,18 @@ def _catalogue() -> dict[str, Scenario]:
             seed=91,
             description="E10 classical side: probe-all-ports Borůvka MST",
         ),
+        Scenario(
+            name="mst/boruvka-engine",
+            protocol="mst/boruvka-engine",
+            topology=TopologySpec(
+                "random-regular", (("degree", 4),), fixed_seed=1200
+            ),
+            sizes=(32, 64, 128),
+            trials=3,
+            seed=92,
+            description="Engine-executed Borůvka/GHS MST (batch-capable), "
+            "real CONGEST message accounting",
+        ),
         # -- new scenario families the runtime unlocks ------------------------
         Scenario(
             name="torus-le/quantum",

@@ -117,6 +117,7 @@ class ProtocolSpec:
             "topologies": list(self.topologies),
             "defaults": {key: value for key, value in self.defaults},
             "supports": sorted(self.supports),
+            "batch": "batch" in self.supports,
             "description": self.description,
         }
 
@@ -338,10 +339,14 @@ def _run_lcr_ring(topology, rng, adversary=None, node_api="scalar") -> TrialOutc
     )
 
 
-def _run_hs_ring(topology, rng, adversary=None) -> TrialOutcome:
+def _run_hs_ring(topology, rng, adversary=None, node_api="scalar") -> TrialOutcome:
     from repro.classical.leader_election.ring import hirschberg_sinclair_ring
 
-    return _from_le(hirschberg_sinclair_ring(topology.n, rng, adversary=adversary))
+    return _from_le(
+        hirschberg_sinclair_ring(
+            topology.n, rng, adversary=adversary, node_api=node_api
+        )
+    )
 
 
 def _run_quantum_agreement(
@@ -397,6 +402,20 @@ def _run_classical_mst(topology, rng) -> TrialOutcome:
 
     weights = _random_weights(topology, rng.spawn())
     return _from_mst(classical_mst(topology, weights, rng.spawn()))
+
+
+def _run_boruvka_engine(
+    topology, rng, adversary=None, node_api="scalar"
+) -> TrialOutcome:
+    from repro.classical.mst_boruvka import boruvka_mst_engine
+
+    weights = _random_weights(topology, rng.spawn())
+    return _from_mst(
+        boruvka_mst_engine(
+            topology, weights, rng.spawn(), adversary=adversary,
+            node_api=node_api,
+        )
+    )
 
 
 def _run_grover_star_search(
@@ -527,7 +546,7 @@ def register_builtin_protocols(registry: ProtocolRegistry) -> ProtocolRegistry:
             topologies=("diameter2-gnp", "erdos-renyi", "star", "wheel"),
             builder=_run_classical_le_diameter2,
             description="[CPR20]-style classical LE on diameter-2 graphs: Θ(n).",
-            supports=("faults",),
+            supports=("batch", "faults"),
         ),
         ProtocolSpec(
             name="le-general/quantum",
@@ -561,7 +580,7 @@ def register_builtin_protocols(registry: ProtocolRegistry) -> ProtocolRegistry:
             topologies=("cycle",),
             builder=_run_hs_ring,
             description="Hirschberg–Sinclair ring baseline: O(n log n) messages.",
-            supports=("faults",),
+            supports=("batch", "faults"),
         ),
         ProtocolSpec(
             name="agreement/quantum",
@@ -619,6 +638,16 @@ def register_builtin_protocols(registry: ProtocolRegistry) -> ProtocolRegistry:
             topologies=("random-regular", "erdos-renyi", "torus"),
             builder=_run_classical_mst,
             description="Classical probe-all-ports Borůvka MST: Θ(m·log n).",
+        ),
+        ProtocolSpec(
+            name="mst/boruvka-engine",
+            side="classical",
+            family="mst",
+            topologies=("random-regular", "erdos-renyi", "torus", "cycle"),
+            builder=_run_boruvka_engine,
+            description="Engine-driven Borůvka/GHS MST: real CONGEST "
+            "messages, fault-injectable, array-native.",
+            supports=("batch", "faults"),
         ),
         ProtocolSpec(
             name="search-star/quantum",

@@ -8,6 +8,7 @@ from repro.network.porttable import (
     BipartitePortTable,
     CSRPortTable,
     CompletePortTable,
+    CyclePortTable,
     HypercubePortTable,
     PortTable,
     StarPortTable,
@@ -108,9 +109,10 @@ class TestTableKinds:
             graphs.complete_bipartite(3, 4).port_table(), BipartitePortTable
         )
         assert isinstance(graphs.hypercube(3).port_table(), HypercubePortTable)
+        assert isinstance(graphs.cycle(5).port_table(), CyclePortTable)
 
     def test_explicit_topology_uses_csr(self):
-        assert isinstance(graphs.cycle(5).port_table(), CSRPortTable)
+        assert isinstance(graphs.path(5).port_table(), CSRPortTable)
 
     def test_table_is_cached_per_topology(self):
         topology = graphs.cycle(5)

@@ -6,10 +6,11 @@ Two layers of parity, each with and without an adversary (drop + crash):
   :class:`~repro.network.batch.ScalarAdapter` on the batch path must
   reproduce the fast and reference backends' trials bit-for-bit, across
   ≥5 topology families;
-* **native parity** — the three array-native ports (ring LCR,
-  ``complete_kpp``, the engine-driven AMP18 agreement) must reproduce
-  their scalar implementations bit-for-bit under identical seeds and
-  adversary specs.
+* **native parity** — the six array-native ports (ring LCR,
+  Hirschberg–Sinclair, ``complete_kpp``, the CPR diameter-2 baseline,
+  the engine-driven AMP18 agreement, and the engine-driven Borůvka MST)
+  must reproduce their scalar implementations bit-for-bit under
+  identical seeds and adversary specs.
 """
 
 import os
@@ -20,7 +21,9 @@ from hypothesis import strategies as st
 from repro.adversary import AdversarySpec
 from repro.classical.agreement.amp18_engine import classical_agreement_engine
 from repro.classical.leader_election.complete_kpp import classical_le_complete
-from repro.classical.leader_election.ring import lcr_ring
+from repro.classical.leader_election.diameter2_cpr import classical_le_diameter2
+from repro.classical.leader_election.ring import hirschberg_sinclair_ring, lcr_ring
+from repro.classical.mst_boruvka import boruvka_mst_engine
 from repro.network import graphs
 from repro.network.batch import ScalarAdapter
 from repro.network.engine import SynchronousEngine
@@ -190,6 +193,98 @@ def test_kpp_batch_parity(seed, n, adversary):
         )
 
     fast, reference, batch = _three_way(run, _le_snapshot)
+    assert fast == reference
+    assert fast == batch
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    n=st.integers(min_value=4, max_value=24),
+    adversary=st.sampled_from(ADVERSARIES),
+)
+def test_hs_batch_parity(seed, n, adversary):
+    def run(api):
+        return hirschberg_sinclair_ring(
+            max(n, 3), RandomSource(seed), adversary=adversary, node_api=api
+        )
+
+    fast, reference, batch = _three_way(run, _le_snapshot)
+    assert fast == reference
+    assert fast == batch
+
+
+#: CPR needs diameter ≤ 2; its referees (like KPP's) reply once per arrival
+#: port, so the duplicate adversary is excluded for the same reason.
+CPR_FAMILIES = {
+    "complete": graphs.complete,
+    "star": graphs.star,
+    "wheel": graphs.wheel,
+}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    family=st.sampled_from(sorted(CPR_FAMILIES)),
+    n=st.integers(min_value=4, max_value=16),
+    adversary=st.sampled_from(ADVERSARIES_NO_DUPLICATE),
+)
+def test_cpr_batch_parity(seed, family, n, adversary):
+    topology = CPR_FAMILIES[family](n)
+
+    def run(api):
+        return classical_le_diameter2(
+            topology, RandomSource(seed), adversary=adversary, node_api=api
+        )
+
+    fast, reference, batch = _three_way(run, _le_snapshot)
+    assert fast == reference
+    assert fast == batch
+
+
+def _mst_snapshot(result):
+    return (
+        result.messages,
+        result.rounds,
+        tuple(result.edges),
+        result.total_weight,
+        dict(result.meta),
+    )
+
+
+BORUVKA_FAMILIES = {
+    "cycle": graphs.cycle,
+    "complete": graphs.complete,
+    "wheel": graphs.wheel,
+}
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    family=st.sampled_from(sorted(BORUVKA_FAMILIES)),
+    n=st.integers(min_value=4, max_value=13),
+    adversary=st.sampled_from(ADVERSARIES),
+)
+def test_boruvka_engine_batch_parity(seed, family, n, adversary):
+    topology = BORUVKA_FAMILIES[family](n)
+    weight_rng = RandomSource(seed ^ 0x5EED)
+    weights = {}
+    for u, v in topology.edges():
+        a, b = (u, v) if u < v else (v, u)
+        weights[(a, b)] = weight_rng.uniform()
+
+    def run(api):
+        return boruvka_mst_engine(
+            topology,
+            weights,
+            RandomSource(seed),
+            adversary=adversary,
+            node_api=api,
+        )
+
+    fast, reference, batch = _three_way(run, _mst_snapshot)
     assert fast == reference
     assert fast == batch
 

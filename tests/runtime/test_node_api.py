@@ -28,7 +28,10 @@ class TestResolveNodeApi:
         )
 
     def test_auto_falls_back_to_scalar(self):
-        assert default_registry().get("le-ring/hs").resolve_node_api("auto") == "scalar"
+        assert (
+            default_registry().get("le-general/classical").resolve_node_api("auto")
+            == "scalar"
+        )
 
     def test_explicit_requests_pass_through(self):
         spec = default_registry().get("le-ring/lcr")
@@ -36,7 +39,7 @@ class TestResolveNodeApi:
         assert spec.resolve_node_api("batch") == "batch"
 
     def test_batch_on_scalar_only_protocol_is_rejected(self):
-        spec = default_registry().get("le-ring/hs")
+        spec = default_registry().get("le-general/classical")
         with pytest.raises(ValueError, match="array-native"):
             spec.resolve_node_api("batch")
 
@@ -55,7 +58,8 @@ class TestScenarioNodeApi:
     def test_default_is_auto(self):
         assert get_scenario("ring-le/lcr").node_api == "auto"
         assert get_scenario("ring-le/lcr").resolved_node_api == "batch"
-        assert get_scenario("ring-le/hs").resolved_node_api == "scalar"
+        assert get_scenario("ring-le/hs").resolved_node_api == "batch"
+        assert get_scenario("general-le/classical").resolved_node_api == "scalar"
 
     def test_with_overrides_swaps_node_api(self):
         scenario = get_scenario("ring-le/lcr").with_overrides(node_api="scalar")
@@ -73,7 +77,9 @@ class TestScenarioNodeApi:
             )
 
     def test_batch_request_on_scalar_protocol_fails_the_trial(self):
-        scenario = get_scenario("ring-le/hs").with_overrides(node_api="batch")
+        scenario = get_scenario("general-le/classical").with_overrides(
+            node_api="batch"
+        )
         with pytest.raises(ValueError, match="array-native"):
             run_scenario(scenario, jobs=1, sizes=[8], trials=1)
 

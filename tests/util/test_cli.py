@@ -16,12 +16,15 @@ class TestParser:
 
     def test_elect_defaults(self):
         args = build_parser().parse_args(["elect"])
-        assert args.topology == "complete"
+        assert args.topology is None  # handler defaults paired mode to complete
+        assert args.protocol is None
         assert args.n == 1024
 
-    def test_elect_rejects_unknown_topology(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["elect", "--topology", "torus"])
+    def test_elect_rejects_unpaired_topology_in_paired_mode(self, capsys):
+        # Validation moved from the parser to the handler so that
+        # single-protocol mode can accept any topology family.
+        assert main(["elect", "--topology", "torus", "-n", "8"]) == 2
+        assert "torus" in capsys.readouterr().err
 
 
 class TestCommands:
@@ -321,7 +324,7 @@ class TestNodeApiFlag:
 
     def test_sweep_batch_on_scalar_only_scenario_errors(self, capsys):
         code = main(
-            ["sweep", "--scenario", "ring-le/hs", "--sizes", "8",
+            ["sweep", "--scenario", "general-le/classical", "--sizes", "8",
              "--trials", "1", "--jobs", "1", "--node-api", "batch",
              "--no-cache"]
         )
@@ -338,6 +341,70 @@ class TestNodeApiFlag:
         assert "classical side only" in captured.err
 
 
+class TestKernelFlag:
+    def test_parser_accepts_kernel(self):
+        for command in (["elect"], ["agree"], ["sweep", "--experiment", "E1"]):
+            args = build_parser().parse_args(command + ["--kernel", "numpy"])
+            assert args.kernel == "numpy"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["elect", "--kernel", "fortran"])
+
+    def test_explicit_numba_without_numba_is_exit_2(self, capsys, monkeypatch):
+        from repro.network.kernels import numba_available
+
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        if numba_available():
+            pytest.skip("numba installed: explicit request succeeds")
+        code = main(
+            ["elect", "le-ring/lcr", "--topology", "cycle", "-n", "16",
+             "--kernel", "numba"]
+        )
+        assert code == 2
+        assert "numba is not installed" in capsys.readouterr().err
+
+    def test_kernel_does_not_change_elect_output(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        argv = ["elect", "le-ring/lcr", "--topology", "cycle", "-n", "32",
+                "--seed", "9"]
+        assert main(argv + ["--kernel", "numpy"]) == 0
+        numpy_out = capsys.readouterr().out
+        assert main(argv + ["--kernel", "auto"]) == 0
+        auto_out = capsys.readouterr().out
+        strip = lambda s: s.replace("kernel numpy", "").replace(
+            "kernel numba", ""
+        ).replace("kernel auto", "")
+        assert strip(numpy_out) == strip(auto_out)
+
+
+class TestElectSingleProtocol:
+    def test_single_protocol_run(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        code = main(
+            ["elect", "le-ring/lcr", "--topology", "cycle", "-n", "24",
+             "--seed", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "le-ring/lcr on cycle, n=24" in out
+        assert "success=True" in out
+
+    def test_single_protocol_default_topology(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        code = main(["elect", "le-diameter2/classical", "-n", "16", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "le-diameter2/classical" in out
+
+    def test_unknown_protocol_is_exit_2(self, capsys):
+        assert main(["elect", "le-donut/lcr", "-n", "8"]) == 2
+        assert "unknown protocol" in capsys.readouterr().err
+
+    def test_paired_mode_rejects_unpaired_topology(self, capsys):
+        assert main(["elect", "--topology", "cycle", "-n", "8"]) == 2
+        err = capsys.readouterr().err
+        assert "explicit protocol" in err
+
+
 class TestProtocolsCommand:
     def test_table_lists_supports_column(self, capsys):
         assert main(["protocols"]) == 0
@@ -352,7 +419,11 @@ class TestProtocolsCommand:
         payload = json.loads(capsys.readouterr().out)
         by_name = {entry["name"]: entry for entry in payload}
         assert by_name["le-ring/lcr"]["supports"] == ["batch", "faults"]
-        assert by_name["le-ring/hs"]["supports"] == ["faults"]
+        assert by_name["le-ring/hs"]["supports"] == ["batch", "faults"]
+        assert by_name["mst/boruvka-engine"]["supports"] == ["batch", "faults"]
+        assert by_name["le-ring/hs"]["batch"] is True
+        assert by_name["le-general/classical"]["batch"] is False
+        assert by_name["le-ring/hs"]["kernel"] in ("numpy", "numba")
         assert by_name["agreement/amp18-engine"]["defaults"] == {"fraction": 0.3}
 
     def test_scenarios_json_dump(self, capsys):
@@ -362,7 +433,8 @@ class TestProtocolsCommand:
         payload = json.loads(capsys.readouterr().out)
         by_name = {entry["name"]: entry for entry in payload}
         assert by_name["ring-le/lcr"]["resolved_node_api"] == "batch"
-        assert by_name["ring-le/hs"]["resolved_node_api"] == "scalar"
+        assert by_name["ring-le/hs"]["resolved_node_api"] == "batch"
+        assert by_name["ring-le/hs"]["kernel"] in ("numpy", "numba")
         assert by_name["ring-le-lossy/lcr"]["adversary"]["drop_rate"] == 0.02
         assert by_name["complete-le/quantum"]["sizes"] == [256, 1024, 4096]
 
