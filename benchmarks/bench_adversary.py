@@ -1,17 +1,26 @@
 """Adversary-overhead microbenchmark: faulty vs fault-free rounds/sec.
 
 Drives the same deterministic gossip workload as ``bench_engine.py`` over
-K_n and the 2-D torus, once fault-free and once under a mixed
-message-fault adversary (5% drop, 2% delay, 1% duplicate), on both engine
-backends.  The interesting numbers:
+K_n and the 2-D torus — fault-free, under a mixed static message-fault
+adversary (5% drop, 2% delay, 1% duplicate), and under an adaptive
+adversary (targeted-leader suppression plus a 5% eavesdrop tap rate) —
+on both engine backends.  The interesting numbers:
 
 * **overhead** — faulty vs fault-free rounds/sec on the fast backend:
   the price of drawing fault masks and re-indexing the batched delivery
   arrays each round (the masks are vectorized, so this should stay a
   modest constant factor);
+* **adaptive overhead** — adaptive vs static-faulty rounds/sec on the
+  fast backend: the *extra* price of the per-round traffic observation
+  callback, strategy staging, and the eavesdropping ledger (budget: at
+  most 2x the static-mask adversary);
 * **speedup under faults** — fast vs reference rounds/sec with the
   adversary armed: the vectorized fault path must keep its edge over the
   per-message oracle loop.
+
+Before any adaptive timing, the run's trace fingerprint is asserted
+bit-identical across all three dispatch paths (fast, reference, batch) —
+a benchmark of three paths that disagree would be meaningless.
 
 Results land in ``BENCH_adversary.json``; CI runs ``--smoke``.
 
@@ -42,8 +51,15 @@ OUTPUT = REPO_ROOT / "BENCH_adversary.json"
 
 FANOUT = 32
 
-#: The benchmarked adversary: every message-fault class armed at once.
+#: The benchmarked static adversary: every message-fault class armed at once.
 SPEC = AdversarySpec(drop_rate=0.05, delay_rate=0.02, duplicate_rate=0.01, seed=99)
+
+#: The benchmarked adaptive adversary: traffic-conditioned suppression of
+#: the dominant sender plus a per-edge eavesdrop tap (ledger maintained
+#: every round) — the observation callback's worst reasonable case.
+ADAPTIVE_SPEC = AdversarySpec(
+    adaptive="target-leader", adaptive_rate=0.5, eavesdrop_rate=0.05, seed=99
+)
 
 
 class GossipNode(Node):
@@ -105,6 +121,45 @@ def _time(topology, backend: str, spec, rounds: int, repeats: int) -> dict:
     return entry
 
 
+def _fingerprint(topology, mode: str, spec, rounds: int):
+    """One run's trace fingerprint on a named dispatch path.
+
+    ``mode`` is ``"fast"``/``"reference"`` (scalar backends) or
+    ``"batch"`` (the ScalarAdapter-driven batch dispatch path).
+    """
+    from repro.network.batch import ScalarAdapter
+
+    bits = 2 * congest_capacity_bits(topology.n)
+    rng = RandomSource(0)
+    armed = spec.arm(spec.derive_rng(rng), topology.n)
+    nodes = [
+        GossipNode(v, topology.degree(v), rng, bits) for v in range(topology.n)
+    ]
+    metrics = MetricsRecorder()
+    program = ScalarAdapter(nodes) if mode == "batch" else nodes
+    backend = "reference" if mode == "reference" else "fast"
+    engine = SynchronousEngine(
+        topology, program, metrics, backend=backend, adversary=armed
+    )
+    engine.run(max_rounds=rounds)
+    return (
+        metrics.messages,
+        metrics.rounds,
+        engine.undelivered_detail(),
+        engine.fault_stats(),
+        armed.security_ledger() if armed.observes else None,
+    )
+
+
+def _assert_three_way_parity(topology, spec, rounds: int) -> None:
+    """Refuse to time an adversary whose three paths disagree."""
+    fast = _fingerprint(topology, "fast", spec, rounds)
+    reference = _fingerprint(topology, "reference", spec, rounds)
+    batch = _fingerprint(topology, "batch", spec, rounds)
+    assert fast == reference, "fast/reference fingerprints diverge"
+    assert fast == batch, "fast/batch fingerprints diverge"
+
+
 def run_bench(smoke: bool) -> dict:
     sizes = [64, 256] if smoke else [256, 1024, 4096]
     repeats = 2 if smoke else 5
@@ -115,13 +170,19 @@ def run_bench(smoke: bool) -> dict:
             topology.port_table()
             per_round = topology.n * min(FANOUT, topology.degree(0))
             rounds = 5 if smoke else max(4, min(40, 400_000 // per_round))
+            for spec in (SPEC, ADAPTIVE_SPEC):
+                _assert_three_way_parity(topology, spec, min(rounds, 4))
             entry = {"topology": family, "n": n, "modes": {}}
             for backend in BACKENDS:
-                for label, spec in (("clean", None), ("faulty", SPEC)):
+                for label, spec in (
+                    ("clean", None),
+                    ("faulty", SPEC),
+                    ("adaptive", ADAPTIVE_SPEC),
+                ):
                     timing = _time(topology, backend, spec, rounds, repeats)
                     entry["modes"][f"{backend}/{label}"] = timing
                     print(
-                        f"{family:>9} n={n:<5} {backend:>9}/{label:<6}: "
+                        f"{family:>9} n={n:<5} {backend:>9}/{label:<8}: "
                         f"{timing['rounds_per_sec']:>10.1f} rounds/s",
                         flush=True,
                     )
@@ -131,6 +192,11 @@ def run_bench(smoke: bool) -> dict:
                 / modes["fast/faulty"]["rounds_per_sec"],
                 2,
             )
+            entry["adaptive_overhead"] = round(
+                modes["fast/faulty"]["rounds_per_sec"]
+                / modes["fast/adaptive"]["rounds_per_sec"],
+                2,
+            )
             entry["faulty_speedup"] = round(
                 modes["fast/faulty"]["rounds_per_sec"]
                 / modes["reference/faulty"]["rounds_per_sec"],
@@ -138,7 +204,8 @@ def run_bench(smoke: bool) -> dict:
             )
             print(
                 f"{'':>9} fault overhead (fast): "
-                f"{entry['fast_fault_overhead']:.2f}x, speedup under faults: "
+                f"{entry['fast_fault_overhead']:.2f}x, adaptive overhead: "
+                f"{entry['adaptive_overhead']:.2f}x, speedup under faults: "
                 f"{entry['faulty_speedup']:.2f}x"
             )
             results.append(entry)
@@ -146,6 +213,7 @@ def run_bench(smoke: bool) -> dict:
         "benchmark": "adversary-overhead",
         "mode": "smoke" if smoke else "full",
         "adversary": SPEC.describe(),
+        "adaptive_adversary": ADAPTIVE_SPEC.describe(),
         "workload": f"prebuilt gossip, fanout=min(degree, {FANOUT})",
         "python": platform.python_version(),
         "machine": platform.machine(),

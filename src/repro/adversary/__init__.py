@@ -1,31 +1,45 @@
 """Deterministic fault & schedule injection for the CONGEST runtime.
 
-Three layers:
+Four layers:
 
 * :mod:`repro.adversary.spec` — :class:`AdversarySpec`, the frozen,
   hashable description of message faults (drop/delay/duplicate, rate-based
-  or per-edge scheduled), node faults (crash-stop schedules), and
-  agreement input schedules;
+  or per-edge scheduled), node faults (crash-stop schedules), agreement
+  input schedules, adaptive traffic-conditioned strategies, and
+  per-edge eavesdropping;
 * :mod:`repro.adversary.armed` — :class:`ArmedAdversary`, the per-run
-  mutable state (crash plan, delay queue, fault accounting) both
-  :class:`~repro.network.engine.SynchronousEngine` backends consume;
+  mutable state (crash plan, delay queue, fault accounting) every
+  :class:`~repro.network.engine.SynchronousEngine` dispatch path consumes;
+* :mod:`repro.adversary.adaptive` — :class:`AdaptiveAdversary`, the
+  traffic-conditioned subclass fed by the engine's per-round observation
+  callback (targeted-leader suppression/crash, reactive congestion drops,
+  eavesdropping with a security-accounting ledger);
 * :mod:`repro.adversary.inputs` — adversarial initial-value assignment for
   the agreement protocols.
 
 Everything is seed-reproducible: the adversary draws from its own
 :class:`~repro.util.rng.RandomSource` stream (derived per trial, or pinned
-via ``AdversarySpec.seed``), consumed identically by the ``fast`` and
-``reference`` engine backends — a property test asserts bit-identical
-trial results across backends under the same spec and seed.
+via ``AdversarySpec.seed``), consumed identically by every engine dispatch
+path — property tests assert bit-identical trial results across the
+``fast``/``reference``/batch paths under the same spec and seed, static
+and adaptive alike.
 """
 
+from repro.adversary.adaptive import AdaptiveAdversary
 from repro.adversary.armed import ArmedAdversary
 from repro.adversary.inputs import adversarial_inputs, benign_inputs
-from repro.adversary.spec import INPUT_SCHEDULES, NULL_ADVERSARY, AdversarySpec
+from repro.adversary.spec import (
+    ADAPTIVE_STRATEGIES,
+    INPUT_SCHEDULES,
+    NULL_ADVERSARY,
+    AdversarySpec,
+)
 
 __all__ = [
+    "ADAPTIVE_STRATEGIES",
     "INPUT_SCHEDULES",
     "NULL_ADVERSARY",
+    "AdaptiveAdversary",
     "AdversarySpec",
     "ArmedAdversary",
     "adversarial_inputs",

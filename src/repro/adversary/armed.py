@@ -19,6 +19,8 @@ Determinism contract (what makes fast-vs-reference trace equivalence hold):
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.adversary.spec import AdversarySpec
@@ -29,6 +31,12 @@ __all__ = ["ArmedAdversary"]
 
 class ArmedAdversary:
     """Mutable per-run fault state derived from a spec and an RNG."""
+
+    #: Whether the engine must feed this adversary the per-round traffic
+    #: observation callback (``observe_round``) before drawing fault
+    #: masks.  Static adversaries never observe; the adaptive subclass
+    #: (:class:`~repro.adversary.adaptive.AdaptiveAdversary`) flips this.
+    observes = False
 
     def __init__(self, spec: AdversarySpec, rng: RandomSource, n: int):
         if n < 1:
@@ -69,8 +77,12 @@ class ArmedAdversary:
         self.messages_dropped = 0
         self.messages_delayed = 0
         self.messages_duplicated = 0
+        #: Drops forced by an adaptive strategy that the static fault
+        #: classes would *not* have caused (always 0 for static specs).
+        self.messages_lost_to_adaptivity = 0
         self.nodes_crashed = 0
         self.last_fault_round: int | None = None
+        self._horizon_checked = False
 
     # -- classification passthrough -------------------------------------------
 
@@ -83,6 +95,45 @@ class ArmedAdversary:
     def crashes_at(self, round_index: int) -> list[int]:
         """Nodes that fail before executing ``round_index`` (ascending)."""
         return self._crash_rounds.get(round_index, [])
+
+    def unreachable_crashes(self, max_rounds: int) -> list[tuple[int, int]]:
+        """``(node, round)`` crash-plan entries at or past the round budget.
+
+        A node scheduled to crash before round ``r >= max_rounds`` can
+        never fire: the engine stops consuming the plan once the budget
+        elapses, so the scenario silently runs fault-free.
+        """
+        return sorted(
+            (node, round_index)
+            for round_index, nodes in self._crash_rounds.items()
+            if round_index >= max_rounds
+            for node in nodes
+        )
+
+    def check_crash_horizon(self, max_rounds: int) -> None:
+        """Warn once when part of the crash plan can never fire.
+
+        Called by :meth:`AdversarySpec.arm` when the caller knows the
+        round budget, and again (idempotently) by
+        ``SynchronousEngine.run`` — so a misconfigured crash schedule
+        fails loudly no matter how the adversary was armed.
+        """
+        if self._horizon_checked:
+            return
+        self._horizon_checked = True
+        unreachable = self.unreachable_crashes(max_rounds)
+        if unreachable:
+            detail = ", ".join(
+                f"node {node} before round {round_index}"
+                for node, round_index in unreachable
+            )
+            warnings.warn(
+                f"adversary crash schedule is partly unreachable: {detail} "
+                f"— the run budget is {max_rounds} rounds, so crashes "
+                f"scheduled at round >= {max_rounds} never fire",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def note_crash(self, round_index: int) -> None:
         self.nodes_crashed += 1
@@ -101,6 +152,24 @@ class ArmedAdversary:
         messages may be duplicated.  Accounting is updated here, so call
         exactly once per round with at least one message.
         """
+        return self._draw_masks(round_index, senders, ports, None)
+
+    def _draw_masks(
+        self,
+        round_index: int,
+        senders: np.ndarray,
+        ports: np.ndarray,
+        forced_drop: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Shared mask core: static fault classes plus adaptive forced drops.
+
+        ``forced_drop`` (from the adaptive subclass) is merged into the
+        drop mask *before* the delay/duplicate draws and before any
+        accounting, so a force-dropped message is never also counted as
+        delayed or duplicated — the ledger and ``fault_*`` totals stay
+        reconcilable.  The RNG draw order is fixed: static drop, delay,
+        duplicate (adaptive draws happen earlier, in the subclass).
+        """
         spec = self.spec
         count = len(senders)
         if spec.drop_rate > 0:
@@ -110,6 +179,11 @@ class ArmedAdversary:
         scheduled = self._drop_slots.get(round_index)
         if scheduled is not None:
             drop |= np.isin(senders * self.n + ports, scheduled)
+        if forced_drop is not None:
+            self.messages_lost_to_adaptivity += int(
+                np.count_nonzero(forced_drop & ~drop)
+            )
+            drop = drop | forced_drop
         if spec.delay_rate > 0:
             delay = (self._generator.random(count) < spec.delay_rate) & ~drop
         else:
@@ -180,6 +254,7 @@ class ArmedAdversary:
             "fault_messages_dropped": self.messages_dropped,
             "fault_messages_delayed": self.messages_delayed,
             "fault_messages_duplicated": self.messages_duplicated,
+            "fault_messages_lost_to_adaptivity": self.messages_lost_to_adaptivity,
             "fault_nodes_crashed": self.nodes_crashed,
             "fault_rounds_to_recovery": max(0, rounds_executed - 1 - last),
         }

@@ -38,22 +38,31 @@ def adversarial_inputs(
     fraction: float,
     spec: AdversarySpec | None,
     trial_rng: RandomSource,
+    *,
+    engine_capable: bool = False,
 ) -> list[int]:
     """The 0/1 input vector after the spec's input adversary acted.
 
     With no spec (or no input faults armed) this is exactly
-    :func:`benign_inputs`.  Message/crash faults in the spec are rejected
-    here: agreement protocols do not run on the synchronous engine, so an
-    engine-fault spec routed at them would be silently meaningless.
+    :func:`benign_inputs`.  Message/crash/adaptive faults in the spec are
+    rejected here unless ``engine_capable`` is set: analytic agreement
+    protocols do not run on the synchronous engine, so an engine-fault
+    spec routed at them would be silently meaningless.  Engine-driven
+    agreement builders (which arm the same spec on their engine) pass
+    ``engine_capable=True`` so a combined input+fault spec flows through.
     """
     if spec is None or spec.is_null:
         return benign_inputs(n, fraction)
     unsupported = spec.required_capabilities() - {"inputs"}
+    if engine_capable:
+        unsupported -= {"faults", "adaptive"}
     if unsupported:
         raise ValueError(
             f"agreement protocols only support the input adversary; spec "
             f"{spec.describe()!r} also needs {sorted(unsupported)}"
         )
+    if not spec.has_input_faults:
+        return benign_inputs(n, fraction)
     schedule = spec.input_schedule or "blocks"
     ones = int(fraction * n)
     if schedule == "blocks":

@@ -10,7 +10,15 @@ everything an adversary may do to one protocol run:
   crashing before a uniformly drawn round in ``[0, crash_by)``;
 * **input faults** — adversarial initial-value assignments for agreement
   protocols (worst-case ties, evenly spread ones, shuffles, targeted bit
-  flips).
+  flips);
+* **adaptive faults** — traffic-conditioned strategies
+  (:data:`ADAPTIVE_STRATEGIES`) whose fault decisions react to the
+  per-round sends the engine feeds back through its observation callback:
+  targeted-leader suppression/crash and reactive congestion drops;
+* **eavesdropping** — per-directed-edge wiretaps (a Bernoulli tap rate
+  and/or an explicit ``(sender, port)`` edge list) with a security
+  ledger (edges tapped, messages read, first-compromise round) and
+  optional in-transit interception (``eavesdrop_drop_rate``).
 
 Being pure data, a spec can sit inside a frozen
 :class:`~repro.runtime.scenario.Scenario`, travel to worker processes, and
@@ -26,11 +34,50 @@ from dataclasses import dataclass, replace
 
 from repro.util.rng import RandomSource
 
-__all__ = ["AdversarySpec", "INPUT_SCHEDULES", "NULL_ADVERSARY"]
+__all__ = [
+    "ADAPTIVE_STRATEGIES",
+    "AdversarySpec",
+    "INPUT_SCHEDULES",
+    "NULL_ADVERSARY",
+]
 
 #: Recognized agreement input-schedule names (None means the protocol's
 #: default prefix-of-ones assignment).
 INPUT_SCHEDULES = ("blocks", "spread", "tie", "shuffle")
+
+#: Recognized adaptive (traffic-conditioned) strategy names.
+#:
+#: * ``"target-leader"`` — suppress the node whose cumulative outbound
+#:   volume dominates: its sends are dropped at ``adaptive_rate``;
+#: * ``"target-leader-crash"`` — one-shot variant: crash-stop the
+#:   dominant sender before the next round instead of dropping;
+#: * ``"congestion"`` — reactive loss: each message is dropped with
+#:   probability ``adaptive_rate`` scaled by its directed edge's share of
+#:   the heaviest observed edge load.
+ADAPTIVE_STRATEGIES = ("target-leader", "target-leader-crash", "congestion")
+
+#: Full ``parse`` grammar, echoed by every parse error so a mistyped
+#: clause teaches the accepted language instead of a bare rejection.
+_GRAMMAR = """\
+accepted adversary grammar — comma-separated key=value clauses:
+  drop=RATE             drop each sent message with probability RATE
+  delay=RATE            delay each sent message with probability RATE
+  delay-rounds=N        delayed messages arrive N rounds late (default 1)
+  dup=RATE              duplicate each delivered message with probability RATE
+  drop-edge=R:S:P       drop node S's port-P send in round R (repeatable)
+  crash=N[@R]           crash N random nodes before rounds < R (default R=1)
+  crash-node=V[@R]      crash node V before round R (default 0; repeatable)
+  input=NAME            agreement inputs: blocks|spread|tie|shuffle
+  flip=FRACTION         flip this fraction of assigned agreement inputs
+  adaptive=STRATEGY     traffic-conditioned faults: target-leader|\
+target-leader-crash|congestion
+  adaptive-rate=RATE    intensity of the adaptive strategy (default 1.0)
+  adaptive-after=N      observe N rounds before the strategy engages (default 1)
+  eavesdrop=RATE|S:P[+S:P...]  tap each directed edge with probability RATE,
+                        or tap exactly the listed sender:port edges
+  eavesdrop-drop=RATE   intercept (drop) tapped messages with probability RATE
+  seed=N                pin the adversary's random stream
+example: drop=0.05,adaptive=target-leader,eavesdrop=0.2,eavesdrop-drop=0.5"""
 
 
 @dataclass(frozen=True)
@@ -63,6 +110,27 @@ class AdversarySpec:
     input_schedule: str | None = None
     #: Flip this fraction of the assigned inputs (adversary-chosen nodes).
     flip_fraction: float = 0.0
+    #: Traffic-conditioned strategy: one of :data:`ADAPTIVE_STRATEGIES`
+    #: or None.  Adaptive specs arm an
+    #: :class:`~repro.adversary.adaptive.AdaptiveAdversary`, which the
+    #: engine feeds each round's canonical sends before fault masks are
+    #: drawn — decisions react to observed traffic, not a fixed seed plan.
+    adaptive: str | None = None
+    #: Intensity of the adaptive strategy: the drop probability applied to
+    #: the targeted node's sends (``target-leader``) or the peak per-edge
+    #: drop probability (``congestion``).
+    adaptive_rate: float = 1.0
+    #: Rounds of observation before the adaptive strategy engages (the
+    #: default 1 makes the first faulted round genuinely *reactive*).
+    adaptive_after: int = 1
+    #: Tap each directed edge with this probability the first time it
+    #: carries a message (Bernoulli per edge, not per message).
+    eavesdrop_rate: float = 0.0
+    #: Explicitly tapped directed edges as ``(sender, port)`` pairs.
+    eavesdrop_edges: tuple[tuple[int, int], ...] = ()
+    #: Interception: drop each message on a tapped edge with this
+    #: probability (0 = passive wiretap that only reads).
+    eavesdrop_drop_rate: float = 0.0
     #: Pin the adversary's random stream.  None (default) derives a fresh
     #: stream from the trial RNG, so trials see independent fault patterns
     #: while staying reproducible from the scenario seed.
@@ -96,6 +164,30 @@ class AdversarySpec:
                     f"crashes entries are (node, round) pairs of non-negative "
                     f"ints, got {entry!r}"
                 )
+        for name in ("adaptive_rate", "eavesdrop_rate", "eavesdrop_drop_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.adaptive is not None and self.adaptive not in ADAPTIVE_STRATEGIES:
+            raise ValueError(
+                f"adaptive must be one of {ADAPTIVE_STRATEGIES}, "
+                f"got {self.adaptive!r}"
+            )
+        if self.adaptive_after < 0:
+            raise ValueError(
+                f"adaptive_after must be >= 0, got {self.adaptive_after}"
+            )
+        for entry in self.eavesdrop_edges:
+            if len(entry) != 2 or any(x < 0 for x in entry):
+                raise ValueError(
+                    f"eavesdrop_edges entries are (sender, port) pairs of "
+                    f"non-negative ints, got {entry!r}"
+                )
+        if self.eavesdrop_drop_rate > 0 and not self.has_eavesdrop:
+            raise ValueError(
+                "eavesdrop_drop_rate needs a tap to intercept through: set "
+                "eavesdrop_rate > 0 or list eavesdrop_edges"
+            )
 
     # -- classification --------------------------------------------------------
 
@@ -106,26 +198,62 @@ class AdversarySpec:
             or self.delay_rate > 0
             or self.duplicate_rate > 0
             or bool(self.drop_schedule)
+            or self.adaptive_may_drop
         )
 
     @property
     def has_crashes(self) -> bool:
-        return self.crash_count > 0 or bool(self.crashes)
+        return (
+            self.crash_count > 0
+            or bool(self.crashes)
+            or self.adaptive == "target-leader-crash"
+        )
 
     @property
     def has_input_faults(self) -> bool:
         return self.input_schedule is not None or self.flip_fraction > 0
 
     @property
+    def has_eavesdrop(self) -> bool:
+        """True when any directed edge may be tapped."""
+        return self.eavesdrop_rate > 0 or bool(self.eavesdrop_edges)
+
+    @property
+    def has_adaptive(self) -> bool:
+        """True when the spec needs the engine's observation callback."""
+        return self.adaptive is not None or self.has_eavesdrop
+
+    @property
+    def adaptive_may_drop(self) -> bool:
+        """True when an adaptive/eavesdrop clause can discard messages."""
+        return (
+            self.adaptive in ("target-leader", "congestion")
+            and self.adaptive_rate > 0
+        ) or (self.has_eavesdrop and self.eavesdrop_drop_rate > 0)
+
+    @property
     def is_null(self) -> bool:
-        """True when the spec arms nothing at all."""
-        return not (self.has_message_faults or self.has_crashes or self.has_input_faults)
+        """True when the spec arms nothing at all.
+
+        A passive wiretap (``eavesdrop`` with no interception) is *not*
+        null: it never perturbs the run, but it observes traffic and
+        fills the security ledger.
+        """
+        return not (
+            self.has_message_faults
+            or self.has_crashes
+            or self.has_input_faults
+            or self.has_adaptive
+        )
 
     def required_capabilities(self) -> set[str]:
         """Capability tags a protocol must declare to honour this spec.
 
         ``"faults"`` — engine-level message/crash faults; ``"inputs"`` —
-        adversarial initial-value assignment.  Matches
+        adversarial initial-value assignment; ``"adaptive"`` — the
+        protocol runs on an engine path that feeds the observation
+        callback (adaptive specs also imply ``"faults"``: they need the
+        same arming seam even when purely eavesdropping).  Matches
         :attr:`~repro.runtime.registry.ProtocolSpec.supports`.
         """
         needed: set[str] = set()
@@ -133,6 +261,8 @@ class AdversarySpec:
             needed.add("faults")
         if self.has_input_faults:
             needed.add("inputs")
+        if self.has_adaptive:
+            needed.update(("adaptive", "faults"))
         return needed
 
     # -- derivation ------------------------------------------------------------
@@ -148,11 +278,27 @@ class AdversarySpec:
             return RandomSource(self.seed)
         return trial_rng.spawn()
 
-    def arm(self, rng: RandomSource, n: int):
-        """Instantiate runtime state for one run on an n-node network."""
-        from repro.adversary.armed import ArmedAdversary
+    def arm(self, rng: RandomSource, n: int, max_rounds: int | None = None):
+        """Instantiate runtime state for one run on an n-node network.
 
-        return ArmedAdversary(self, rng, n)
+        Adaptive specs arm an
+        :class:`~repro.adversary.adaptive.AdaptiveAdversary`; everything
+        else arms the static :class:`~repro.adversary.armed.ArmedAdversary`.
+        Passing the run's ``max_rounds`` validates the crash schedule
+        immediately (a crash round at or past the budget warns that it can
+        never fire); the engine repeats the check at ``run()`` either way.
+        """
+        if self.has_adaptive:
+            from repro.adversary.adaptive import AdaptiveAdversary
+
+            armed = AdaptiveAdversary(self, rng, n)
+        else:
+            from repro.adversary.armed import ArmedAdversary
+
+            armed = ArmedAdversary(self, rng, n)
+        if max_rounds is not None:
+            armed.check_crash_horizon(max_rounds)
+        return armed
 
     # -- identity / serialization ---------------------------------------------
 
@@ -169,6 +315,12 @@ class AdversarySpec:
             "crash_by": self.crash_by,
             "input_schedule": self.input_schedule,
             "flip_fraction": self.flip_fraction,
+            "adaptive": self.adaptive,
+            "adaptive_rate": self.adaptive_rate,
+            "adaptive_after": self.adaptive_after,
+            "eavesdrop_rate": self.eavesdrop_rate,
+            "eavesdrop_edges": [list(e) for e in self.eavesdrop_edges],
+            "eavesdrop_drop_rate": self.eavesdrop_drop_rate,
             "seed": self.seed,
         }
 
@@ -191,9 +343,37 @@ class AdversarySpec:
             parts.append(f"input={self.input_schedule}")
         if self.flip_fraction:
             parts.append(f"flip={self.flip_fraction:g}")
+        if self.adaptive is not None:
+            parts.append(f"adaptive={self.adaptive}")
+            if self.adaptive_rate != 1.0:
+                parts.append(f"adaptive-rate={self.adaptive_rate:g}")
+            if self.adaptive_after != 1:
+                parts.append(f"adaptive-after={self.adaptive_after}")
+        if self.eavesdrop_rate:
+            parts.append(f"eavesdrop={self.eavesdrop_rate:g}")
+        if self.eavesdrop_edges:
+            parts.append(f"eavesdrop-edges={len(self.eavesdrop_edges)}")
+        if self.eavesdrop_drop_rate:
+            parts.append(f"eavesdrop-drop={self.eavesdrop_drop_rate:g}")
         if self.seed is not None:
             parts.append(f"seed={self.seed}")
         return ",".join(parts) if parts else "none"
+
+    @staticmethod
+    def parse_eavesdrop(value: str) -> dict:
+        """Parse one ``eavesdrop=`` clause value into spec field updates.
+
+        ``RATE`` (a float) taps each directed edge with that probability;
+        ``S:P[+S:P...]`` taps exactly the listed ``sender:port`` edges.
+        Shared by :meth:`parse` and the CLI's ``--eavesdrop`` shorthand.
+        """
+        if ":" in value:
+            edges = []
+            for pair in value.split("+"):
+                sender, _, port = pair.partition(":")
+                edges.append((int(sender), int(port)))
+            return {"eavesdrop_edges": tuple(edges)}
+        return {"eavesdrop_rate": float(value)}
 
     @classmethod
     def parse(cls, text: str | None) -> "AdversarySpec":
@@ -203,11 +383,14 @@ class AdversarySpec:
 
             drop=0.1,delay=0.05,delay-rounds=2,dup=0.01,
             crash=3@5,crash-node=7@2,drop-edge=1:0:3,
-            input=tie,flip=0.1,seed=42
+            input=tie,flip=0.1,adaptive=target-leader,adaptive-rate=0.5,
+            eavesdrop=0.2,eavesdrop-drop=0.5,seed=42
 
         ``crash=N@R`` crashes N random nodes before rounds < R (``@R``
-        optional, default 1); ``crash-node`` and ``drop-edge`` may repeat.
-        Empty text or ``"none"`` parses to the null spec.
+        optional, default 1); ``crash-node`` and ``drop-edge`` may repeat;
+        ``eavesdrop`` takes either a per-edge tap rate or a ``+``-joined
+        ``sender:port`` edge list.  Empty text or ``"none"`` parses to the
+        null spec.  Every rejection echoes the full grammar.
         """
         if text is None or not text.strip() or text.strip() == "none":
             return cls()
@@ -219,15 +402,19 @@ class AdversarySpec:
             if not clause:
                 continue
             if "=" not in clause:
-                raise ValueError(f"adversary clause {clause!r} is not key=value")
+                raise ValueError(
+                    f"adversary clause {clause!r} is not key=value\n{_GRAMMAR}"
+                )
             key, _, value = clause.partition("=")
             key = key.strip()
             value = value.strip()
             if key not in (
                 "drop", "delay", "delay-rounds", "dup", "crash",
-                "crash-node", "drop-edge", "input", "flip", "seed",
+                "crash-node", "drop-edge", "input", "flip", "adaptive",
+                "adaptive-rate", "adaptive-after", "eavesdrop",
+                "eavesdrop-drop", "seed",
             ):
-                raise ValueError(f"unknown adversary key {key!r}")
+                raise ValueError(f"unknown adversary key {key!r}\n{_GRAMMAR}")
             try:
                 if key == "drop":
                     kwargs["drop_rate"] = float(value)
@@ -251,18 +438,37 @@ class AdversarySpec:
                     kwargs["input_schedule"] = value
                 elif key == "flip":
                     kwargs["flip_fraction"] = float(value)
+                elif key == "adaptive":
+                    kwargs["adaptive"] = value
+                elif key == "adaptive-rate":
+                    kwargs["adaptive_rate"] = float(value)
+                elif key == "adaptive-after":
+                    kwargs["adaptive_after"] = int(value)
+                elif key == "eavesdrop":
+                    kwargs.update(cls.parse_eavesdrop(value))
+                elif key == "eavesdrop-drop":
+                    kwargs["eavesdrop_drop_rate"] = float(value)
                 else:
                     kwargs["seed"] = int(value)
             except ValueError:
+                hints = {
+                    "drop-edge": "ROUND:SENDER:PORT",
+                    "eavesdrop": "a rate or SENDER:PORT[+SENDER:PORT...]",
+                    "crash": "N[@R]",
+                    "crash-node": "NODE[@ROUND]",
+                }
                 raise ValueError(
                     f"bad adversary clause {clause!r}: expected "
-                    f"{'ROUND:SENDER:PORT' if key == 'drop-edge' else 'a number'}"
+                    f"{hints.get(key, 'a number')}\n{_GRAMMAR}"
                 ) from None
         if crashes:
             kwargs["crashes"] = tuple(crashes)
         if drop_schedule:
             kwargs["drop_schedule"] = tuple(drop_schedule)
-        return cls(**kwargs)
+        try:
+            return cls(**kwargs)
+        except ValueError as error:
+            raise ValueError(f"{error}\n{_GRAMMAR}") from None
 
     def with_updates(self, **changes) -> "AdversarySpec":
         """A copy with some fields replaced (CLI flag merging)."""

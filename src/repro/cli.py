@@ -97,7 +97,15 @@ def _adversary_from_args(args):
     text = getattr(args, "adversary", None)
     drop_rate = getattr(args, "drop_rate", None)
     crash = getattr(args, "crash", None)
-    if text is None and drop_rate is None and crash is None:
+    adaptive = getattr(args, "adaptive", None)
+    eavesdrop = getattr(args, "eavesdrop", None)
+    if (
+        text is None
+        and drop_rate is None
+        and crash is None
+        and adaptive is None
+        and eavesdrop is None
+    ):
         return None
     spec = AdversarySpec.parse(text)
     updates: dict = {}
@@ -108,6 +116,10 @@ def _adversary_from_args(args):
         updates["crash_count"] = int(count)
         if by:
             updates["crash_by"] = int(by)
+    if adaptive is not None:
+        updates["adaptive"] = adaptive
+    if eavesdrop is not None:
+        updates.update(AdversarySpec.parse_eavesdrop(eavesdrop))
     if updates:
         spec = spec.with_updates(**updates)
     return spec
@@ -150,12 +162,31 @@ def _add_adversary_flags(parser) -> None:
         help="adversary: crash-stop N random nodes before rounds < R "
         "(default R=1: before the first round)",
     )
+    from repro.adversary import ADAPTIVE_STRATEGIES
+
+    parser.add_argument(
+        "--adaptive",
+        choices=ADAPTIVE_STRATEGIES,
+        default=None,
+        help="adversary: traffic-conditioned strategy (fault decisions "
+        "react to observed per-round sends; see also adaptive-rate=/"
+        "adaptive-after= in --adversary)",
+    )
+    parser.add_argument(
+        "--eavesdrop",
+        default=None,
+        metavar="RATE|S:P[+S:P...]",
+        help="adversary: tap each directed edge with probability RATE (or "
+        "tap exactly the listed sender:port edges); security ledger lands "
+        "in result meta, eavesdrop-drop= in --adversary intercepts",
+    )
     parser.add_argument(
         "--adversary",
         default=None,
         metavar="SPEC",
-        help="full adversary spec, e.g. "
-        "'drop=0.1,delay=0.05,dup=0.01,crash=2@4,input=tie,seed=7'",
+        help="full adversary spec, e.g. 'drop=0.1,delay=0.05,dup=0.01,"
+        "crash=2@4,input=tie,adaptive=target-leader,eavesdrop=0.2,"
+        "eavesdrop-drop=0.5,seed=7'",
     )
 
 #: elect topology → (quantum protocol, classical protocol, topology family,
@@ -393,18 +424,50 @@ def _cmd_agree(args) -> int:
         adversary = _adversary_from_args(args)
         if adversary is not None and adversary.is_null:
             adversary = None  # agree has no catalogue adversary to strip
+        engine_caps: set = set()
         if adversary is not None:
-            unsupported = adversary.required_capabilities() - {"inputs"}
-            if unsupported:
-                raise ValueError(
-                    f"agreement supports only the input adversary "
-                    f"(input=/flip=); got capabilities {sorted(unsupported)}"
+            # Input schedules apply to every row; engine-level fault and
+            # adaptive capabilities only make sense on the engine-driven
+            # AMP18 row (the analytic rows exchange no real messages).
+            engine_caps = adversary.required_capabilities() - {"inputs"}
+            if engine_caps:
+                engine_supports = set(
+                    registry.get("agreement/amp18-engine").supports
                 )
+                missing = engine_caps - engine_supports
+                if missing:
+                    raise ValueError(
+                        f"agreement/amp18-engine does not support adversary "
+                        f"capabilities {sorted(missing)} "
+                        f"(supports: {sorted(engine_supports)})"
+                    )
+                if args.n < 3:
+                    raise ValueError(
+                        f"adversary capabilities {sorted(engine_caps)} arm "
+                        f"the engine-driven row, which needs n >= 3"
+                    )
     except ValueError as error:
         print(error, file=sys.stderr)
         return 2
     side_params = {"fraction": args.fraction}
-    if adversary is not None:
+    if adversary is not None and engine_caps:
+        # Analytic rows only see the input-schedule projection of the spec.
+        from repro.adversary import AdversarySpec
+
+        input_only = AdversarySpec(
+            input_schedule=adversary.input_schedule,
+            flip_fraction=adversary.flip_fraction,
+            seed=adversary.seed,
+        )
+        if not input_only.is_null:
+            side_params["adversary"] = input_only
+        print(
+            f"adversary capabilities {sorted(engine_caps)} armed on the "
+            f"engine-driven row only (analytic rows exchange no real "
+            f"messages)",
+            file=sys.stderr,
+        )
+    elif adversary is not None:
         side_params["adversary"] = adversary
     quantum = registry.get("agreement/quantum").run(
         topology, rng.spawn(), **side_params
@@ -420,6 +483,8 @@ def _cmd_agree(args) -> int:
     if args.n >= 3:
         engine_spec = registry.get("agreement/amp18-engine")
         engine_params = dict(side_params)
+        if adversary is not None:
+            engine_params["adversary"] = adversary
         engine_params["node_api"] = engine_spec.resolve_node_api(args.node_api)
         engine_side = engine_spec.run(topology, rng.spawn(), **engine_params)
         rows.append((f"engine[{engine_params['node_api']}]", engine_side))

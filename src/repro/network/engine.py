@@ -43,6 +43,15 @@ differential oracle for faulty runs too.  Undelivered-message accounting
 distinguishes adversary losses from protocol slack
 (:meth:`SynchronousEngine.undelivered_detail`).
 
+Adaptive adversaries (``ArmedAdversary.observes``) additionally receive a
+per-round traffic observation callback: every dispatch path calls
+``observe_round(round_index, senders, ports, receivers)`` at the same
+canonical point — after routing resolves, before fault masks are drawn,
+once per round with at least one message — so traffic-conditioned fault
+decisions (and their RNG draws) are bit-identical across all three paths.
+``run()`` also validates the armed crash schedule against the round
+budget, warning about crash rounds that can never fire.
+
 Note on buffer reuse: inbox lists are recycled across rounds, so a node
 that wants to retain its inbox beyond the current ``step`` call must copy
 it (all in-repo protocols already do).
@@ -178,6 +187,10 @@ class SynchronousEngine:
 
     def run(self, max_rounds: int) -> int:
         """Run until all nodes halt or ``max_rounds`` elapse; returns rounds used."""
+        if self.adversary is not None:
+            # Fail loudly (once) on crash schedules the budget can never
+            # reach — a silent no-op fault plan is a misconfigured scenario.
+            self.adversary.check_crash_horizon(max_rounds)
         if self.program is not None:
             if self.backend == "reference":
                 warnings.warn(
@@ -305,7 +318,7 @@ class SynchronousEngine:
             for receiver, port, message in adv.pop_delayed(round_index + 1):
                 next_inboxes[receiver].append((port, message))
             masks = None
-            if sends and adv.has_message_faults:
+            if sends and (adv.has_message_faults or adv.observes):
                 count = len(sends)
                 senders_arr = np.fromiter(
                     (s for s, _, _ in sends), dtype=np.int64, count=count
@@ -313,7 +326,24 @@ class SynchronousEngine:
                 ports_arr = np.fromiter(
                     (p for _, p, _ in sends), dtype=np.int64, count=count
                 )
-                masks = adv.message_masks(round_index, senders_arr, ports_arr)
+                if adv.observes:
+                    # Canonical observation point: after routing resolves,
+                    # before fault masks are drawn — identical to the
+                    # fast and batch paths, so adaptive decisions (and
+                    # their RNG draws) match bit for bit.
+                    receivers_arr = np.fromiter(
+                        (
+                            self.topology.neighbor_at_port(v, p)
+                            for v, p, _ in sends
+                        ),
+                        dtype=np.int64,
+                        count=count,
+                    )
+                    adv.observe_round(
+                        round_index, senders_arr, ports_arr, receivers_arr
+                    )
+                if adv.has_message_faults:
+                    masks = adv.message_masks(round_index, senders_arr, ports_arr)
             for i, (v, port, message) in enumerate(sends):
                 receiver = self.topology.neighbor_at_port(v, port)
                 receiver_port = self.topology.port_to(receiver, v)
@@ -451,6 +481,13 @@ class SynchronousEngine:
                 for message, sender, port in zip(payloads, sender_ints, port_ints):
                     message.sender = sender
                     message.sender_port = port
+                if adv is not None and adv.observes:
+                    # Canonical observation point (same as the reference
+                    # and batch paths): routed arrays in canonical send
+                    # order, before any fault mask is drawn.
+                    adv.observe_round(
+                        round_index, sender_arr, port_arr, receiver_arr
+                    )
                 if adv is not None and adv.has_message_faults:
                     # Fault masks over the whole batched round: dropped
                     # messages vanish (charged but undelivered), delayed
@@ -650,6 +687,11 @@ class SynchronousEngine:
                     messages_this_round = int(units.sum())
                 else:
                     messages_this_round = count
+                if adv is not None and adv.observes:
+                    # Canonical observation point (same as both scalar
+                    # paths): routed arrays in canonical send order,
+                    # before any fault mask is drawn.
+                    adv.observe_round(round_index, senders, ports, receiver_arr)
                 if adv is not None and adv.has_message_faults:
                     # Same single message_masks call per round, over the
                     # same canonical arrays, as both scalar backends.

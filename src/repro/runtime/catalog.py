@@ -331,6 +331,50 @@ def _catalogue() -> dict[str, Scenario]:
             adversary=AdversarySpec(drop_rate=0.05),
             description="CPR-style diameter-2 LE under 5% transit loss",
         ),
+        # -- adaptive (traffic-conditioned) adversary families ----------------
+        Scenario(
+            name="wheel-le-adaptive/classical",
+            protocol="le-diameter2/classical",
+            topology=TopologySpec("wheel"),
+            sizes=(32, 64, 128),
+            trials=3,
+            seed=200,
+            adversary=AdversarySpec(adaptive="target-leader"),
+            description="CPR LE on a wheel vs targeted-leader suppression "
+            "(the adversary hunts the dominant sender — usually the hub)",
+        ),
+        Scenario(
+            name="bipartite-le-lossy/classical",
+            protocol="le-diameter2/classical",
+            topology=TopologySpec("complete-bipartite"),
+            sizes=(32, 64, 128),
+            trials=3,
+            seed=201,
+            adversary=AdversarySpec(drop_rate=0.05),
+            description="CPR LE on K_{a,b} (diameter 2) under 5% transit loss",
+        ),
+        Scenario(
+            name="ring-le-congestion/lcr",
+            protocol="le-ring/lcr",
+            topology=TopologySpec("cycle"),
+            sizes=(32, 64, 128),
+            trials=3,
+            seed=202,
+            adversary=AdversarySpec(adaptive="congestion", adaptive_rate=0.3),
+            description="LCR under reactive congestion drops: loss scales "
+            "with observed per-edge load",
+        ),
+        Scenario(
+            name="complete-le-eavesdrop/classical",
+            protocol="le-complete/classical",
+            topology=complete,
+            sizes=(64, 128, 256),
+            trials=3,
+            seed=203,
+            adversary=AdversarySpec(eavesdrop_rate=0.2, eavesdrop_drop_rate=0.5),
+            description="KPP LE on K_n with 20% of edges tapped and half "
+            "the tapped traffic intercepted (security ledger in meta)",
+        ),
         Scenario(
             name="agreement-worstcase/quantum",
             protocol="agreement/quantum",

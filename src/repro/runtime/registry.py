@@ -71,7 +71,10 @@ class ProtocolSpec:
     description: str = ""
     #: Capability tags the builder honours: "faults" (engine-level
     #: message/crash injection via an ``adversary=`` kwarg), "inputs"
-    #: (adversarial initial-value schedules), and "batch" (an array-native
+    #: (adversarial initial-value schedules), "adaptive" (the protocol
+    #: runs on a :class:`~repro.network.engine.SynchronousEngine` path
+    #: that feeds traffic-conditioned adversaries the per-round
+    #: observation callback), and "batch" (an array-native
     #: :class:`~repro.network.batch.BatchProtocol` implementation
     #: selectable via a ``node_api=`` kwarg).  A scenario whose
     #: :class:`~repro.adversary.AdversarySpec` needs capabilities outside
@@ -214,17 +217,24 @@ def _from_mst(result) -> TrialOutcome:
 # -- shared input generators --------------------------------------------------
 
 
-def _agreement_inputs(n: int, fraction: float, adversary, rng) -> list[int]:
+def _agreement_inputs(
+    n: int, fraction: float, adversary, rng, *, engine_capable: bool = False
+) -> list[int]:
     """Benign inputs, or the adversary's schedule when one is armed.
 
     The benign convention itself lives in
     :func:`repro.adversary.inputs.benign_inputs` (one definition, so the
     faulty and fault-free paths cannot diverge); ``adversarial_inputs``
-    falls back to it for a None/null spec.
+    falls back to it for a None/null spec.  ``engine_capable`` marks the
+    caller as an engine-driven builder that arms the same spec on its
+    engine, so message-fault/adaptive capabilities pass through instead of
+    being rejected as meaningless.
     """
     from repro.adversary.inputs import adversarial_inputs
 
-    return adversarial_inputs(n, fraction, adversary, rng)
+    return adversarial_inputs(
+        n, fraction, adversary, rng, engine_capable=engine_capable
+    )
 
 
 def _random_weights(topology: Topology, rng: RandomSource) -> dict:
@@ -373,7 +383,9 @@ def _run_classical_agreement_engine(
 ) -> TrialOutcome:
     from repro.classical.agreement.amp18_engine import classical_agreement_engine
 
-    inputs = _agreement_inputs(topology.n, fraction, adversary, rng)
+    inputs = _agreement_inputs(
+        topology.n, fraction, adversary, rng, engine_capable=True
+    )
     return _from_agreement(
         classical_agreement_engine(
             inputs, rng, adversary=adversary, node_api=node_api, **params
@@ -513,7 +525,7 @@ def register_builtin_protocols(registry: ProtocolRegistry) -> ProtocolRegistry:
             topologies=("complete",),
             builder=_run_classical_le_complete,
             description="[KPP+15b]-style classical LE on K_n: Θ̃(√n) messages.",
-            supports=("batch", "faults"),
+            supports=("batch", "faults", "adaptive"),
         ),
         ProtocolSpec(
             name="le-mixing/quantum",
@@ -546,7 +558,7 @@ def register_builtin_protocols(registry: ProtocolRegistry) -> ProtocolRegistry:
             topologies=("diameter2-gnp", "erdos-renyi", "star", "wheel"),
             builder=_run_classical_le_diameter2,
             description="[CPR20]-style classical LE on diameter-2 graphs: Θ(n).",
-            supports=("batch", "faults"),
+            supports=("batch", "faults", "adaptive"),
         ),
         ProtocolSpec(
             name="le-general/quantum",
@@ -571,7 +583,7 @@ def register_builtin_protocols(registry: ProtocolRegistry) -> ProtocolRegistry:
             topologies=("cycle",),
             builder=_run_lcr_ring,
             description="LCR ring baseline: O(n²) messages.",
-            supports=("batch", "faults"),
+            supports=("batch", "faults", "adaptive"),
         ),
         ProtocolSpec(
             name="le-ring/hs",
@@ -580,7 +592,7 @@ def register_builtin_protocols(registry: ProtocolRegistry) -> ProtocolRegistry:
             topologies=("cycle",),
             builder=_run_hs_ring,
             description="Hirschberg–Sinclair ring baseline: O(n log n) messages.",
-            supports=("batch", "faults"),
+            supports=("batch", "faults", "adaptive"),
         ),
         ProtocolSpec(
             name="agreement/quantum",
@@ -611,7 +623,7 @@ def register_builtin_protocols(registry: ProtocolRegistry) -> ProtocolRegistry:
             defaults=(("fraction", 0.3),),
             description="Engine-driven [AMP18] agreement: real CONGEST "
             "messages, fault-injectable, array-native.",
-            supports=("batch", "faults", "inputs"),
+            supports=("batch", "faults", "inputs", "adaptive"),
         ),
         ProtocolSpec(
             name="agreement/classical-private",
@@ -647,7 +659,7 @@ def register_builtin_protocols(registry: ProtocolRegistry) -> ProtocolRegistry:
             builder=_run_boruvka_engine,
             description="Engine-driven Borůvka/GHS MST: real CONGEST "
             "messages, fault-injectable, array-native.",
-            supports=("batch", "faults"),
+            supports=("batch", "faults", "adaptive"),
         ),
         ProtocolSpec(
             name="search-star/quantum",

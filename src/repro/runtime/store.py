@@ -49,7 +49,13 @@ DEFAULT_CACHE_MAX_ENTRIES = 4096
 #: The adversary convention is unchanged: fault-free scenarios keep a
 #: ``None`` adversary field, so fault-free keys stay stable within v3
 #: regardless of which adversary flags other runs use.
-_FORMAT_VERSION = 3
+#: v4: the adversary identity dict gained the adaptive/eavesdrop fields
+#: (``adaptive``, ``adaptive_rate``, ``adaptive_after``,
+#: ``eavesdrop_rate``, ``eavesdrop_edges``, ``eavesdrop_drop_rate``), so
+#: a traffic-conditioned adversary never collides with the static spec
+#: sharing its other fields.  Fault-free keys change only by the version
+#: bump itself.
+_FORMAT_VERSION = 4
 
 
 def _default_root() -> pathlib.Path:

@@ -1,0 +1,326 @@
+"""Tests for the adaptive (traffic-conditioned) adversary.
+
+Covers the strategy semantics (targeted-leader suppression, one-shot
+targeted crash, reactive congestion drops), eavesdropping with its
+security-accounting ledger, the reconciliation invariants tying the
+ledger to the ``fault_*`` totals, crash-horizon validation, and the
+capability gate that keeps adaptive specs off protocols whose engine
+path cannot feed the observation callback.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    AdaptiveAdversary,
+    AdversarySpec,
+    ArmedAdversary,
+    adversarial_inputs,
+)
+from repro.classical.leader_election.complete_kpp import classical_le_complete
+from repro.classical.leader_election.ring import lcr_ring
+from repro.network import graphs
+from repro.network.engine import SynchronousEngine
+from repro.network.message import Message
+from repro.network.metrics import MetricsRecorder
+from repro.network.node import Node
+from repro.runtime import Scenario, TopologySpec, run_scenario
+from repro.util.rng import RandomSource
+
+
+def _arm(spec, n=8, seed=3, max_rounds=None):
+    return spec.arm(RandomSource(seed), n, max_rounds=max_rounds)
+
+
+def _observe(armed, round_index, senders, ports, receivers=None):
+    senders = np.asarray(senders, dtype=np.int64)
+    ports = np.asarray(ports, dtype=np.int64)
+    if receivers is None:
+        receivers = np.zeros(len(senders), dtype=np.int64)
+    armed.observe_round(round_index, senders, ports, np.asarray(receivers))
+    return senders, ports
+
+
+class TestArming:
+    def test_adaptive_spec_arms_adaptive_adversary(self):
+        armed = _arm(AdversarySpec(adaptive="target-leader"))
+        assert isinstance(armed, AdaptiveAdversary)
+        assert armed.observes
+
+    def test_eavesdrop_only_spec_arms_adaptive_adversary(self):
+        armed = _arm(AdversarySpec(eavesdrop_rate=0.5))
+        assert isinstance(armed, AdaptiveAdversary)
+
+    def test_static_spec_stays_static(self):
+        armed = _arm(AdversarySpec(drop_rate=0.5))
+        assert isinstance(armed, ArmedAdversary)
+        assert not isinstance(armed, AdaptiveAdversary)
+        assert not armed.observes
+
+
+class TestTargetLeader:
+    def test_suppresses_dominant_sender_after_engaging(self):
+        armed = _arm(AdversarySpec(adaptive="target-leader"), n=4)
+        # Round 0 is pure observation (adaptive_after=1): no target yet.
+        senders, ports = _observe(armed, 0, [0, 0, 0, 1], [0, 1, 2, 0])
+        assert armed.current_target is None
+        drop, _, _ = armed.message_masks(0, senders, ports)
+        assert not drop.any()
+        # Round 1: node 0 dominates the observed volume and is suppressed.
+        senders, ports = _observe(armed, 1, [0, 0, 1, 2], [0, 1, 0, 0])
+        assert armed.current_target == 0
+        drop, _, _ = armed.message_masks(1, senders, ports)
+        assert drop.tolist() == [True, True, False, False]
+        assert armed.messages_lost_to_adaptivity == 2
+
+    def test_target_follows_the_shifting_volume_leader(self):
+        armed = _arm(AdversarySpec(adaptive="target-leader"), n=4)
+        _observe(armed, 0, [0, 0], [0, 1])
+        s, p = _observe(armed, 1, [1, 1, 1], [0, 1, 2])
+        armed.message_masks(1, s, p)
+        assert armed.current_target == 1  # 3 sends beats node 0's 2
+
+    def test_adaptive_after_defers_engagement(self):
+        armed = _arm(AdversarySpec(adaptive="target-leader", adaptive_after=3), n=4)
+        for r in range(3):
+            s, p = _observe(armed, r, [0, 0, 1], [0, 1, 0])
+            drop, _, _ = armed.message_masks(r, s, p)
+            assert armed.current_target is None
+            assert not drop.any()
+        s, p = _observe(armed, 3, [0, 1], [0, 0])
+        assert armed.current_target == 0
+
+    def test_rate_zero_suppresses_nothing(self):
+        armed = _arm(AdversarySpec(adaptive="target-leader", adaptive_rate=0.0), n=4)
+        _observe(armed, 0, [0, 0], [0, 1])
+        s, p = _observe(armed, 1, [0, 0], [0, 1])
+        drop, _, _ = armed.message_masks(1, s, p)
+        assert not drop.any()
+        assert armed.messages_lost_to_adaptivity == 0
+
+
+class TestTargetLeaderCrash:
+    def test_one_shot_crash_of_dominant_sender(self):
+        armed = _arm(AdversarySpec(adaptive="target-leader-crash"), n=4)
+        _observe(armed, 0, [2, 2, 0], [0, 1, 0])
+        assert armed.crash_target is None
+        _observe(armed, 1, [2, 0], [0, 0])
+        assert armed.crash_target == 2
+        assert armed.crashes_at(2) == [2]
+        # One-shot: further observation never schedules a second crash.
+        _observe(armed, 2, [0, 0, 0, 0], [0, 1, 2, 0])
+        _observe(armed, 3, [0, 0], [0, 1])
+        assert armed.crash_target == 2
+        assert armed.crashes_at(3) == [] and armed.crashes_at(4) == []
+
+    def test_end_to_end_crashes_exactly_one_node(self):
+        spec = AdversarySpec(adaptive="target-leader-crash", seed=11)
+        result = lcr_ring(16, RandomSource(5), adversary=spec)
+        assert result.meta["fault_nodes_crashed"] == 1
+        assert len(result.crashed) == 1
+
+
+class TestCongestion:
+    def test_hottest_edge_drops_at_full_rate(self):
+        armed = _arm(AdversarySpec(adaptive="congestion", adaptive_rate=1.0), n=4)
+        # Slot 0 (sender 0, port 0) carries 3x the traffic of slot 4.
+        _observe(armed, 0, [0, 0, 0, 1], [0, 0, 0, 0])
+        s, p = _observe(armed, 1, [0, 0, 0, 1], [0, 0, 0, 0])
+        drop, _, _ = armed.message_masks(1, s, p)
+        assert drop[:3].all()  # peak-load edge: scaled rate is exactly 1.0
+
+    def test_cold_edges_drop_proportionally_less(self):
+        armed = _arm(AdversarySpec(adaptive="congestion", adaptive_rate=1.0), n=4)
+        _observe(armed, 0, [0] * 9 + [1], [0] * 9 + [0])
+        _observe(armed, 1, [0, 1], [0, 0])
+        # Staged per-message rates: hot edge at the full adaptive_rate,
+        # cold edge scaled by its share of the peak load (2/10).
+        assert armed._round_rates is not None
+        assert armed._round_rates.tolist() == [1.0, 0.2]
+
+
+class TestEavesdropping:
+    def test_explicit_edges_are_tapped_at_arm_time(self):
+        spec = AdversarySpec(eavesdrop_edges=((0, 1), (2, 0)))
+        armed = _arm(spec, n=4)
+        assert armed.edges_tapped == 2
+        assert armed.messages_read == 0
+
+    def test_rate_one_taps_every_edge_on_first_carry(self):
+        armed = _arm(AdversarySpec(eavesdrop_rate=1.0), n=4)
+        s, p = _observe(armed, 0, [0, 1, 2], [0, 0, 1], receivers=[1, 0, 3])
+        assert armed.edges_tapped == 3
+        assert armed.messages_read == 3
+        assert armed.first_compromise_round == 0
+        ledger = armed.security_ledger()
+        assert [e["sender"] for e in ledger["edges"]] == [0, 1, 2]
+        assert [e["receiver"] for e in ledger["edges"]] == [1, 0, 3]
+
+    def test_ledger_reconciles_with_totals(self):
+        armed = _arm(
+            AdversarySpec(eavesdrop_rate=1.0, eavesdrop_drop_rate=1.0), n=4
+        )
+        for r in range(3):
+            s, p = _observe(armed, r, [0, 1, 1], [0, 0, 1], receivers=[1, 0, 2])
+            armed.message_masks(r, s, p)
+        ledger = armed.security_ledger()
+        assert ledger["messages_read"] == 9
+        assert ledger["messages_read"] == sum(
+            e["messages_read"] for e in ledger["edges"]
+        )
+        # Full interception: every read message is also dropped, and all
+        # those drops are attributed to adaptivity (no static faults).
+        assert ledger["messages_intercepted"] == 9
+        assert armed.messages_dropped == 9
+        assert armed.messages_lost_to_adaptivity == 9
+        stats = armed.stats(rounds_executed=3)
+        assert stats["eavesdrop_messages_read"] == ledger["messages_read"]
+        assert stats["eavesdrop_edges_tapped"] == ledger["edges_tapped"]
+        assert (
+            stats["eavesdrop_messages_intercepted"]
+            == ledger["messages_intercepted"]
+        )
+        assert stats["eavesdrop_first_compromise_round"] == 0
+
+    def test_passive_wiretap_never_perturbs_the_run(self):
+        base = lcr_ring(12, RandomSource(3))
+        tapped = lcr_ring(
+            12, RandomSource(3), adversary=AdversarySpec(eavesdrop_rate=1.0, seed=7)
+        )
+        assert (tapped.leader, tapped.rounds, tapped.messages) == (
+            base.leader,
+            base.rounds,
+            base.messages,
+        )
+        assert tapped.meta["eavesdrop_messages_read"] > 0
+        assert tapped.meta["eavesdrop_messages_intercepted"] == 0
+        assert tapped.meta["fault_messages_dropped"] == 0
+
+    def test_interception_reconciles_in_protocol_meta(self):
+        spec = AdversarySpec(eavesdrop_rate=1.0, eavesdrop_drop_rate=0.5, seed=7)
+        meta = lcr_ring(12, RandomSource(3), adversary=spec).meta
+        assert meta["eavesdrop_messages_read"] > 0
+        assert 0 < meta["eavesdrop_messages_intercepted"] <= (
+            meta["eavesdrop_messages_read"]
+        )
+        # No static fault classes armed: every drop is an interception.
+        assert (
+            meta["fault_messages_dropped"]
+            == meta["fault_messages_lost_to_adaptivity"]
+            == meta["eavesdrop_messages_intercepted"]
+        )
+
+    def test_first_compromise_round_is_minus_one_without_traffic(self):
+        armed = _arm(AdversarySpec(eavesdrop_edges=((3, 1),)), n=4)
+        assert armed.stats(rounds_executed=5)[
+            "eavesdrop_first_compromise_round"
+        ] == -1
+        assert armed.security_ledger()["first_compromise_round"] is None
+
+
+class _Pinger(Node):
+    def __init__(self, uid, degree, rng, rounds=4):
+        super().__init__(uid, degree, rng)
+        self.rounds = rounds
+
+    def step(self, round_index, inbox):
+        if round_index < self.rounds:
+            return [(p, Message("ping", payload=self.uid)) for p in range(self.degree)]
+        self.halt()
+        return []
+
+
+def _engine(topology, spec, seed=2, backend="fast"):
+    rng = RandomSource(seed)
+    armed = spec.arm(spec.derive_rng(rng), topology.n)
+    nodes = [
+        _Pinger(v, topology.degree(v), rng.spawn()) for v in range(topology.n)
+    ]
+    return SynchronousEngine(
+        topology, nodes, MetricsRecorder(), backend=backend, adversary=armed
+    ), armed
+
+
+class TestCrashHorizon:
+    def test_unreachable_crashes_listed_sorted(self):
+        armed = _arm(AdversarySpec(crashes=((5, 9), (1, 20), (3, 2))), n=8)
+        assert armed.unreachable_crashes(max_rounds=9) == [(1, 20), (5, 9)]
+        assert armed.unreachable_crashes(max_rounds=21) == []
+
+    def test_arm_with_max_rounds_warns_loudly(self):
+        spec = AdversarySpec(crashes=((3, 10),))
+        with pytest.warns(RuntimeWarning, match="partly unreachable"):
+            _arm(spec, n=8, max_rounds=5)
+
+    def test_warning_fires_once_per_armed_instance(self):
+        armed = _arm(AdversarySpec(crashes=((3, 10),)), n=8)
+        with pytest.warns(RuntimeWarning):
+            armed.check_crash_horizon(5)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            armed.check_crash_horizon(5)  # second check: silent
+
+    def test_reachable_schedule_is_silent(self):
+        spec = AdversarySpec(crashes=((3, 2),))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            _arm(spec, n=8, max_rounds=10)
+
+    def test_engine_run_checks_the_horizon(self):
+        engine, _ = _engine(
+            graphs.cycle(6), AdversarySpec(crashes=((0, 50),), seed=1)
+        )
+        with pytest.warns(RuntimeWarning, match="never fire"):
+            engine.run(max_rounds=8)
+
+
+class TestCapabilityGate:
+    def test_scenario_on_unsupporting_protocol_rejected(self):
+        scenario = Scenario(
+            name="bad-adaptive",
+            protocol="le-general/classical",
+            topology=TopologySpec("erdos-renyi", params=(("p", 0.6),)),
+            sizes=(8,),
+            trials=1,
+            adversary=AdversarySpec(adaptive="target-leader"),
+        )
+        with pytest.raises(ValueError, match="adaptive"):
+            run_scenario(scenario, jobs=1)
+
+    def test_analytic_agreement_rejects_adaptive_spec(self):
+        spec = AdversarySpec(adaptive="congestion")
+        with pytest.raises(ValueError, match="adaptive"):
+            adversarial_inputs(8, 0.5, spec, RandomSource(0))
+
+    def test_engine_capable_caller_passes_the_gate(self):
+        spec = AdversarySpec(adaptive="congestion", input_schedule="tie")
+        inputs = adversarial_inputs(
+            8, 0.5, spec, RandomSource(0), engine_capable=True
+        )
+        assert sum(inputs) == 4  # tie schedule still applied
+
+
+class TestRecoveryMetrics:
+    def test_rounds_to_recovery_counts_clean_tail(self):
+        spec = AdversarySpec(adaptive="target-leader-crash", seed=11)
+        result = classical_le_complete(16, RandomSource(5), adversary=spec)
+        meta = result.meta
+        assert meta["fault_rounds_to_recovery"] >= 0
+        assert (
+            meta["fault_rounds_to_recovery"] < result.rounds
+        )  # a fault did fire mid-run
+
+    def test_lost_to_adaptivity_splits_from_static_drops(self):
+        spec = AdversarySpec(
+            drop_rate=0.3, adaptive="target-leader", adaptive_rate=1.0, seed=13
+        )
+        meta = lcr_ring(16, RandomSource(7), adversary=spec).meta
+        assert meta["fault_messages_lost_to_adaptivity"] > 0
+        # Static drops exist too, so the total strictly exceeds the
+        # adaptivity-attributed share.
+        assert (
+            meta["fault_messages_dropped"]
+            > meta["fault_messages_lost_to_adaptivity"]
+        )

@@ -46,6 +46,51 @@ class TestValidation:
         both = AdversarySpec(drop_rate=0.1, flip_fraction=0.1)
         assert both.required_capabilities() == {"faults", "inputs"}
 
+    @pytest.mark.parametrize(
+        "field", ["adaptive_rate", "eavesdrop_rate", "eavesdrop_drop_rate"]
+    )
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
+    def test_adaptive_rates_must_be_probabilities(self, field, value):
+        kwargs = {field: value}
+        if field == "eavesdrop_drop_rate":
+            kwargs["eavesdrop_rate"] = 0.5
+        with pytest.raises(ValueError, match=field):
+            AdversarySpec(**kwargs)
+
+    def test_unknown_adaptive_strategy_rejected(self):
+        with pytest.raises(ValueError, match="adaptive"):
+            AdversarySpec(adaptive="chaos-monkey")
+
+    def test_negative_adaptive_after_rejected(self):
+        with pytest.raises(ValueError, match="adaptive_after"):
+            AdversarySpec(adaptive="congestion", adaptive_after=-1)
+
+    def test_bad_eavesdrop_edges_rejected(self):
+        with pytest.raises(ValueError, match="eavesdrop_edges"):
+            AdversarySpec(eavesdrop_edges=((1, 2, 3),))
+        with pytest.raises(ValueError, match="eavesdrop_edges"):
+            AdversarySpec(eavesdrop_edges=((-1, 0),))
+
+    def test_interception_needs_a_tap(self):
+        with pytest.raises(ValueError, match="needs a tap"):
+            AdversarySpec(eavesdrop_drop_rate=0.5)
+        # Either tap source satisfies the constraint.
+        AdversarySpec(eavesdrop_rate=0.1, eavesdrop_drop_rate=0.5)
+        AdversarySpec(eavesdrop_edges=((0, 1),), eavesdrop_drop_rate=0.5)
+
+    def test_adaptive_capability_classification(self):
+        adaptive = AdversarySpec(adaptive="target-leader")
+        assert adaptive.required_capabilities() == {"adaptive", "faults"}
+        assert adaptive.has_adaptive and adaptive.has_message_faults
+        crash = AdversarySpec(adaptive="target-leader-crash")
+        assert crash.has_crashes and not crash.has_message_faults
+        wiretap = AdversarySpec(eavesdrop_rate=0.2)
+        assert wiretap.required_capabilities() == {"adaptive", "faults"}
+        assert wiretap.has_adaptive and not wiretap.has_message_faults
+        assert not wiretap.is_null  # passive, but it observes and ledgers
+        intercepting = AdversarySpec(eavesdrop_rate=0.2, eavesdrop_drop_rate=0.5)
+        assert intercepting.adaptive_may_drop and intercepting.has_message_faults
+
 
 class TestParse:
     def test_empty_and_none_parse_to_null(self):
@@ -91,6 +136,58 @@ class TestParse:
         spec = AdversarySpec(drop_rate=0.1, crash_count=2, crash_by=4)
         assert spec.describe() == "drop=0.1,crash=2@<4"
         assert NULL_ADVERSARY.describe() == "none"
+
+    def test_adaptive_grammar_round_trip(self):
+        spec = AdversarySpec.parse(
+            "adaptive=target-leader,adaptive-rate=0.5,adaptive-after=2,"
+            "eavesdrop=0.2,eavesdrop-drop=0.3,seed=7"
+        )
+        assert spec == AdversarySpec(
+            adaptive="target-leader",
+            adaptive_rate=0.5,
+            adaptive_after=2,
+            eavesdrop_rate=0.2,
+            eavesdrop_drop_rate=0.3,
+            seed=7,
+        )
+        assert spec.describe() == (
+            "adaptive=target-leader,adaptive-rate=0.5,adaptive-after=2,"
+            "eavesdrop=0.2,eavesdrop-drop=0.3,seed=7"
+        )
+
+    def test_eavesdrop_edge_list_parses(self):
+        spec = AdversarySpec.parse("eavesdrop=0:1+3:0")
+        assert spec.eavesdrop_edges == ((0, 1), (3, 0))
+        assert spec.eavesdrop_rate == 0.0
+        assert AdversarySpec.parse_eavesdrop("0.4") == {"eavesdrop_rate": 0.4}
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "explode=1",  # unknown key
+            "drop",  # not key=value
+            "drop=lots",  # bad value
+            "adaptive-rate=fast",  # bad adaptive value
+            "eavesdrop=a:b",  # bad edge list
+            "adaptive=chaos-monkey",  # unknown strategy (spec-level)
+            "eavesdrop-drop=0.5",  # interception without a tap (spec-level)
+        ],
+    )
+    def test_every_parse_error_echoes_the_grammar(self, text):
+        with pytest.raises(ValueError) as excinfo:
+            AdversarySpec.parse(text)
+        message = str(excinfo.value)
+        assert "accepted adversary grammar" in message
+        assert "adaptive=STRATEGY" in message
+        assert "eavesdrop=RATE|S:P[+S:P...]" in message
+
+    def test_clause_errors_carry_value_hints(self):
+        with pytest.raises(ValueError, match="ROUND:SENDER:PORT"):
+            AdversarySpec.parse("drop-edge=1:2")
+        with pytest.raises(ValueError, match=r"SENDER:PORT\[\+SENDER:PORT"):
+            AdversarySpec.parse("eavesdrop=x:y")
+        with pytest.raises(ValueError, match=r"N\[@R\]"):
+            AdversarySpec.parse("crash=many")
 
 
 class TestDerivationAndArming:
@@ -139,3 +236,10 @@ class TestDerivationAndArming:
         spec = AdversarySpec(drop_rate=0.1, drop_schedule=((0, 1, 2),))
         text = json.dumps(spec.key_dict(), sort_keys=True)
         assert "drop_rate" in text and "[0, 1, 2]" in text
+
+    def test_key_dict_separates_adaptive_identities(self):
+        static = AdversarySpec(drop_rate=0.1)
+        adaptive = AdversarySpec(drop_rate=0.1, adaptive="congestion")
+        assert static.key_dict() != adaptive.key_dict()
+        tapped = AdversarySpec(eavesdrop_edges=((0, 1),))
+        assert tapped.key_dict()["eavesdrop_edges"] == [[0, 1]]

@@ -89,7 +89,7 @@ class TestProtocol:
 class TestRegistryIntegration:
     def test_registered_with_capability_tags(self):
         spec = default_registry().get("agreement/amp18-engine")
-        assert set(spec.supports) == {"batch", "faults", "inputs"}
+        assert set(spec.supports) == {"batch", "faults", "inputs", "adaptive"}
 
     def test_runs_through_the_registry(self):
         spec = default_registry().get("agreement/amp18-engine")

@@ -1,0 +1,218 @@
+"""Property tests: adaptive adversaries are bit-identical on all three paths.
+
+The acceptance bar for the adaptive subsystem: for any traffic-conditioned
+spec — targeted-leader suppression, targeted crash, reactive congestion
+drops, eavesdropping (passive and intercepting), and combinations with
+static faults — the batch dispatch path, the scalar fast backend, and the
+scalar reference backend must produce bit-identical trials from the same
+seeds.  Covered on the three native batch ports (ring LCR on cycles, KPP
+on K_n, CPR diameter-2 on stars and wheels), on raw gossip traces across
+five topology families, and through the parallel trial runner
+(``jobs=1`` ≡ ``jobs=4``).
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import AdversarySpec
+from repro.classical.leader_election.complete_kpp import classical_le_complete
+from repro.classical.leader_election.diameter2_cpr import classical_le_diameter2
+from repro.classical.leader_election.ring import lcr_ring
+from repro.network import graphs
+from repro.network.engine import SynchronousEngine
+from repro.network.message import Message
+from repro.network.metrics import MetricsRecorder
+from repro.network.node import Node
+from repro.runtime import get_scenario, run_scenario
+from repro.util.rng import RandomSource
+
+#: The adaptive fault mixes every parity property sweeps: each strategy
+#: alone, eavesdropping passive and intercepting, and compositions with
+#: the static fault classes (whose RNG draws must interleave identically).
+ADAPTIVE_ADVERSARIES = [
+    AdversarySpec(adaptive="target-leader"),
+    AdversarySpec(adaptive="target-leader", adaptive_rate=0.5),
+    AdversarySpec(adaptive="target-leader-crash", adaptive_after=2),
+    AdversarySpec(adaptive="congestion", adaptive_rate=0.6),
+    AdversarySpec(eavesdrop_rate=0.4),
+    AdversarySpec(eavesdrop_rate=0.5, eavesdrop_drop_rate=0.5),
+    AdversarySpec(eavesdrop_edges=((0, 0), (1, 1), (2, 0)), eavesdrop_drop_rate=1.0),
+    AdversarySpec(drop_rate=0.1, adaptive="target-leader", adaptive_rate=0.5),
+    AdversarySpec(delay_rate=0.2, adaptive="congestion", adaptive_rate=0.4),
+    AdversarySpec(drop_rate=0.05, eavesdrop_rate=0.3, eavesdrop_drop_rate=0.4),
+]
+
+FAMILIES = {
+    "cycle": graphs.cycle,
+    "complete": graphs.complete,
+    "star": graphs.star,
+    "wheel": graphs.wheel,
+    "path": graphs.path,
+}
+
+
+class _Chatter(Node):
+    """Multi-round all-port gossip: every adaptive strategy has targets."""
+
+    def __init__(self, uid, degree, rng, rounds):
+        super().__init__(uid, degree, rng)
+        self.rounds = rounds
+        self.received = []
+
+    def step(self, round_index, inbox):
+        self.received.extend(
+            (round_index, port, m.sender, m.payload) for port, m in inbox
+        )
+        if round_index < self.rounds:
+            return [
+                (p, Message("g", payload=(self.uid, round_index, p)))
+                for p in range(self.degree)
+            ]
+        self.halt()
+        return []
+
+
+def _trace(family, n, spec, seed, backend):
+    topology = FAMILIES[family](n)
+    rng = RandomSource(seed)
+    armed = spec.arm(spec.derive_rng(rng), topology.n)
+    nodes = [
+        _Chatter(v, topology.degree(v), rng.spawn(), rounds=4)
+        for v in range(topology.n)
+    ]
+    metrics = MetricsRecorder()
+    engine = SynchronousEngine(
+        topology, nodes, metrics, backend=backend, adversary=armed
+    )
+    engine.run(max_rounds=12)
+    return (
+        metrics.messages,
+        metrics.rounds,
+        engine.rounds_executed,
+        engine.undelivered_detail(),
+        engine.fault_stats(),
+        armed.security_ledger(),
+        [node.received for node in nodes],
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    family=st.sampled_from(sorted(FAMILIES)),
+    n=st.integers(min_value=4, max_value=9),
+    spec=st.sampled_from(ADAPTIVE_ADVERSARIES),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_adaptive_trace_equivalence_fast_vs_reference(family, n, spec, seed):
+    """Adaptive gossip traces — fault stats and security ledger included —
+    match bit for bit across the scalar backends."""
+    fast = _trace(family, n, spec, seed, "fast")
+    reference = _trace(family, n, spec, seed, "reference")
+    assert fast == reference
+
+
+def _le_snapshot(result):
+    return (
+        result.messages,
+        result.rounds,
+        result.success,
+        result.leader,
+        dict(result.statuses),
+        dict(result.meta),
+        result.crashed,
+    )
+
+
+def _three_way(run, snapshot=_le_snapshot):
+    """(fast-scalar, reference-scalar, batch) snapshots of one trial."""
+    fast = snapshot(run("scalar"))
+    os.environ["REPRO_ENGINE"] = "reference"
+    try:
+        reference = snapshot(run("scalar"))
+    finally:
+        del os.environ["REPRO_ENGINE"]
+    batch = snapshot(run("batch"))
+    return fast, reference, batch
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    n=st.integers(min_value=4, max_value=24),
+    adversary=st.sampled_from(ADAPTIVE_ADVERSARIES),
+)
+def test_lcr_adaptive_three_way_parity(seed, n, adversary):
+    def run(api):
+        return lcr_ring(
+            max(n, 3), RandomSource(seed), adversary=adversary, node_api=api
+        )
+
+    fast, reference, batch = _three_way(run)
+    assert fast == reference
+    assert fast == batch
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    n=st.integers(min_value=4, max_value=32),
+    adversary=st.sampled_from(ADAPTIVE_ADVERSARIES),
+)
+def test_kpp_adaptive_three_way_parity(seed, n, adversary):
+    def run(api):
+        return classical_le_complete(
+            n, RandomSource(seed), adversary=adversary, node_api=api
+        )
+
+    fast, reference, batch = _three_way(run)
+    assert fast == reference
+    assert fast == batch
+
+
+CPR_FAMILIES = {
+    "complete": graphs.complete,
+    "star": graphs.star,
+    "wheel": graphs.wheel,
+}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    family=st.sampled_from(sorted(CPR_FAMILIES)),
+    n=st.integers(min_value=4, max_value=16),
+    adversary=st.sampled_from(ADAPTIVE_ADVERSARIES),
+)
+def test_cpr_adaptive_three_way_parity(seed, family, n, adversary):
+    topology = CPR_FAMILIES[family](n)
+
+    def run(api):
+        return classical_le_diameter2(
+            topology, RandomSource(seed), adversary=adversary, node_api=api
+        )
+
+    fast, reference, batch = _three_way(run)
+    assert fast == reference
+    assert fast == batch
+
+
+@pytest.mark.parametrize(
+    "scenario_name",
+    [
+        "wheel-le-adaptive/classical",
+        "ring-le-congestion/lcr",
+        "complete-le-eavesdrop/classical",
+    ],
+)
+def test_adaptive_scenarios_identical_across_jobs(scenario_name):
+    """The parallel trial runner preserves adaptive determinism: jobs=1 and
+    jobs=4 produce identical aggregates, eavesdrop extras included."""
+    scenario = get_scenario(scenario_name).with_overrides(sizes=(16,), trials=3)
+    serial = run_scenario(scenario, jobs=1)
+    parallel = run_scenario(scenario, jobs=4)
+    assert serial.trial_sets == parallel.trial_sets
+    extra = serial.trial_sets[0].extra
+    assert "fault_rounds_to_recovery" in extra

@@ -50,7 +50,7 @@ class TestResolveNodeApi:
 
     def test_describe_dict_lists_supports(self):
         payload = default_registry().get("le-ring/lcr").describe_dict()
-        assert payload["supports"] == ["batch", "faults"]
+        assert payload["supports"] == ["adaptive", "batch", "faults"]
         assert payload["name"] == "le-ring/lcr"
 
 
@@ -107,7 +107,7 @@ class TestStoreKeysV3:
     def test_identity_records_resolved_node_api(self):
         scenario = get_scenario("ring-le/lcr")
         identity = ResultStore.identity(scenario, 8, 0)
-        assert identity["version"] == _FORMAT_VERSION == 3
+        assert identity["version"] == _FORMAT_VERSION == 4
         assert identity["node_api"] == "batch"
 
     def test_batch_and_scalar_keys_differ(self, tmp_path):

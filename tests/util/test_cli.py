@@ -160,9 +160,24 @@ class TestAdversaryFlags:
         assert "adversary [input=tie]" in out
         assert code in (0, 1)
 
-    def test_agree_rejects_message_faults(self, capsys):
-        assert main(["agree", "--n", "64", "--drop-rate", "0.1"]) == 2
-        assert "input adversary" in capsys.readouterr().err
+    def test_agree_arms_message_faults_on_engine_row_only(self, capsys):
+        code = main(["agree", "--n", "64", "--seed", "1", "--drop-rate", "0.1"])
+        captured = capsys.readouterr()
+        assert "armed on the engine-driven row only" in captured.err
+        assert "adversary [drop=0.1]" in captured.out
+        assert code in (0, 1)
+
+    def test_agree_with_adaptive_strategy(self, capsys):
+        code = main(
+            ["agree", "--n", "64", "--seed", "1", "--adaptive", "target-leader"]
+        )
+        captured = capsys.readouterr()
+        assert "armed on the engine-driven row only" in captured.err
+        assert code in (0, 1)
+
+    def test_agree_rejects_engine_faults_below_engine_minimum(self, capsys):
+        assert main(["agree", "--n", "2", "--drop-rate", "0.1"]) == 2
+        assert "needs n >= 3" in capsys.readouterr().err
 
     def test_sweep_with_drop_rate_end_to_end(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path))
@@ -418,9 +433,9 @@ class TestProtocolsCommand:
         assert main(["protocols", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         by_name = {entry["name"]: entry for entry in payload}
-        assert by_name["le-ring/lcr"]["supports"] == ["batch", "faults"]
-        assert by_name["le-ring/hs"]["supports"] == ["batch", "faults"]
-        assert by_name["mst/boruvka-engine"]["supports"] == ["batch", "faults"]
+        assert by_name["le-ring/lcr"]["supports"] == ["adaptive", "batch", "faults"]
+        assert by_name["le-ring/hs"]["supports"] == ["adaptive", "batch", "faults"]
+        assert by_name["mst/boruvka-engine"]["supports"] == ["adaptive", "batch", "faults"]
         assert by_name["le-ring/hs"]["batch"] is True
         assert by_name["le-general/classical"]["batch"] is False
         assert by_name["le-ring/hs"]["kernel"] in ("numpy", "numba")
