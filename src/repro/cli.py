@@ -15,6 +15,12 @@ Commands:
                                   backend; per-size results are cached under
                                   ``benchmarks/results/cache/`` unless
                                   ``--no-cache``);
+* ``worker DIR``                — join a distributed sweep fleet: pull
+                                  shards from the fabric queue directory
+                                  under heartbeat leases, push results into
+                                  its content-addressed store;
+* ``fabric status DIR``         — inspect a fabric job (shards done/leased/
+                                  pending, live workers, elected reaper);
 * ``scenarios``                 — list the scenario catalogue (``--json``
                                   for a machine-readable dump);
 * ``protocols``                 — list the protocol registry with its
@@ -38,6 +44,14 @@ errors out when numba is missing rather than silently degrading.  The
 kernel tier never changes results, so it is deliberately excluded from
 result-cache keys.
 
+``sweep`` additionally accepts ``--fabric DIR --workers N``: instead of
+the in-process pool, the grid is laid out as shards in a work-queue
+directory and executed by N local worker processes (remote hosts sharing
+the directory join with ``repro worker DIR``).  Aggregates are
+bit-identical to any ``--jobs`` value; an injected or real worker crash
+mid-shard is resumed via lease expiry (``--inject-kill W@T`` is the
+fault-injection harness CI uses to prove it).
+
 ``elect``, ``agree``, and ``sweep`` accept adversary flags (``--drop-rate``,
 ``--crash N[@R]``, and the full ``--adversary`` spec grammar of
 :meth:`repro.adversary.AdversarySpec.parse`) for deterministic
@@ -53,6 +67,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import pathlib
 import sys
 
 from repro.analysis.experiments import EXPERIMENTS, get_experiment
@@ -511,6 +526,22 @@ def _parse_sizes(text: str | None) -> tuple[int, ...] | None:
     return sizes
 
 
+def _parse_inject_kill(text: str | None) -> dict:
+    """``W@T`` → {worker index: FaultPlan(kill after T trials)}."""
+    if text is None:
+        return {}
+    from repro.fabric import FaultPlan
+
+    worker, _, trials = text.partition("@")
+    try:
+        return {int(worker): FaultPlan(kill_after_trials=int(trials or 1))}
+    except ValueError:
+        raise ValueError(
+            f"--inject-kill must be W[@T] (worker index, trials before "
+            f"SIGKILL), got {text!r}"
+        ) from None
+
+
 def _cmd_sweep(args) -> int:
     from repro.analysis.fitting import fit_power_law
     from repro.analysis.tables import comparison_table, render_table
@@ -522,9 +553,22 @@ def _cmd_sweep(args) -> int:
     if args.trials is not None and args.trials < 1:
         print(f"--trials must be >= 1, got {args.trials}", file=sys.stderr)
         return 2
+    if args.fabric is None and (
+        args.workers is not None or args.inject_kill is not None
+    ):
+        print(
+            "--workers/--inject-kill configure the fabric executor and "
+            "need --fabric DIR",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
     try:
         sizes = _parse_sizes(args.sizes)
         adversary = _adversary_from_args(args)
+        fault_plans = _parse_inject_kill(args.inject_kill)
     except ValueError as error:
         print(error, file=sys.stderr)
         return 2
@@ -542,6 +586,13 @@ def _cmd_sweep(args) -> int:
     else:
         store = ResultStore()
     overrides = dict(sizes=sizes, trials=args.trials, store=store)
+    jobs = args.jobs
+    if args.fabric is not None:
+        jobs = args.workers if args.workers is not None else args.jobs
+        fabric_options: dict = {"fault_plans": fault_plans}
+        if args.lease_ttl is not None:
+            fabric_options["lease_ttl"] = args.lease_ttl
+        overrides.update(executor="fabric", fabric_options=fabric_options)
 
     if (args.experiment is None) == (args.scenario is None):
         print("sweep needs exactly one of --experiment or --scenario", file=sys.stderr)
@@ -627,14 +678,21 @@ def _cmd_sweep(args) -> int:
         # series must not share the quantum series' RNG streams).
         quantum_seed = args.seed
         classical_seed = None if args.seed is None else args.seed + 1
+        quantum_kwargs = dict(overrides)
+        classical_kwargs = dict(overrides)
+        if args.fabric is not None:
+            # One queue directory carries one job: the pair gets subdirs.
+            base = pathlib.Path(args.fabric)
+            quantum_kwargs["fabric_dir"] = base / "quantum"
+            classical_kwargs["fabric_dir"] = base / "classical"
         try:
             quantum = run_scenario(
-                quantum_scenario, jobs=args.jobs, seed=quantum_seed, **overrides
+                quantum_scenario, jobs=jobs, seed=quantum_seed, **quantum_kwargs
             )
             classical = run_scenario(
-                classical_scenario, jobs=args.jobs, seed=classical_seed, **overrides
+                classical_scenario, jobs=jobs, seed=classical_seed, **classical_kwargs
             )
-        except ValueError as error:
+        except (ValueError, RuntimeError) as error:
             print(error, file=sys.stderr)
             return 2
         q_series = quantum.to_series("quantum")
@@ -667,9 +725,11 @@ def _cmd_sweep(args) -> int:
         scenario = scenario.with_overrides(adversary=adversary)
     if args.node_api != "auto":
         scenario = scenario.with_overrides(node_api=args.node_api)
+    if args.fabric is not None:
+        overrides["fabric_dir"] = args.fabric
     try:
-        run = run_scenario(scenario, jobs=args.jobs, seed=args.seed, **overrides)
-    except ValueError as error:
+        run = run_scenario(scenario, jobs=jobs, seed=args.seed, **overrides)
+    except (ValueError, RuntimeError) as error:
         print(error, file=sys.stderr)
         return 2
     rows = [
@@ -704,6 +764,68 @@ def _cmd_sweep(args) -> int:
     )
     if len(run.sizes) >= 2:
         print(f"fit: {fit_power_law(run.sizes, run.messages)}")
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.fabric import FaultPlan, run_worker
+
+    fault_plan = None
+    if args.inject_kill_after is not None:
+        fault_plan = FaultPlan(kill_after_trials=args.inject_kill_after)
+    try:
+        summary = run_worker(
+            args.dir,
+            worker_id=args.id,
+            poll=args.poll,
+            max_shards=args.max_shards,
+            fault_plan=fault_plan,
+        )
+    except FileNotFoundError as error:
+        print(error, file=sys.stderr)
+        return 2
+    print(
+        f"worker {summary['worker']}: completed {len(summary['completed'])} "
+        f"shard(s), {summary['trials']} trial(s); job "
+        f"{'done' if summary['all_done'] else 'still has pending shards'}"
+    )
+    return 0
+
+
+def _cmd_fabric(args) -> int:
+    import json as json_module
+
+    from repro.fabric import fabric_status
+
+    try:
+        status = fabric_status(args.dir)
+    except FileNotFoundError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json_module.dumps(status, indent=2, sort_keys=True))
+        return 0
+    shards = status["shards"]
+    workers = status["workers"]
+    print(f"fabric job at {status['root']}")
+    print(
+        f"  scenario : {status['scenario']} ({status['protocol']}, sizes "
+        f"{status['sizes']}, {status['trials']} trials/size)"
+    )
+    print(
+        f"  shards   : {shards['done']} done, {shards['leased']} leased, "
+        f"{shards['pending']} pending of {shards['total']}"
+    )
+    for lease in status["leases"]:
+        owner = lease["worker"] or "?"
+        age = "?" if lease["age"] is None else f"{lease['age']:.1f}s"
+        print(f"    {lease['shard']}: {lease['state']} by {owner} (age {age})")
+    live = ", ".join(workers["live"]) or "none"
+    print(
+        f"  workers  : {len(workers['live'])} live of "
+        f"{len(workers['registered'])} registered ({live})"
+    )
+    print(f"  reaper   : {status['reaper'] or 'none (no live workers)'}")
     return 0
 
 
@@ -965,10 +1087,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the on-disk result cache and the per-worker topology "
         "memo; every trial recomputes from scratch",
     )
+    sweep.add_argument(
+        "--fabric",
+        metavar="DIR",
+        default=None,
+        help="execute through the distributed work-queue fabric rooted at "
+        "DIR instead of the in-process pool; remote hosts sharing DIR "
+        "join with `repro worker DIR`",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="local fabric worker processes to spawn (with --fabric; "
+        "default: --jobs resolution)",
+    )
+    sweep.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        help="fabric lease heartbeat TTL in seconds (with --fabric)",
+    )
+    sweep.add_argument(
+        "--inject-kill",
+        metavar="W[@T]",
+        default=None,
+        help="fault-injection harness (with --fabric): SIGKILL local "
+        "worker index W after T executed trials (default 1); the sweep "
+        "must still resume to completion",
+    )
     _add_node_api_flag(sweep)
     _add_kernel_flag(sweep)
     _add_adversary_flags(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
+
+    worker = commands.add_parser(
+        "worker",
+        help="join a distributed sweep fleet (fabric queue directory)",
+        description="Pull shards from the fabric queue at DIR under "
+        "heartbeat leases, execute their trials with the exact RNG "
+        "streams the in-process runner derives, and push results into "
+        "the job's content-addressed store.  Runs until the sweep is "
+        "done (or --max-shards is hit).",
+    )
+    worker.add_argument("dir", help="fabric queue directory (shared)")
+    worker.add_argument(
+        "--id", default=None, help="worker id (default: <host>-<pid>)"
+    )
+    worker.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        help="seconds between queue polls when no shard is claimable",
+    )
+    worker.add_argument(
+        "--max-shards",
+        type=int,
+        default=None,
+        help="stop after completing this many shards",
+    )
+    worker.add_argument(
+        "--inject-kill-after",
+        type=int,
+        default=None,
+        metavar="T",
+        help="fault injection: SIGKILL this worker after T executed trials",
+    )
+    worker.set_defaults(handler=_cmd_worker)
+
+    fabric = commands.add_parser(
+        "fabric", help="inspect a distributed sweep fabric job"
+    )
+    fabric_commands = fabric.add_subparsers(dest="fabric_command", required=True)
+    fabric_status_parser = fabric_commands.add_parser(
+        "status",
+        help="shards done/leased/pending, live workers, elected reaper",
+    )
+    fabric_status_parser.add_argument("dir", help="fabric queue directory")
+    fabric_status_parser.add_argument(
+        "--json", action="store_true", help="machine-readable snapshot"
+    )
+    fabric_status_parser.set_defaults(handler=_cmd_fabric)
 
     cache = commands.add_parser(
         "cache", help="inspect or empty the on-disk result cache"

@@ -1,0 +1,211 @@
+"""The fabric worker: pull shards, execute trials, push content-addressed
+results.
+
+A worker joins a fleet with nothing but the queue directory::
+
+    repro worker /mnt/shared/sweep-42
+
+Each shard is one grid position ``(scenario, n, seed-position)``.  The
+worker re-derives the *exact* per-trial RNG streams the in-process runner
+would use — the scenario root spawns one child per (size, trial) pair in
+grid order, and the shard takes its contiguous slice — so a shard's
+:class:`~repro.runtime.runner.TrialSet` is bit-identical no matter which
+worker (or how many, or after how many crashes) executes it.  Results
+land in the job's :class:`~repro.runtime.store.ResultStore` under the
+same content-addressed keys (format v4) the cache layer uses, which makes
+every shard idempotent: re-execution after a crash, a stale-lease
+takeover, or a duplicated claim rewrites byte-identical files.
+
+The worker heartbeats its lease once per trial.  A worker that dies
+mid-shard simply stops heartbeating; the lease expires and the shard is
+re-issued (see :mod:`repro.fabric.queue` for the reaping rules).
+
+:class:`FaultPlan` is the fault-injection harness for the fabric itself:
+it lets tests and CI kill a worker mid-shard with a real ``SIGKILL`` (no
+cleanup, no release — the honest crash) or scribble over its own lease
+file, deterministically, after a fixed number of executed trials.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import time
+from dataclasses import dataclass
+
+from repro.fabric.coordinator import elect_reaper, shard_preference
+from repro.fabric.queue import FabricQueue
+from repro.runtime.runner import TrialSet, aggregate_trials
+from repro.runtime.scenario import Scenario
+from repro.util.rng import RandomSource
+
+__all__ = [
+    "FaultPlan",
+    "execute_shard",
+    "run_worker",
+    "shard_trial_rngs",
+    "worker_entry",
+]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic fault injection for fabric workers (tests, CI smoke).
+
+    Counters are cumulative over every trial the worker executes, so a
+    plan composes with any shard assignment.
+    """
+
+    #: After this many executed trials, SIGKILL ourselves mid-shard: the
+    #: lease survives un-released with a fresh heartbeat — exactly the
+    #: footprint of a worker whose host died.
+    kill_after_trials: int | None = None
+    #: After this many executed trials, overwrite our own lease file with
+    #: garbage (a torn write / bad NFS client): the shard must still
+    #: complete, through us or through a takeover.
+    corrupt_lease_after_trials: int | None = None
+
+    def fire(self, queue: FabricQueue, shard_id: str, trials_done: int) -> None:
+        if (
+            self.corrupt_lease_after_trials is not None
+            and trials_done == self.corrupt_lease_after_trials
+        ):
+            (queue.leases_dir / f"{shard_id}.json").write_text("{torn lease")
+        if (
+            self.kill_after_trials is not None
+            and trials_done >= self.kill_after_trials
+        ):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+def shard_trial_rngs(scenario: Scenario, position: int) -> list[RandomSource]:
+    """The per-trial RNGs of one grid position, exactly as ``run_scenario``
+    derives them.
+
+    The runner spawns one child per (size, trial) pair in grid order;
+    ``SeedSequence`` spawning is a pure function of (seed, child index),
+    so slicing the same flat sequence reproduces the streams bit for bit.
+    """
+    root = RandomSource(scenario.seed)
+    children = root.spawn_many(len(scenario.sizes) * scenario.trials)
+    start = position * scenario.trials
+    return children[start : start + scenario.trials]
+
+
+def execute_shard(
+    scenario: Scenario, position: int, on_trial=None
+) -> TrialSet:
+    """Run one shard's trials serially and fold them into a trial set.
+
+    ``on_trial(index)`` fires after each completed trial (1-based) — the
+    worker loop hangs its lease heartbeat and fault plan there.
+    """
+    n = scenario.sizes[position]
+    outcomes = []
+    for index, rng in enumerate(shard_trial_rngs(scenario, position)):
+        outcomes.append(scenario.run_trial(n, rng))
+        if on_trial is not None:
+            on_trial(index + 1)
+    return aggregate_trials(n, outcomes)
+
+
+def _claim_next(queue: FabricQueue, worker_id: str) -> str | None:
+    """The next shard this worker should run, or None to wait.
+
+    Two passes over the deterministic preference order: free shards
+    first, then expired/corrupt leases this worker is entitled to reap
+    (the elected reaper immediately, everyone else after the grace).
+    """
+    pending = queue.pending_shards()
+    if not pending:
+        return None
+    workers = queue.live_workers()
+    reaper = elect_reaper(queue, workers)
+    order = shard_preference(pending, worker_id, workers)
+    for shard_id in order:
+        state, _ = queue.lease_state(shard_id)
+        if state == "free" and queue.claim(shard_id, worker_id):
+            return shard_id
+    for shard_id in order:
+        if queue.may_reap(shard_id, worker_id, reaper) and queue.break_lease(
+            shard_id, worker_id
+        ):
+            return shard_id
+    return None
+
+
+def run_worker(
+    fabric_dir,
+    worker_id: str | None = None,
+    poll: float = 0.2,
+    max_shards: int | None = None,
+    fault_plan: FaultPlan | None = None,
+) -> dict:
+    """Join the fleet at ``fabric_dir`` and work until the sweep is done.
+
+    Returns a summary dict (worker id, completed shard ids, trials run).
+    The loop is crash-oriented: every step either completes a shard
+    idempotently or leaves a lease that expires on its own — there is no
+    state a ``SIGKILL`` at any instruction can corrupt.
+    """
+    queue = FabricQueue(fabric_dir)
+    scenario = queue.scenario()
+    store = queue.store()
+    if worker_id is None:
+        worker_id = f"{socket.gethostname()}-{os.getpid()}"
+    queue.register_worker(worker_id)
+    completed: list[str] = []
+    trials_done = 0
+    while max_shards is None or len(completed) < max_shards:
+        queue.touch_worker(worker_id)
+        shard_id = _claim_next(queue, worker_id)
+        if shard_id is None:
+            if queue.all_done():
+                break
+            time.sleep(poll)
+            continue
+        shard = queue.shard(shard_id)
+        position, n = int(shard["position"]), int(shard["n"])
+        try:
+            trial_set = store.load(scenario, n, position)
+            if trial_set is None:
+
+                def on_trial(index: int) -> None:
+                    nonlocal trials_done
+                    trials_done += 1
+                    queue.heartbeat(shard_id, worker_id)
+                    if fault_plan is not None:
+                        fault_plan.fire(queue, shard_id, trials_done)
+
+                trial_set = execute_shard(scenario, position, on_trial)
+                path = store.save(scenario, n, position, trial_set)
+            else:
+                # Resume/dedup: the result is already content-addressed
+                # in the store — only the done marker is missing.
+                path = store.path_for(scenario, n, position)
+            queue.mark_done(
+                shard_id,
+                worker_id,
+                {"position": position, "n": n, "store_file": path.name},
+            )
+            completed.append(shard_id)
+        finally:
+            queue.release(shard_id, worker_id)
+    queue.reap_done_leases()
+    return {
+        "worker": worker_id,
+        "completed": completed,
+        "trials": trials_done,
+        "all_done": queue.all_done(),
+    }
+
+
+def worker_entry(
+    fabric_dir: str,
+    worker_id: str | None = None,
+    fault_plan: FaultPlan | None = None,
+    poll: float = 0.2,
+) -> None:
+    """Module-level process target (picklable under any start method)."""
+    run_worker(fabric_dir, worker_id=worker_id, poll=poll, fault_plan=fault_plan)

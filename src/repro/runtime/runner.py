@@ -102,10 +102,18 @@ def aggregate_trials(n: int, outcomes: list[TrialOutcome]) -> TrialSet:
 
 @dataclass(frozen=True)
 class ScenarioRun:
-    """One scenario's aggregated measurements over its whole size grid."""
+    """One scenario's aggregated measurements over its whole size grid.
+
+    ``meta`` records *how* the run executed — the executor ("pool" or
+    "fabric"), the requested and resolved job counts, the host's CPU
+    count — without ever affecting the aggregates themselves.  It exists
+    because :func:`resolve_jobs` used to clamp silently on 1-CPU hosts:
+    ``jobs=None`` would quietly run serially with no way to detect it.
+    """
 
     scenario: Scenario
     trial_sets: tuple[TrialSet, ...]
+    meta: dict = field(default_factory=dict)
 
     @property
     def sizes(self) -> list[int]:
@@ -131,7 +139,13 @@ class ScenarioRun:
 
 
 def resolve_jobs(jobs: int | None) -> int:
-    """None → all cores; explicit values must be >= 1."""
+    """None → all cores; explicit values must be >= 1.
+
+    On a 1-CPU host (or when ``os.cpu_count()`` is unknowable) ``None``
+    resolves to 1 — an effectively serial run.  Callers cannot see that
+    from the aggregates, so :func:`run_scenario` surfaces the resolved
+    value in ``ScenarioRun.meta["jobs_resolved"]``.
+    """
     if jobs is None:
         return os.cpu_count() or 1
     if jobs < 1:
@@ -174,6 +188,9 @@ def run_scenario(
     trials: int | None = None,
     seed: int | None = None,
     store=None,
+    executor: str = "pool",
+    fabric_dir=None,
+    fabric_options: dict | None = None,
 ) -> ScenarioRun:
     """Run every (size, trial) point of ``scenario`` and aggregate.
 
@@ -187,9 +204,48 @@ def run_scenario(
     the grid position, so a partially-cached run is bit-identical to a
     cold one (reordered or prepended grids recompute rather than reuse
     entries from a different seed stream).
+
+    ``executor`` selects how trials are distributed: ``"pool"`` (the
+    in-process path above, optionally over a local process pool) or
+    ``"fabric"`` — the multi-host work-queue executor of
+    :mod:`repro.fabric`, which lays the grid out as shards under
+    ``fabric_dir``, drives ``jobs`` local worker processes against it
+    (remote workers may join with ``repro worker``), and collects
+    bit-identical aggregates from the content-addressed store.
+    ``fabric_options`` passes through to
+    :func:`repro.fabric.run_fabric_sweep` (``lease_ttl``,
+    ``fault_plans``, ``poll``, ``timeout``).
+
+    The returned run's ``meta`` records the executor and the resolved
+    job count — on a 1-CPU host ``jobs=None`` resolves to 1, which used
+    to happen silently.
     """
+    if executor not in ("pool", "fabric"):
+        raise ValueError(
+            f"executor must be 'pool' or 'fabric', got {executor!r}"
+        )
     if sizes is not None or trials is not None or seed is not None:
         scenario = scenario.with_overrides(sizes=sizes, trials=trials, seed=seed)
+    resolved_jobs = resolve_jobs(jobs)
+    meta = {
+        "executor": executor,
+        "jobs_requested": jobs,
+        "jobs_resolved": resolved_jobs,
+        "cpu_count": os.cpu_count(),
+    }
+    if executor == "fabric":
+        if fabric_dir is None:
+            raise ValueError("executor='fabric' needs a fabric_dir")
+        from repro.fabric import run_fabric_sweep
+
+        return run_fabric_sweep(
+            scenario,
+            fabric_dir,
+            workers=resolved_jobs,
+            store=store,
+            meta=meta,
+            **(fabric_options or {}),
+        )
     root = RandomSource(scenario.seed)
     grid_rngs = [
         [root.spawn() for _ in range(scenario.trials)] for _ in scenario.sizes
@@ -216,4 +272,6 @@ def run_scenario(
         if store is not None:
             store.save(scenario, n, position, trial_set)
         trial_sets.append(trial_set)
-    return ScenarioRun(scenario=scenario, trial_sets=tuple(trial_sets))
+    return ScenarioRun(
+        scenario=scenario, trial_sets=tuple(trial_sets), meta=meta
+    )

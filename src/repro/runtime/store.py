@@ -175,7 +175,11 @@ class ResultStore:
             "scenario": scenario.name,
             "trial_set": dataclasses.asdict(trial_set),
         }
-        tmp = path.with_suffix(".tmp")
+        # The tmp name is pid-unique: two processes saving the same key
+        # concurrently (fabric workers deduping a shard, a takeover racing
+        # a slow owner) must never interleave writes into one tmp file —
+        # each replaces its own complete document atomically.
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         tmp.write_text(json.dumps(payload, sort_keys=True, default=str, indent=1))
         tmp.replace(path)  # atomic on POSIX: readers never see partial JSON
         self.evict()
@@ -231,10 +235,16 @@ class ResultStore:
         return max(0, excess)
 
     def clear(self) -> int:
-        """Delete every cache entry; returns how many files were removed."""
+        """Delete every cache entry; returns how many files were removed.
+
+        Also sweeps orphaned ``*.tmp`` files (a writer killed between its
+        tmp write and the atomic replace); those never count as entries.
+        """
         removed = 0
         if self.root.is_dir():
             for path in self.root.glob("*.json"):
                 path.unlink(missing_ok=True)
                 removed += 1
+            for path in self.root.glob("*.tmp"):
+                path.unlink(missing_ok=True)
         return removed

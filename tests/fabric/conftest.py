@@ -1,0 +1,54 @@
+"""Shared fixtures for the fabric test suite.
+
+Every test here runs against a cheap star-search scenario (trials are
+sub-millisecond) so the suite exercises real multi-process fleets, real
+SIGKILLs, and real lease takeovers without noticeable wall-clock cost.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.runtime import Scenario, TopologySpec
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Never let a fabric test touch the repo's real result cache."""
+    monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path / "default-cache"))
+
+
+@pytest.fixture(autouse=True)
+def _no_topology_cache_leak():
+    """`sweep --no-cache` sets REPRO_NO_TOPOLOGY_CACHE process-wide.
+
+    Restore the pre-test state by hand (monkeypatch.delenv in teardown
+    would *record* the leaked value and faithfully restore the leak).
+    """
+    saved = os.environ.get("REPRO_NO_TOPOLOGY_CACHE")
+    yield
+    if saved is None:
+        os.environ.pop("REPRO_NO_TOPOLOGY_CACHE", None)
+    else:
+        os.environ["REPRO_NO_TOPOLOGY_CACHE"] = saved
+
+
+@pytest.fixture
+def make_scenario():
+    """Factory for cheap, deterministic sweep scenarios."""
+
+    def factory(**overrides) -> Scenario:
+        base = dict(
+            name="fabric-test/star",
+            protocol="search-star/classical",
+            topology=TopologySpec("star"),
+            sizes=(8, 12, 16),
+            trials=2,
+            seed=11,
+        )
+        base.update(overrides)
+        return Scenario(**base)
+
+    return factory

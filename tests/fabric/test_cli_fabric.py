@@ -1,0 +1,81 @@
+"""CLI surface of the fabric: sweep --fabric, worker, fabric status."""
+
+import json
+
+from repro.cli import main
+
+
+def _sweep(fabric_dir, *extra):
+    return main(
+        ["sweep", "--scenario", "ring-le/lcr", "--sizes", "8,12",
+         "--trials", "2", "--fabric", str(fabric_dir), "--workers", "2",
+         "--lease-ttl", "5", "--no-cache", *extra]
+    )
+
+
+class TestSweepFabric:
+    def test_fabric_sweep_matches_pool_sweep(self, tmp_path, capsys):
+        assert _sweep(tmp_path / "fab") == 0
+        fabric_out = capsys.readouterr().out
+        assert main(
+            ["sweep", "--scenario", "ring-le/lcr", "--sizes", "8,12",
+             "--trials", "2", "--jobs", "1", "--no-cache"]
+        ) == 0
+        pool_out = capsys.readouterr().out
+        assert fabric_out == pool_out  # same table, same fit, bit for bit
+
+    def test_workers_without_fabric_rejected(self, capsys):
+        assert main(
+            ["sweep", "--scenario", "ring-le/lcr", "--workers", "2"]
+        ) == 2
+        assert "--fabric" in capsys.readouterr().err
+
+    def test_bad_inject_kill_rejected(self, tmp_path, capsys):
+        assert main(
+            ["sweep", "--scenario", "ring-le/lcr",
+             "--fabric", str(tmp_path / "fab"), "--inject-kill", "zero@one"]
+        ) == 2
+        assert "W[@T]" in capsys.readouterr().err
+
+    def test_inject_kill_still_completes(self, tmp_path, capsys):
+        assert _sweep(
+            tmp_path / "fab", "--inject-kill", "0@1", "--lease-ttl", "0.3"
+        ) == 0
+        assert "ring-le/lcr" in capsys.readouterr().out
+
+
+class TestWorkerCommand:
+    def test_worker_drains_job_after_fleet(self, tmp_path, capsys):
+        assert _sweep(tmp_path / "fab") == 0
+        capsys.readouterr()
+        assert main(["worker", str(tmp_path / "fab"), "--id", "late"]) == 0
+        out = capsys.readouterr().out
+        assert "worker late" in out
+        assert "job done" in out
+
+    def test_worker_without_job_is_exit_2(self, tmp_path, capsys):
+        assert main(["worker", str(tmp_path / "nope")]) == 2
+        assert "no fabric job" in capsys.readouterr().err
+
+
+class TestStatusCommand:
+    def test_status_human_readable(self, tmp_path, capsys):
+        assert _sweep(tmp_path / "fab") == 0
+        capsys.readouterr()
+        assert main(["fabric", "status", str(tmp_path / "fab")]) == 0
+        out = capsys.readouterr().out
+        assert "2 done" in out
+        assert "reaper" in out
+
+    def test_status_json(self, tmp_path, capsys):
+        assert _sweep(tmp_path / "fab") == 0
+        capsys.readouterr()
+        assert main(["fabric", "status", str(tmp_path / "fab"), "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["shards"]["done"] == 2
+        assert status["shards"]["pending"] == 0
+        assert "reaper" in status
+
+    def test_status_without_job_is_exit_2(self, tmp_path, capsys):
+        assert main(["fabric", "status", str(tmp_path / "nope")]) == 2
+        assert "no fabric job" in capsys.readouterr().err

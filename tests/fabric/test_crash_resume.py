@@ -1,0 +1,69 @@
+"""Satellite: a worker SIGKILLed mid-shard never costs the sweep anything.
+
+Three real worker processes run the sweep; one carries a
+:class:`FaultPlan` that SIGKILLs it after its first executed trial — the
+honest crash: no cleanup, no lease release, a fresh heartbeat left
+behind.  The supervisor plus lease expiry must resume the sweep to a
+completion bit-identical to ``jobs=1``, with no orphaned leases.
+"""
+
+from repro.fabric import FabricQueue, FaultPlan, run_fabric_sweep
+from repro.runtime import ResultStore, run_scenario
+
+
+class TestCrashResume:
+    def test_sigkilled_worker_resumes_bit_identical(
+        self, tmp_path, make_scenario
+    ):
+        scenario = make_scenario(sizes=(8, 12, 16, 20), trials=2)
+        serial = run_scenario(scenario, jobs=1)
+
+        fabric_dir = tmp_path / "fabric"
+        run = run_fabric_sweep(
+            scenario,
+            fabric_dir,
+            workers=3,
+            lease_ttl=0.3,  # short TTL so the takeover happens in-test
+            fault_plans={0: FaultPlan(kill_after_trials=1)},
+            timeout=120.0,
+        )
+
+        # Bit-identical aggregates, the tentpole invariant.
+        assert run.trial_sets == serial.trial_sets
+
+        queue = FabricQueue(fabric_dir)
+        assert queue.all_done()
+        # No orphaned leases survive a completed sweep.
+        assert list(queue.leases_dir.glob("p*.json")) == []
+        # No torn tmp files either — every write was atomic.
+        assert list(queue.store().root.glob("*.tmp")) == []
+        assert run.meta["executor"] == "fabric"
+        assert run.meta["workers_spawned"] >= 3
+
+    def test_store_contents_identical_to_serial_run(
+        self, tmp_path, make_scenario
+    ):
+        # The fabric's store files must be byte-for-byte what a serial
+        # cached run writes: same names (content-addressed keys), same
+        # payloads.
+        scenario = make_scenario()
+        serial_store = ResultStore(tmp_path / "serial")
+        run_scenario(scenario, jobs=1, store=serial_store)
+        serial_files = {
+            p.name: p.read_bytes() for p in serial_store.root.glob("*.json")
+        }
+
+        fabric_store = ResultStore(tmp_path / "fabric-store")
+        run_fabric_sweep(
+            scenario,
+            tmp_path / "fabric",
+            workers=2,
+            store=fabric_store,
+            lease_ttl=0.3,
+            fault_plans={1: FaultPlan(kill_after_trials=1)},
+            timeout=120.0,
+        )
+        fabric_files = {
+            p.name: p.read_bytes() for p in fabric_store.root.glob("*.json")
+        }
+        assert fabric_files == serial_files

@@ -1,0 +1,104 @@
+"""Serial, process-pool, and fabric execution are indistinguishable.
+
+The repo's standing invariant — aggregates are bit-identical for any
+``jobs`` value — extends to the fabric: same :class:`TrialSet` tuples,
+same content-addressed store files, whatever executes the grid.
+"""
+
+import pytest
+
+from repro.runtime import ResultStore, run_scenario
+
+
+def _store_files(store: ResultStore) -> dict:
+    return {p.name: p.read_bytes() for p in store.root.glob("*.json")}
+
+
+class TestExecutorParity:
+    def test_serial_pool_fabric_identical(self, tmp_path, make_scenario):
+        scenario = make_scenario()
+        serial = run_scenario(scenario, jobs=1)
+        pooled = run_scenario(scenario, jobs=2)
+        fabric = run_scenario(
+            scenario,
+            jobs=2,
+            executor="fabric",
+            fabric_dir=tmp_path / "fabric",
+            fabric_options={"lease_ttl": 5.0, "timeout": 120.0},
+        )
+        assert serial.trial_sets == pooled.trial_sets
+        assert serial.trial_sets == fabric.trial_sets
+
+    def test_store_contents_identical_across_executors(
+        self, tmp_path, make_scenario
+    ):
+        scenario = make_scenario()
+        stores = {
+            "serial": ResultStore(tmp_path / "serial"),
+            "pool": ResultStore(tmp_path / "pool"),
+            "fabric": ResultStore(tmp_path / "fabric-store"),
+        }
+        run_scenario(scenario, jobs=1, store=stores["serial"])
+        run_scenario(scenario, jobs=2, store=stores["pool"])
+        run_scenario(
+            scenario,
+            jobs=2,
+            store=stores["fabric"],
+            executor="fabric",
+            fabric_dir=tmp_path / "fabric",
+            fabric_options={"lease_ttl": 5.0, "timeout": 120.0},
+        )
+        serial_files = _store_files(stores["serial"])
+        assert serial_files  # one entry per grid position
+        assert _store_files(stores["pool"]) == serial_files
+        assert _store_files(stores["fabric"]) == serial_files
+
+    def test_fabric_resumes_from_partial_store(self, tmp_path, make_scenario):
+        # Warm the fabric store with a serial run of a prefix grid, then
+        # sweep the full grid through the fabric: cached positions are
+        # reused (the resume path), appended positions computed fresh.
+        scenario = make_scenario(sizes=(8, 12, 16))
+        prefix = scenario.with_overrides(sizes=(8, 12))
+        store = ResultStore(tmp_path / "store")
+        run_scenario(prefix, jobs=1, store=store)
+        assert len(_store_files(store)) == 2
+        fabric = run_scenario(
+            scenario,
+            jobs=2,
+            store=store,
+            executor="fabric",
+            fabric_dir=tmp_path / "fabric",
+            fabric_options={"lease_ttl": 5.0, "timeout": 120.0},
+        )
+        assert fabric.trial_sets == run_scenario(scenario, jobs=1).trial_sets
+        assert len(_store_files(store)) == 3
+
+
+class TestRunMeta:
+    def test_pool_meta_records_resolution(self, make_scenario):
+        run = run_scenario(make_scenario(), jobs=2)
+        assert run.meta["executor"] == "pool"
+        assert run.meta["jobs_requested"] == 2
+        assert run.meta["jobs_resolved"] == 2
+
+    def test_fabric_meta_records_fleet(self, tmp_path, make_scenario):
+        run = run_scenario(
+            make_scenario(),
+            jobs=2,
+            executor="fabric",
+            fabric_dir=tmp_path / "fabric",
+            fabric_options={"lease_ttl": 5.0, "timeout": 120.0},
+        )
+        assert run.meta["executor"] == "fabric"
+        assert run.meta["fabric_dir"] == str(tmp_path / "fabric")
+        assert run.meta["workers_spawned"] == 2
+        assert run.meta["worker_respawns"] == 0
+        assert run.meta["shards"] == 3
+
+    def test_unknown_executor_refused(self, make_scenario):
+        with pytest.raises(ValueError, match="executor"):
+            run_scenario(make_scenario(), executor="carrier-pigeon")
+
+    def test_fabric_requires_dir(self, make_scenario):
+        with pytest.raises(ValueError, match="fabric_dir"):
+            run_scenario(make_scenario(), executor="fabric")

@@ -1,0 +1,173 @@
+"""Queue-layer guarantees: atomic claims, lease lifecycle, done markers.
+
+Every time-dependent assertion drives the synthetic ``now`` parameter —
+no sleeps, no flaky clock margins.
+"""
+
+import json
+
+import pytest
+
+from repro.fabric import FabricQueue, scenario_to_dict
+
+TTL = 10.0
+T0 = 1000.0
+
+
+@pytest.fixture
+def queue(tmp_path, make_scenario):
+    q = FabricQueue(tmp_path / "job")
+    q.create_job(make_scenario(), lease_ttl=TTL)
+    return q
+
+
+class TestJobLifecycle:
+    def test_layout_and_shards(self, queue, make_scenario):
+        assert queue.scenario() == make_scenario()
+        assert queue.lease_ttl() == TTL
+        assert queue.shard_ids() == ["p0000", "p0001", "p0002"]
+        assert queue.shard("p0001") == {"shard": "p0001", "position": 1, "n": 12}
+        assert queue.pending_shards() == ["p0000", "p0001", "p0002"]
+        assert not queue.all_done()
+
+    def test_create_is_idempotent_for_same_scenario(self, queue, make_scenario):
+        queue.mark_done("p0000", "w", {})
+        queue.create_job(make_scenario(), lease_ttl=TTL)
+        # Resume path: shard files and done markers survive re-creation.
+        assert queue.pending_shards() == ["p0001", "p0002"]
+
+    def test_create_refuses_different_scenario(self, queue, make_scenario):
+        with pytest.raises(ValueError, match="one directory carries one job"):
+            queue.create_job(make_scenario(seed=99))
+
+    def test_create_refuses_bad_ttl(self, tmp_path, make_scenario):
+        with pytest.raises(ValueError, match="lease_ttl"):
+            FabricQueue(tmp_path / "bad").create_job(
+                make_scenario(), lease_ttl=0.0
+            )
+
+    def test_missing_manifest_is_loud(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no fabric job"):
+            FabricQueue(tmp_path / "empty").manifest()
+
+    def test_manifest_carries_scenario_dict(self, queue, make_scenario):
+        assert queue.manifest()["scenario"] == scenario_to_dict(make_scenario())
+
+    def test_store_defaults_under_root(self, queue):
+        assert queue.store().root == queue.root / "results"
+
+
+class TestClaims:
+    def test_claim_is_exclusive(self, queue):
+        assert queue.claim("p0000", "alice", now=T0)
+        assert not queue.claim("p0000", "bob", now=T0)  # the double claim
+        state, lease = queue.lease_state("p0000", now=T0)
+        assert state == "live"
+        assert lease["worker"] == "alice"
+
+    def test_release_frees_only_our_lease(self, queue):
+        queue.claim("p0000", "alice", now=T0)
+        queue.release("p0000", "bob")  # not the owner: no-op
+        assert queue.lease_state("p0000", now=T0)[0] == "live"
+        queue.release("p0000", "alice")
+        assert queue.lease_state("p0000", now=T0)[0] == "free"
+
+    def test_heartbeat_keeps_lease_live(self, queue):
+        queue.claim("p0000", "alice", now=T0)
+        queue.heartbeat("p0000", "alice", now=T0 + TTL)
+        assert queue.lease_state("p0000", now=T0 + 1.5 * TTL)[0] == "live"
+
+    def test_heartbeat_after_takeover_is_noop(self, queue):
+        queue.claim("p0000", "alice", now=T0)
+        assert queue.break_lease("p0000", "bob", now=T0 + 2 * TTL)
+        queue.heartbeat("p0000", "alice", now=T0 + 2 * TTL)
+        _, lease = queue.lease_state("p0000", now=T0 + 2 * TTL)
+        assert lease["worker"] == "bob"
+
+    def test_lease_expires_without_heartbeat(self, queue):
+        queue.claim("p0000", "alice", now=T0)
+        assert queue.lease_state("p0000", now=T0 + TTL)[0] == "live"
+        assert queue.lease_state("p0000", now=T0 + TTL + 0.1)[0] == "expired"
+
+    def test_corrupt_lease_detected(self, queue):
+        queue.claim("p0000", "alice", now=T0)
+        (queue.leases_dir / "p0000.json").write_text("{torn lease")
+        state, lease = queue.lease_state("p0000")
+        assert state == "corrupt"
+        assert lease is None
+
+
+class TestTakeovers:
+    def test_break_refuses_live_lease(self, queue):
+        queue.claim("p0000", "alice", now=T0)
+        assert not queue.break_lease("p0000", "bob", now=T0 + 0.5 * TTL)
+
+    def test_break_takes_expired_lease(self, queue):
+        queue.claim("p0000", "alice", now=T0)
+        assert queue.break_lease("p0000", "bob", now=T0 + 2 * TTL)
+        _, lease = queue.lease_state("p0000", now=T0 + 2 * TTL)
+        assert lease["worker"] == "bob"
+
+    def test_reaper_moves_at_expiry_others_wait_grace(self, queue):
+        queue.claim("p0000", "alice", now=T0)
+        just_expired = T0 + TTL + 0.1
+        assert queue.may_reap("p0000", "reaper", reaper="reaper", now=just_expired)
+        assert not queue.may_reap("p0000", "bob", reaper="reaper", now=just_expired)
+        # After the 2×TTL grace any worker may move (the reaper may be dead).
+        late = T0 + 3 * TTL + 0.1
+        assert queue.may_reap("p0000", "bob", reaper="reaper", now=late)
+
+    def test_no_reaper_means_everyone_may_reap(self, queue):
+        queue.claim("p0000", "alice", now=T0)
+        assert queue.may_reap("p0000", "bob", reaper=None, now=T0 + TTL + 0.1)
+
+    def test_live_lease_is_never_reapable(self, queue):
+        queue.claim("p0000", "alice", now=T0)
+        assert not queue.may_reap("p0000", "reaper", reaper="reaper", now=T0 + 1)
+
+
+class TestCompletion:
+    def test_first_done_marker_wins(self, queue):
+        queue.mark_done("p0000", "alice", {"store_file": "a.json"})
+        queue.mark_done("p0000", "bob", {"store_file": "a.json"})
+        assert queue.done_record("p0000")["worker"] == "alice"
+        assert queue.pending_shards() == ["p0001", "p0002"]
+
+    def test_all_done(self, queue):
+        for shard_id in queue.shard_ids():
+            queue.mark_done(shard_id, "w", {})
+        assert queue.all_done()
+
+    def test_reap_done_leases(self, queue):
+        queue.claim("p0000", "alice", now=T0)
+        queue.mark_done("p0000", "alice", {})
+        # Crash between mark_done and release leaves this lease behind.
+        assert queue.reap_done_leases() == 1
+        assert not (queue.leases_dir / "p0000.json").exists()
+
+
+class TestWorkersAndStatus:
+    def test_registration_and_liveness(self, queue):
+        queue.register_worker("alice")
+        queue.register_worker("bob")
+        assert queue.registered_workers() == ["alice", "bob"]
+        assert queue.live_workers() == ["alice", "bob"]
+        # Liveness horizon is 3 TTLs past the registration heartbeat.
+        import time
+
+        assert queue.live_workers(now=time.time() + 4 * TTL) == []
+
+    def test_status_snapshot(self, queue):
+        queue.register_worker("alice")
+        queue.claim("p0001", "alice", now=T0)
+        queue.mark_done("p0000", "alice", {})
+        status = queue.status(now=T0 + 1)
+        assert status["shards"] == {
+            "total": 3, "done": 1, "leased": 1, "pending": 2,
+        }
+        assert status["workers"]["registered"] == ["alice"]
+        [lease] = status["leases"]
+        assert (lease["shard"], lease["state"], lease["worker"]) == (
+            "p0001", "live", "alice",
+        )
+        json.dumps(status)  # must be JSON-ready for `repro fabric status`

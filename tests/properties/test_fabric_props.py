@@ -1,0 +1,125 @@
+"""Property tests: the fabric converges under any interleaving.
+
+Hypothesis drives a *simulated* fleet against the real queue and store —
+random shard interleavings, duplicate completions (a worker that never
+saw the done marker), crashes that abandon live leases, and stale-lease
+takeovers on a synthetic clock.  Whatever the schedule, the final
+ResultStore contents and the collected aggregates must be byte-identical
+to a serial ``jobs=1`` run: leases are an efficiency mechanism, and no
+ordering of them may ever change a result.
+"""
+
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric import FabricQueue, collect, execute_shard
+from repro.runtime import ResultStore, Scenario, TopologySpec, run_scenario
+
+TTL = 10.0
+
+SCENARIO = Scenario(
+    name="fabric-prop/star",
+    protocol="search-star/classical",
+    topology=TopologySpec("star"),
+    sizes=(8, 12, 16),
+    trials=2,
+    seed=23,
+)
+
+_BASELINE: dict | None = None
+
+
+def _baseline() -> dict:
+    """Serial run's aggregates and store bytes (computed once)."""
+    global _BASELINE
+    if _BASELINE is None:
+        with tempfile.TemporaryDirectory() as root:
+            store = ResultStore(root)
+            run = run_scenario(SCENARIO, jobs=1, store=store)
+            files = {p.name: p.read_bytes() for p in store.root.glob("*.json")}
+        _BASELINE = {"trial_sets": run.trial_sets, "files": files}
+    return _BASELINE
+
+
+#: One fleet event: (worker, grid position, abandons-its-lease?).
+EVENTS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=2),
+        st.booleans(),
+    ),
+    max_size=10,
+)
+
+
+def _execute_and_complete(queue, store, shard_id, position, worker):
+    n = SCENARIO.sizes[position]
+    trial_set = execute_shard(SCENARIO, position)
+    path = store.save(SCENARIO, n, position, trial_set)
+    queue.mark_done(shard_id, worker, {"position": position, "store_file": path.name})
+
+
+class TestFabricConvergence:
+    @given(events=EVENTS)
+    @settings(max_examples=20, deadline=None)
+    def test_any_interleaving_yields_serial_results(self, events):
+        baseline = _baseline()
+        with tempfile.TemporaryDirectory() as root:
+            queue = FabricQueue(f"{root}/job")
+            queue.create_job(SCENARIO, lease_ttl=TTL)
+            store = queue.store()
+            now = 1000.0
+            for worker_index, position, abandon in events:
+                worker = f"w{worker_index}"
+                shard_id = f"p{position:04d}"
+                now += 1.0
+                state, lease = queue.lease_state(shard_id, now=now)
+                if state == "free":
+                    claimed = queue.claim(shard_id, worker, now=now)
+                elif state in ("expired", "corrupt"):
+                    claimed = queue.break_lease(shard_id, worker, now=now)
+                else:
+                    # Live lease held elsewhere: this worker raced ahead
+                    # anyway — the duplicate-completion path.  (Its own
+                    # lease it just keeps working under.)
+                    claimed = lease is not None and lease.get("worker") == worker
+                if abandon and claimed:
+                    # Crash: walk away mid-shard, lease left behind; the
+                    # synthetic clock jumps past the TTL so a later event
+                    # can take the shard over.
+                    now += TTL + 1.0
+                    continue
+                _execute_and_complete(queue, store, shard_id, position, worker)
+                if claimed:
+                    queue.release(shard_id, worker)
+            # Whatever the schedule did, a final cleanup worker drains the
+            # queue the way `run_worker` would.
+            for shard_id in queue.pending_shards():
+                position = queue.shard(shard_id)["position"]
+                _execute_and_complete(queue, store, shard_id, position, "sweeper")
+            queue.reap_done_leases()
+
+            run = collect(queue.root)
+            assert run.trial_sets == baseline["trial_sets"]
+            files = {p.name: p.read_bytes() for p in store.root.glob("*.json")}
+            assert files == baseline["files"]
+            assert list(store.root.glob("*.tmp")) == []
+
+    @given(events=EVENTS)
+    @settings(max_examples=10, deadline=None)
+    def test_done_markers_monotone(self, events):
+        # Once a shard is done it never reverts to pending, no matter how
+        # many duplicate completions or takeovers later touch it.
+        with tempfile.TemporaryDirectory() as root:
+            queue = FabricQueue(f"{root}/job")
+            queue.create_job(SCENARIO, lease_ttl=TTL)
+            store = queue.store()
+            done_seen: set = set()
+            for _, position, _ in events:
+                shard_id = f"p{position:04d}"
+                _execute_and_complete(queue, store, shard_id, position, "w")
+                done_seen.add(shard_id)
+                pending = set(queue.pending_shards())
+                assert not (done_seen & pending)

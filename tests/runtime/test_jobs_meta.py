@@ -1,0 +1,66 @@
+"""Satellite: the silent 1-CPU jobs clamp is surfaced in run meta.
+
+``resolve_jobs(None)`` resolves to ``os.cpu_count()``; on a 1-CPU host
+that silently turned a requested parallel sweep into a serial one.  The
+resolution is now recorded in ``ScenarioRun.meta`` so callers (and CI
+logs) can see exactly what ran.
+"""
+
+import pytest
+
+from repro.runtime import Scenario, TopologySpec, run_scenario
+from repro.runtime.runner import resolve_jobs
+
+
+def _scenario() -> Scenario:
+    return Scenario(
+        name="meta-test/star",
+        protocol="search-star/classical",
+        topology=TopologySpec("star"),
+        sizes=(8,),
+        trials=1,
+        seed=2,
+    )
+
+
+class TestResolveJobs:
+    def test_none_resolves_to_cpu_count(self, monkeypatch):
+        monkeypatch.setattr("repro.runtime.runner.os.cpu_count", lambda: 1)
+        assert resolve_jobs(None) == 1
+        monkeypatch.setattr("repro.runtime.runner.os.cpu_count", lambda: 8)
+        assert resolve_jobs(None) == 8
+
+    def test_unknowable_cpu_count_resolves_to_one(self, monkeypatch):
+        monkeypatch.setattr("repro.runtime.runner.os.cpu_count", lambda: None)
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_values_pass_through(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            resolve_jobs(0)
+
+
+class TestRunMetaSurfacesClamp:
+    def test_one_cpu_host_clamp_is_visible(self, monkeypatch):
+        monkeypatch.setattr("repro.runtime.runner.os.cpu_count", lambda: 1)
+        run = run_scenario(_scenario(), jobs=None)
+        assert run.meta["jobs_requested"] is None
+        assert run.meta["jobs_resolved"] == 1  # the formerly silent clamp
+        assert run.meta["cpu_count"] == 1
+        assert run.meta["executor"] == "pool"
+
+    def test_explicit_jobs_recorded_verbatim(self):
+        run = run_scenario(_scenario(), jobs=2)
+        assert run.meta["jobs_requested"] == 2
+        assert run.meta["jobs_resolved"] == 2
+
+    def test_meta_never_affects_aggregates(self):
+        # Two runs with different meta must still compare equal on the
+        # data: parity tests compare .trial_sets, and meta rides along.
+        serial = run_scenario(_scenario(), jobs=1)
+        pooled = run_scenario(_scenario(), jobs=2)
+        assert serial.trial_sets == pooled.trial_sets
+        assert serial.meta != pooled.meta

@@ -1,0 +1,152 @@
+"""Satellite: ResultStore stays sane under concurrent writers.
+
+Two real processes hammer one store directory — an eviction racing a
+concurrent save (the size cap hit mid-write), and many processes saving
+the *same* key simultaneously (the fabric's duplicate-completion path).
+Every surviving file must always parse as complete JSON: the pid-unique
+tmp + atomic-replace protocol never exposes a torn document.
+"""
+
+import json
+import multiprocessing
+import sys
+
+import pytest
+
+from repro.runtime import ResultStore, Scenario, TopologySpec
+from repro.runtime.runner import TrialSet
+
+
+def _scenario(seed: int = 3) -> Scenario:
+    return Scenario(
+        name="store-race/star",
+        protocol="search-star/classical",
+        topology=TopologySpec("star"),
+        sizes=(8,),
+        trials=1,
+        seed=seed,
+    )
+
+
+def _trial_set(n: int) -> TrialSet:
+    return TrialSet(
+        n=n,
+        trials=1,
+        success_rate=1.0,
+        messages_mean=float(n),
+        messages_std=0.0,
+        messages_p50=float(n),
+        messages_p90=float(n),
+        messages_max=float(n),
+        rounds_mean=1.0,
+    )
+
+
+def _save_many(root: str, max_entries: int, seed: int, count: int) -> None:
+    """Worker: save ``count`` distinct keys, each save running evict()."""
+    store = ResultStore(root, max_entries=max_entries)
+    scenario = _scenario(seed)
+    for position in range(count):
+        store.save(scenario, 8 + position, position, _trial_set(8 + position))
+
+
+def _save_same_key(root: str, repeats: int) -> None:
+    """Worker: save one identical key over and over."""
+    store = ResultStore(root, max_entries=64)
+    scenario = _scenario()
+    for _ in range(repeats):
+        store.save(scenario, 8, 0, _trial_set(8))
+
+
+def _context():
+    return (
+        multiprocessing.get_context("fork")
+        if sys.platform == "linux"
+        else multiprocessing.get_context()
+    )
+
+
+def _run_all(processes) -> None:
+    for p in processes:
+        p.start()
+    for p in processes:
+        p.join(timeout=120)
+    assert all(p.exitcode == 0 for p in processes)
+
+
+class TestEvictRacesSave:
+    def test_cap_hit_mid_write_never_tears_files(self, tmp_path):
+        # Two writers, a cap small enough that every save evicts: each
+        # process's evict() keeps deleting files the other is writing.
+        ctx = _context()
+        processes = [
+            ctx.Process(target=_save_many, args=(str(tmp_path), 5, seed, 40))
+            for seed in (1, 2)
+        ]
+        _run_all(processes)
+        store = ResultStore(tmp_path, max_entries=5)
+        survivors = list(tmp_path.glob("*.json"))
+        assert survivors  # the race deletes files, never the whole store
+        for path in survivors:
+            payload = json.loads(path.read_text())  # complete JSON, always
+            assert "identity" in payload and "trial_set" in payload
+        assert list(tmp_path.glob("*.tmp")) == []
+        store.evict()
+        assert len(list(tmp_path.glob("*.json"))) <= 5
+
+    def test_evicted_entry_is_recomputable(self, tmp_path):
+        # The documented contract: losing the race only costs a recompute.
+        store = ResultStore(tmp_path, max_entries=1)
+        scenario = _scenario()
+        store.save(scenario, 8, 0, _trial_set(8))
+        store.save(scenario, 9, 1, _trial_set(9))  # evicts position 0
+        assert store.load(scenario, 8, 0) is None
+        store.save(scenario, 8, 0, _trial_set(8))  # ...and back it comes
+        assert store.load(scenario, 8, 0) == _trial_set(8)
+
+
+class TestSameKeyRaces:
+    def test_concurrent_same_key_saves_stay_atomic(self, tmp_path):
+        ctx = _context()
+        processes = [
+            ctx.Process(target=_save_same_key, args=(str(tmp_path), 30))
+            for _ in range(3)
+        ]
+        _run_all(processes)
+        store = ResultStore(tmp_path, max_entries=64)
+        scenario = _scenario()
+        # The key holds exactly the payload any single writer produces.
+        assert store.load(scenario, 8, 0) == _trial_set(8)
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        # pid-unique tmp names: no process ever leaves a torn tmp behind.
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_tmp_files_are_pid_unique(self, tmp_path, monkeypatch):
+        # The regression this PR fixed: a shared tmp name lets two
+        # writers interleave into one file before the replace.
+        store = ResultStore(tmp_path)
+        scenario = _scenario()
+        seen = []
+        original_replace = type(tmp_path).replace
+
+        def spy(self, target):
+            seen.append(self.name)
+            return original_replace(self, target)
+
+        monkeypatch.setattr(type(tmp_path), "replace", spy)
+        store.save(scenario, 8, 0, _trial_set(8))
+        import os
+
+        assert seen and seen[0].endswith(f".{os.getpid()}.tmp")
+
+
+@pytest.mark.skipif(sys.platform != "linux", reason="fork-specific timing")
+class TestClearRacesSave:
+    def test_clear_sweeps_orphaned_tmps(self, tmp_path):
+        store = ResultStore(tmp_path)
+        scenario = _scenario()
+        store.save(scenario, 8, 0, _trial_set(8))
+        # A writer killed between tmp write and replace leaves this file.
+        (tmp_path / "orphan.json.12345.tmp").write_text("{torn")
+        assert store.clear() == 1  # one real entry removed...
+        assert list(tmp_path.glob("*.tmp")) == []  # ...and the tmp swept
