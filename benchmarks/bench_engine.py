@@ -15,6 +15,20 @@ Results land in ``BENCH_engine.json`` at the repo root — the start of the
 perf trajectory; CI runs ``--smoke`` (small sizes, no file by default) so
 engine regressions show up in PR logs.
 
+A ``telemetry`` section times the fast backend with telemetry off,
+traced (``REPRO_TRACE``), and profiled (``REPRO_PROFILE``).  The *off*
+configuration is gated: the null tracer and the ``prof is not None``
+guards must cost ≤1% against an identical baseline measurement from the
+same invocation (cross-machine absolute numbers are noise; the prior
+full-mode file's rounds/sec is recorded alongside as ``vs_prior_pct``
+for the trajectory).  The section runs on K_256 deliberately: the
+instrumentation is O(1) per round, so a small per-round workload gives
+it the *largest* relative weight — a stricter gate — while staying out
+of the memory-bandwidth regime where single-core machines drift by
+double digits.  Samples are interleaved round-robin across configs so
+slow load drift hits every config equally instead of whichever was
+measured last.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_engine.py          # full grid
@@ -43,6 +57,10 @@ OUTPUT = REPO_ROOT / "BENCH_engine.json"
 #: The acceptance bar: fast ≥ 5× reference rounds/sec on K_n at n = 1024.
 TARGET_TOPOLOGY = ("complete", 1024)
 TARGET_SPEEDUP = 5.0
+
+#: Telemetry-off overhead bar: with tracing and profiling disabled the
+#: instrumented hot loops must stay within 1% of the baseline sample.
+TELEMETRY_OVERHEAD_LIMIT_PCT = 1.0
 
 FANOUT = 32
 
@@ -104,6 +122,130 @@ def _time_backend(topology, backend: str, rounds: int, repeats: int) -> dict:
     }
 
 
+def bench_telemetry(smoke: bool) -> dict:
+    """Time the fast backend off/traced/profiled; gate the off overhead.
+
+    The *baseline* and *off* configurations are byte-identical runs from
+    the same invocation, so ``off_overhead_pct`` captures exactly what
+    the null tracer and the disabled profiler guards cost (plus the
+    noise floor) on this machine, independent of the host CI runs on.
+    All four configs are sampled interleaved — one sample each per
+    repeat, best-of kept per config — so slow machine drift (frequency
+    scaling, co-tenant load on single-core boxes) lands on every config
+    instead of biasing whichever ran last.  The prior full-mode file's
+    target rounds/sec, when present, lands in ``vs_prior_pct``.
+    """
+    import os
+    import tempfile
+
+    from repro.telemetry import reset_telemetry
+
+    family, n = "complete", 256
+    topology = _build(family, n)
+    topology.port_table()
+    rounds = 10 if smoke else 40
+    repeats = 3 if smoke else 7
+
+    def sample() -> float:
+        reset_telemetry()
+        return _time_backend(topology, "fast", rounds, repeats=1)["seconds"]
+
+    saved = {key: os.environ.pop(key, None) for key in ("REPRO_TRACE", "REPRO_PROFILE")}
+    best = {"baseline": float("inf"), "off": float("inf"),
+            "traced": float("inf"), "profiled": float("inf")}
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            for _ in range(repeats):
+                best["baseline"] = min(best["baseline"], sample())
+                best["off"] = min(best["off"], sample())
+                os.environ["REPRO_TRACE"] = f"{tmp}/bench-trace.jsonl"
+                best["traced"] = min(best["traced"], sample())
+                del os.environ["REPRO_TRACE"]
+                os.environ["REPRO_PROFILE"] = "1"
+                best["profiled"] = min(best["profiled"], sample())
+                del os.environ["REPRO_PROFILE"]
+    finally:
+        for key, value in saved.items():
+            if value is not None:
+                os.environ[key] = value
+        reset_telemetry()
+
+    def as_entry(seconds: float) -> dict:
+        return {
+            "rounds": rounds,
+            "seconds": round(seconds, 6),
+            "rounds_per_sec": round(rounds / seconds, 2),
+        }
+
+    baseline = as_entry(best["baseline"])
+    off = as_entry(best["off"])
+    traced = as_entry(best["traced"])
+    profiled = as_entry(best["profiled"])
+
+    def pct_slower(reference: float, sample: float) -> float:
+        return round(max(0.0, 100.0 * (reference - sample) / reference), 2)
+
+    prior = None
+    if OUTPUT.exists():
+        try:
+            previous = json.loads(OUTPUT.read_text())
+            if previous.get("mode") == "full":
+                telemetry = previous.get("telemetry")
+                if (
+                    telemetry
+                    and (telemetry.get("topology"), telemetry.get("n")) == (family, n)
+                ):
+                    prior = telemetry["off"]["rounds_per_sec"]
+                else:  # pre-telemetry file: the grid's K_256 fast row
+                    prior = next(
+                        (
+                            entry["backends"]["fast"]["rounds_per_sec"]
+                            for entry in previous.get("results", [])
+                            if (entry["topology"], entry["n"]) == (family, n)
+                        ),
+                        None,
+                    )
+        except (json.JSONDecodeError, KeyError, TypeError):
+            prior = None
+
+    section = {
+        "topology": family,
+        "n": n,
+        "off_overhead_limit_pct": TELEMETRY_OVERHEAD_LIMIT_PCT,
+        "baseline": baseline,
+        "off": off,
+        "traced": traced,
+        "profiled": profiled,
+        "off_overhead_pct": pct_slower(
+            baseline["rounds_per_sec"], off["rounds_per_sec"]
+        ),
+        "traced_overhead_pct": pct_slower(
+            baseline["rounds_per_sec"], traced["rounds_per_sec"]
+        ),
+        "profiled_overhead_pct": pct_slower(
+            baseline["rounds_per_sec"], profiled["rounds_per_sec"]
+        ),
+        "prior_rounds_per_sec": prior,
+        "vs_prior_pct": (
+            None if prior is None else pct_slower(prior, off["rounds_per_sec"])
+        ),
+    }
+    print(
+        f"{'telemetry':>15} n={n:<5} off: {off['rounds_per_sec']:>10.1f} rounds/s "
+        f"({section['off_overhead_pct']:.2f}% vs baseline, limit "
+        f"{TELEMETRY_OVERHEAD_LIMIT_PCT}%)"
+    )
+    print(
+        f"{'':>15} {'traced':>16}: {traced['rounds_per_sec']:>10.1f} rounds/s "
+        f"({section['traced_overhead_pct']:.2f}% overhead)"
+    )
+    print(
+        f"{'':>15} {'profiled':>16}: {profiled['rounds_per_sec']:>10.1f} rounds/s "
+        f"({section['profiled_overhead_pct']:.2f}% overhead)"
+    )
+    return section
+
+
 def run_bench(smoke: bool) -> dict:
     sizes = [64, 256] if smoke else [256, 1024, 4096]
     repeats = 2 if smoke else 5
@@ -156,6 +298,7 @@ def run_bench(smoke: bool) -> dict:
             "required_speedup": TARGET_SPEEDUP,
             "measured_speedup": target["speedup"] if target else None,
         },
+        "telemetry": bench_telemetry(smoke),
         "results": results,
     }
 
@@ -182,14 +325,23 @@ def main(argv=None) -> int:
         output.write_text(json.dumps(report, indent=1) + "\n")
         print(f"\nwrote {output}")
     measured = report["target"]["measured_speedup"]
+    status = 0
     if measured is not None and measured < TARGET_SPEEDUP:
         print(
             f"WARNING: fast engine speedup {measured:.2f}x on K_n "
             f"n={TARGET_TOPOLOGY[1]} is below the {TARGET_SPEEDUP}x bar",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        status = 1
+    overhead = report["telemetry"]["off_overhead_pct"]
+    if overhead > TELEMETRY_OVERHEAD_LIMIT_PCT:
+        print(
+            f"WARNING: telemetry-off overhead {overhead:.2f}% exceeds the "
+            f"{TELEMETRY_OVERHEAD_LIMIT_PCT}% gate",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
 
 
 if __name__ == "__main__":

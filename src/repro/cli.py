@@ -26,6 +26,12 @@ Commands:
 * ``protocols``                 — list the protocol registry with its
                                   capability tags (``--json`` for tooling);
 * ``cache list|stats|clear``    — inspect or empty the on-disk result cache;
+* ``profile --scenario S``      — run a scenario with phase profiling forced
+                                  on and print the wall-time breakdown
+                                  (engine.step/gather/deliver, fabric
+                                  serialize/claim/execute/save);
+* ``trace validate FILE...``    — check JSONL trace files against the
+                                  versioned trace schema;
 * ``routing-demo``              — the Appendix-A superposed-send demo.
 
 ``elect``, ``agree``, and ``sweep`` accept ``--node-api {auto,batch,scalar}``
@@ -57,6 +63,15 @@ fault-injection harness CI uses to prove it).
 :meth:`repro.adversary.AdversarySpec.parse`) for deterministic
 fault-injected runs; results then carry fault accounting and cache under
 adversary-aware keys.
+
+``elect``, ``agree``, ``sweep``, and ``worker`` accept the telemetry
+flags ``--trace FILE`` (append versioned JSONL span/event records; pool
+and fabric workers inherit via ``REPRO_TRACE`` and append to the same
+file) and ``--profile`` (phase wall-time breakdowns in the run meta via
+``REPRO_PROFILE``).  Telemetry never draws from run RNG streams: traced
+or profiled runs are bit-identical to bare ones.  The root-level
+``--log-level`` flag turns on structured (logfmt) ``logging`` output
+for the fabric's worker/coordinator loggers.
 
 Protocol dispatch goes through :mod:`repro.runtime`: the registry resolves
 protocols by name and the scenario layer binds topologies, so the CLI holds
@@ -204,6 +219,38 @@ def _add_adversary_flags(parser) -> None:
         "eavesdrop-drop=0.5,seed=7'",
     )
 
+def _add_telemetry_flags(parser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="append JSONL span/event records (run/trial/round, faults, "
+        "fabric leases) to FILE; workers inherit via REPRO_TRACE and "
+        "append atomically to the same file; never changes results",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect phase wall-time breakdowns (engine step/gather/"
+        "deliver, fabric serialize/claim/execute/save) into the run "
+        "meta via REPRO_PROFILE; never changes results",
+    )
+
+
+def _apply_telemetry(args) -> None:
+    """Export ``--trace``/``--profile`` process-wide (workers inherit)."""
+    trace = getattr(args, "trace", None)
+    profile = getattr(args, "profile", False)
+    if trace is None and not profile:
+        return
+    from repro.telemetry import set_profiling, set_trace_path
+
+    if trace is not None:
+        set_trace_path(trace)
+    if profile:
+        set_profiling(True)
+
+
 #: elect topology → (quantum protocol, classical protocol, topology family,
 #: topology params).  One table, no if/elif chain.
 ELECT_SETUPS: dict[str, tuple[str, str, str, tuple]] = {
@@ -334,6 +381,7 @@ def _cmd_elect(args) -> int:
     from repro.util.rng import RandomSource
 
     _apply_engine(args.engine)
+    _apply_telemetry(args)
     try:
         _apply_kernel(args.kernel)
     except (RuntimeError, ValueError) as error:
@@ -427,6 +475,7 @@ def _cmd_agree(args) -> int:
     from repro.runtime import default_registry
     from repro.util.rng import RandomSource
 
+    _apply_telemetry(args)
     try:
         _apply_kernel(args.kernel)
     except (RuntimeError, ValueError) as error:
@@ -573,6 +622,7 @@ def _cmd_sweep(args) -> int:
         print(error, file=sys.stderr)
         return 2
     _apply_engine(args.engine)
+    _apply_telemetry(args)
     try:
         _apply_kernel(args.kernel)
     except (RuntimeError, ValueError) as error:
@@ -770,6 +820,7 @@ def _cmd_sweep(args) -> int:
 def _cmd_worker(args) -> int:
     from repro.fabric import FaultPlan, run_worker
 
+    _apply_telemetry(args)
     fault_plan = None
     if args.inject_kill_after is not None:
         fault_plan = FaultPlan(kill_after_trials=args.inject_kill_after)
@@ -792,19 +843,7 @@ def _cmd_worker(args) -> int:
     return 0
 
 
-def _cmd_fabric(args) -> int:
-    import json as json_module
-
-    from repro.fabric import fabric_status
-
-    try:
-        status = fabric_status(args.dir)
-    except FileNotFoundError as error:
-        print(error, file=sys.stderr)
-        return 2
-    if args.json:
-        print(json_module.dumps(status, indent=2, sort_keys=True))
-        return 0
+def _render_fabric_status(status) -> None:
     shards = status["shards"]
     workers = status["workers"]
     print(f"fabric job at {status['root']}")
@@ -825,8 +864,47 @@ def _cmd_fabric(args) -> int:
         f"  workers  : {len(workers['live'])} live of "
         f"{len(workers['registered'])} registered ({live})"
     )
+    for row in workers.get("detail", []):
+        state = "live" if row["live"] else "stale"
+        counters = row.get("counters") or {}
+        if row.get("trials_per_min") is None:
+            # mtime-only heartbeat (legacy worker): no counters to rate.
+            rates = "no counters"
+        else:
+            rates = (
+                f"{counters.get('shards_completed', 0)} shards / "
+                f"{counters.get('trials_executed', 0)} trials "
+                f"({row['shards_per_min']:.1f} shards/min, "
+                f"{row['trials_per_min']:.1f} trials/min)"
+            )
+        age = "?" if row.get("age") is None else f"{row['age']:.1f}s"
+        print(f"    {row['worker']}: {state}, {rates}, heartbeat {age} ago")
     print(f"  reaper   : {status['reaper'] or 'none (no live workers)'}")
-    return 0
+
+
+def _cmd_fabric(args) -> int:
+    import json as json_module
+    import time as time_module
+
+    from repro.fabric import fabric_status
+
+    watch = getattr(args, "watch", False)
+    while True:
+        try:
+            status = fabric_status(args.dir)
+        except FileNotFoundError as error:
+            print(error, file=sys.stderr)
+            return 2
+        if args.json:
+            print(json_module.dumps(status, indent=2, sort_keys=True))
+        else:
+            if watch:
+                print("\x1b[2J\x1b[H", end="")  # clear screen, home cursor
+            _render_fabric_status(status)
+        shards = status["shards"]
+        if not watch or (shards["pending"] == 0 and shards["leased"] == 0):
+            return 0
+        time_module.sleep(args.interval)
 
 
 def _scenario_dict(scenario) -> dict:
@@ -975,6 +1053,74 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    """Run one scenario with profiling forced on; print the phase table."""
+    from repro.runtime import get_scenario, run_scenario
+    from repro.telemetry import format_profile, set_profiling
+
+    _apply_engine(args.engine)
+    _apply_telemetry(args)
+    set_profiling(True)
+    try:
+        _apply_kernel(args.kernel)
+    except (RuntimeError, ValueError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    try:
+        sizes = _parse_sizes(args.sizes)
+        scenario = get_scenario(args.scenario)
+    except (KeyError, ValueError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.node_api != "auto":
+        scenario = scenario.with_overrides(node_api=args.node_api)
+    try:
+        # store=None: a cache hit executes nothing, which would profile
+        # nothing — the profile command always computes.
+        run = run_scenario(
+            scenario,
+            jobs=args.jobs,
+            seed=args.seed,
+            sizes=sizes,
+            trials=args.trials,
+            store=None,
+        )
+    except (ValueError, RuntimeError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    total_trials = sum(ts.trials for ts in run.trial_sets)
+    print(
+        f"phase profile: {scenario.name} ({scenario.protocol}), sizes "
+        f"{list(run.sizes)}, {total_trials} trials"
+    )
+    print(format_profile(run.meta.get("profile", {})))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Validate JSONL trace files against the versioned trace schema."""
+    from repro.telemetry import TraceSchemaError, validate_file
+
+    failures = 0
+    for path in args.files:
+        try:
+            counts = validate_file(path)
+        except OSError as error:
+            print(error, file=sys.stderr)
+            failures += 1
+            continue
+        except TraceSchemaError as error:
+            print(f"invalid trace: {error}", file=sys.stderr)
+            failures += 1
+            continue
+        total = sum(counts.values())
+        detail = " ".join(
+            f"{event}:{count}" for event, count in sorted(counts.items())
+        )
+        print(f"{path}: ok ({total} records) {detail}")
+    return 2 if failures else 0
+
+
 def _cmd_routing_demo(args) -> int:
     import math
 
@@ -1002,6 +1148,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'Quantum Communication Advantage for "
         "Leader Election and Agreement' (PODC 2025).",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="enable structured (logfmt) logging at this level; fabric "
+        "workers and the coordinator log joins, steals, completions, "
+        "elections, and respawns",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -1041,6 +1195,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_node_api_flag(elect)
     _add_kernel_flag(elect)
     _add_adversary_flags(elect)
+    _add_telemetry_flags(elect)
     elect.set_defaults(handler=_cmd_elect)
 
     agree = commands.add_parser("agree", help="run implicit agreement")
@@ -1050,6 +1205,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_node_api_flag(agree)
     _add_kernel_flag(agree)
     _add_adversary_flags(agree)
+    _add_telemetry_flags(agree)
     agree.set_defaults(handler=_cmd_agree)
 
     sweep = commands.add_parser(
@@ -1119,6 +1275,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_node_api_flag(sweep)
     _add_kernel_flag(sweep)
     _add_adversary_flags(sweep)
+    _add_telemetry_flags(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
     worker = commands.add_parser(
@@ -1153,6 +1310,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="T",
         help="fault injection: SIGKILL this worker after T executed trials",
     )
+    _add_telemetry_flags(worker)
     worker.set_defaults(handler=_cmd_worker)
 
     fabric = commands.add_parser(
@@ -1166,6 +1324,18 @@ def build_parser() -> argparse.ArgumentParser:
     fabric_status_parser.add_argument("dir", help="fabric queue directory")
     fabric_status_parser.add_argument(
         "--json", action="store_true", help="machine-readable snapshot"
+    )
+    fabric_status_parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="refresh the snapshot every --interval seconds until the "
+        "job has no pending or leased shards",
+    )
+    fabric_status_parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between --watch refreshes",
     )
     fabric_status_parser.set_defaults(handler=_cmd_fabric)
 
@@ -1213,6 +1383,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     protocols.set_defaults(handler=_cmd_protocols)
 
+    profile = commands.add_parser(
+        "profile",
+        help="run a scenario with phase profiling and print the breakdown",
+        description="Run one scenario from the catalogue with phase "
+        "profiling forced on and print where the wall time went "
+        "(engine.step/gather/deliver per dispatch path; fabric "
+        "serialize/claim/execute/save when workers report in).  The "
+        "result cache is bypassed so every trial actually executes; "
+        "profiling never changes the computed aggregates.",
+    )
+    profile.add_argument(
+        "--scenario", required=True, help="scenario name (see: scenarios)"
+    )
+    profile.add_argument("--sizes", help="comma-separated size grid override")
+    profile.add_argument("--trials", type=int, help="trials per size override")
+    profile.add_argument("--seed", type=int, help="scenario seed override")
+    profile.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for trials (default: all cores; per-worker "
+        "phase deltas are merged into the report)",
+    )
+    profile.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        default=None,
+        help="engine backend to profile (reference paths report rounds "
+        "but no per-phase split)",
+    )
+    _add_node_api_flag(profile)
+    _add_kernel_flag(profile)
+    profile.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="also append JSONL trace records to FILE while profiling",
+    )
+    profile.set_defaults(handler=_cmd_profile, profile=False)
+
+    trace = commands.add_parser(
+        "trace", help="work with JSONL trace files"
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    trace_validate = trace_commands.add_parser(
+        "validate",
+        help="check trace files against the versioned record schema",
+    )
+    trace_validate.add_argument(
+        "files", nargs="+", help="JSONL trace files (from --trace FILE)"
+    )
+    trace_validate.set_defaults(handler=_cmd_trace)
+
     demo = commands.add_parser("routing-demo", help="Appendix-A superposed send")
     demo.add_argument("--leaves", type=int, default=3)
     demo.set_defaults(handler=_cmd_routing_demo)
@@ -1223,4 +1446,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level is not None:
+        from repro.telemetry import configure_logging
+
+        configure_logging(args.log_level)
     return args.handler(args)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import multiprocessing
 import sys
 import time
@@ -32,6 +33,8 @@ from repro.fabric.queue import (
 )
 from repro.runtime.runner import ScenarioRun
 from repro.runtime.scenario import Scenario
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "collect",
@@ -96,6 +99,7 @@ def elect_reaper(
     if len(_ELECTION_MEMO) > 128:
         _ELECTION_MEMO.clear()
     _ELECTION_MEMO[key] = elected
+    logger.debug("elected reaper %s over %d live workers", elected, len(workers))
     return elected
 
 
@@ -228,6 +232,14 @@ def run_fabric_sweep(
                         f"`repro fabric status {queue.root}`"
                     )
                 respawns += 1
+                logger.warning(
+                    "fabric fleet at %s died with %d shards pending; "
+                    "respawning worker (%d/%d)",
+                    queue.root,
+                    len(queue.pending_shards()),
+                    respawns,
+                    workers + 4,
+                )
                 processes = [spawn(respawns, tag="respawn")]
             if deadline is not None and time.time() > deadline:
                 raise IncompleteSweepError(

@@ -45,6 +45,7 @@ import time
 from repro.fabric.serialize import scenario_from_dict, scenario_to_dict
 from repro.runtime.scenario import Scenario
 from repro.runtime.store import ResultStore
+from repro.telemetry import metrics_registry
 
 __all__ = [
     "DEFAULT_LEASE_TTL",
@@ -216,16 +217,35 @@ class FabricQueue:
             },
         )
 
-    def touch_worker(self, worker_id: str) -> None:
-        """Refresh the registration heartbeat (file mtime is the signal)."""
+    def touch_worker(self, worker_id: str, counters: dict | None = None) -> None:
+        """Refresh the registration heartbeat (file mtime is the signal).
+
+        With ``counters`` the registration document is rewritten to carry
+        the worker's live counters and an explicit ``heartbeat_at`` — the
+        enriched heartbeat ``repro fabric status`` derives per-worker
+        throughput from.  Without counters it stays the cheap ``utime``.
+        """
         path = self.workers_dir / f"{worker_id}.json"
-        try:
-            os.utime(path)
-        except OSError:
+        if counters is None:
+            try:
+                os.utime(path)
+            except OSError:
+                self.register_worker(worker_id)
+            return
+        record = _read_json(path)
+        if record is None:
             self.register_worker(worker_id)
+            record = _read_json(path) or {"worker": worker_id}
+        record["heartbeat_at"] = time.time()
+        record["counters"] = dict(counters)
+        _atomic_write(path, record)
 
     def registered_workers(self) -> list[str]:
         return sorted(p.stem for p in self.workers_dir.glob("*.json"))
+
+    def worker_record(self, worker_id: str) -> dict | None:
+        """The worker's registration document (None when missing/torn)."""
+        return _read_json(self.workers_dir / f"{worker_id}.json")
 
     def live_workers(self, now: float | None = None) -> list[str]:
         """Workers whose registration heartbeat is fresh (within 3 TTLs).
@@ -270,6 +290,7 @@ class FabricQueue:
             return False
         with os.fdopen(fd, "w") as handle:
             json.dump(payload, handle, sort_keys=True)
+        metrics_registry().counter("repro_fabric_claims_total").inc()
         return True
 
     def heartbeat(
@@ -326,7 +347,10 @@ class FabricQueue:
         if state not in ("expired", "corrupt"):
             return False
         self._lease_path(shard_id).unlink(missing_ok=True)
-        return self.claim(shard_id, worker_id, now)
+        if self.claim(shard_id, worker_id, now):
+            metrics_registry().counter("repro_fabric_lease_breaks_total").inc()
+            return True
+        return False
 
     def may_reap(
         self,
@@ -388,11 +412,53 @@ class FabricQueue:
             return
         with os.fdopen(fd, "w") as handle:
             json.dump(record, handle, sort_keys=True)
+        metrics_registry().counter("repro_fabric_shards_done_total").inc()
 
     def done_record(self, shard_id: str) -> dict | None:
         return _read_json(self.done_dir / f"{shard_id}.json")
 
     # -- status ----------------------------------------------------------------
+
+    def worker_detail(self, now: float | None = None) -> list[dict]:
+        """Per-worker status rows with counter-derived throughput.
+
+        Workers publishing enriched heartbeats (``touch_worker`` with
+        counters) get ``trials_per_min``/``shards_per_min`` computed over
+        their registered lifetime; legacy mtime-only heartbeats report
+        ``counters: None`` and no rates.
+        """
+        now = time.time() if now is None else now
+        live = set(self.live_workers(now))
+        detail = []
+        for worker_id in self.registered_workers():
+            record = self.worker_record(worker_id) or {}
+            counters = record.get("counters")
+            joined_at = record.get("joined_at")
+            heartbeat_at = record.get("heartbeat_at")
+            row = {
+                "worker": worker_id,
+                "live": worker_id in live,
+                "host": record.get("host"),
+                "pid": record.get("pid"),
+                "counters": counters,
+                "trials_per_min": None,
+                "shards_per_min": None,
+                "age": (
+                    None
+                    if heartbeat_at is None
+                    else round(now - float(heartbeat_at), 3)
+                ),
+            }
+            if counters and joined_at is not None and heartbeat_at is not None:
+                minutes = max(float(heartbeat_at) - float(joined_at), 1e-9) / 60.0
+                row["trials_per_min"] = round(
+                    counters.get("trials_executed", 0) / minutes, 3
+                )
+                row["shards_per_min"] = round(
+                    counters.get("shards_completed", 0) / minutes, 3
+                )
+            detail.append(row)
+        return detail
 
     def status(self, now: float | None = None) -> dict:
         """A JSON-ready snapshot for ``repro fabric status``."""
@@ -433,6 +499,7 @@ class FabricQueue:
             "workers": {
                 "registered": self.registered_workers(),
                 "live": self.live_workers(now),
+                "detail": self.worker_detail(now),
             },
             "leases": leases,
         }

@@ -28,17 +28,22 @@ file, deterministically, after a fixed number of executed trials.
 
 from __future__ import annotations
 
+import logging
 import os
 import signal
 import socket
 import time
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.fabric.coordinator import elect_reaper, shard_preference
 from repro.fabric.queue import FabricQueue
 from repro.runtime.runner import TrialSet, aggregate_trials
 from repro.runtime.scenario import Scenario
+from repro.telemetry import current_profiler, current_tracer, metrics_registry
 from repro.util.rng import RandomSource
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "FaultPlan",
@@ -110,12 +115,13 @@ def execute_shard(
     return aggregate_trials(n, outcomes)
 
 
-def _claim_next(queue: FabricQueue, worker_id: str) -> str | None:
-    """The next shard this worker should run, or None to wait.
+def _claim_next(queue: FabricQueue, worker_id: str) -> tuple[str, str] | None:
+    """The next ``(shard_id, mode)`` this worker should run, or None to wait.
 
     Two passes over the deterministic preference order: free shards
-    first, then expired/corrupt leases this worker is entitled to reap
-    (the elected reaper immediately, everyone else after the grace).
+    first (``mode="claim"``), then expired/corrupt leases this worker is
+    entitled to reap (``mode="steal"`` — the elected reaper immediately,
+    everyone else after the grace).
     """
     pending = queue.pending_shards()
     if not pending:
@@ -126,12 +132,12 @@ def _claim_next(queue: FabricQueue, worker_id: str) -> str | None:
     for shard_id in order:
         state, _ = queue.lease_state(shard_id)
         if state == "free" and queue.claim(shard_id, worker_id):
-            return shard_id
+            return shard_id, "claim"
     for shard_id in order:
         if queue.may_reap(shard_id, worker_id, reaper) and queue.break_lease(
             shard_id, worker_id
         ):
-            return shard_id
+            return shard_id, "steal"
     return None
 
 
@@ -150,39 +156,102 @@ def run_worker(
     state a ``SIGKILL`` at any instruction can corrupt.
     """
     queue = FabricQueue(fabric_dir)
+    # The manifest parse is the worker's serialize cost — charged to its
+    # phase breakdown so `repro profile`/status can show where slow
+    # shared-filesystem startups go.
+    t_serialize = perf_counter()
     scenario = queue.scenario()
     store = queue.store()
+    serialize_seconds = perf_counter() - t_serialize
     if worker_id is None:
         worker_id = f"{socket.gethostname()}-{os.getpid()}"
     queue.register_worker(worker_id)
+    tracer = current_tracer()
+    prof = current_profiler()
+    if prof is not None:
+        prof.add("fabric.serialize", serialize_seconds)
+    if tracer.enabled:
+        tracer.emit("worker_start", worker=worker_id, fabric=str(fabric_dir))
+    logger.info("worker %s joined fabric %s", worker_id, fabric_dir)
+    registry = metrics_registry()
+    #: Live counters published through the enriched worker heartbeat —
+    #: `repro fabric status` derives shards/min and trials/min from them.
+    counters: dict = {
+        "trials_executed": 0,
+        "shards_claimed": 0,
+        "shards_stolen": 0,
+        "shards_completed": 0,
+        "store_hits": 0,
+        "claim_seconds": 0.0,
+        "serialize_seconds": round(serialize_seconds, 6),
+        "execute_seconds": 0.0,
+        "save_seconds": 0.0,
+    }
     completed: list[str] = []
     trials_done = 0
     while max_shards is None or len(completed) < max_shards:
-        queue.touch_worker(worker_id)
-        shard_id = _claim_next(queue, worker_id)
-        if shard_id is None:
+        queue.touch_worker(worker_id, counters=counters)
+        t_claim = perf_counter()
+        claimed = _claim_next(queue, worker_id)
+        claim_seconds = perf_counter() - t_claim
+        counters["claim_seconds"] = round(
+            counters["claim_seconds"] + claim_seconds, 6
+        )
+        if prof is not None:
+            prof.add("fabric.claim", claim_seconds)
+        if claimed is None:
             if queue.all_done():
                 break
             time.sleep(poll)
             continue
+        shard_id, mode = claimed
+        counters["shards_stolen" if mode == "steal" else "shards_claimed"] += 1
+        if tracer.enabled:
+            tracer.emit(
+                "shard_claim", worker=worker_id, shard=shard_id, mode=mode
+            )
+        if mode == "steal":
+            logger.warning("worker %s stole expired lease on %s", worker_id, shard_id)
         shard = queue.shard(shard_id)
         position, n = int(shard["position"]), int(shard["n"])
+        shard_trials = 0
         try:
             trial_set = store.load(scenario, n, position)
             if trial_set is None:
 
                 def on_trial(index: int) -> None:
-                    nonlocal trials_done
+                    nonlocal trials_done, shard_trials
                     trials_done += 1
+                    shard_trials += 1
+                    counters["trials_executed"] += 1
                     queue.heartbeat(shard_id, worker_id)
+                    queue.touch_worker(worker_id, counters=counters)
                     if fault_plan is not None:
                         fault_plan.fire(queue, shard_id, trials_done)
 
+                t_execute = perf_counter()
                 trial_set = execute_shard(scenario, position, on_trial)
+                execute_seconds = perf_counter() - t_execute
+                counters["execute_seconds"] = round(
+                    counters["execute_seconds"] + execute_seconds, 6
+                )
+                registry.histogram("repro_fabric_shard_seconds").observe(
+                    execute_seconds
+                )
+                if prof is not None:
+                    prof.add("fabric.execute", execute_seconds)
+                t_save = perf_counter()
                 path = store.save(scenario, n, position, trial_set)
+                save_seconds = perf_counter() - t_save
+                counters["save_seconds"] = round(
+                    counters["save_seconds"] + save_seconds, 6
+                )
+                if prof is not None:
+                    prof.add("fabric.save", save_seconds)
             else:
                 # Resume/dedup: the result is already content-addressed
                 # in the store — only the done marker is missing.
+                counters["store_hits"] += 1
                 path = store.path_for(scenario, n, position)
             queue.mark_done(
                 shard_id,
@@ -190,14 +259,37 @@ def run_worker(
                 {"position": position, "n": n, "store_file": path.name},
             )
             completed.append(shard_id)
+            counters["shards_completed"] += 1
+            if tracer.enabled:
+                tracer.emit(
+                    "shard_done",
+                    worker=worker_id,
+                    shard=shard_id,
+                    trials=shard_trials,
+                    n=n,
+                    position=position,
+                )
+            logger.info("worker %s completed %s (n=%d)", worker_id, shard_id, n)
         finally:
             queue.release(shard_id, worker_id)
+    queue.touch_worker(worker_id, counters=counters)
     queue.reap_done_leases()
+    if tracer.enabled:
+        tracer.emit(
+            "worker_exit",
+            worker=worker_id,
+            shards=len(completed),
+            trials=trials_done,
+        )
+    logger.info(
+        "worker %s exiting: %d shards, %d trials", worker_id, len(completed), trials_done
+    )
     return {
         "worker": worker_id,
         "completed": completed,
         "trials": trials_done,
         "all_done": queue.all_done(),
+        "counters": dict(counters),
     }
 
 

@@ -64,6 +64,7 @@ import itertools
 import operator
 import os
 import warnings
+from time import perf_counter
 
 import numpy as np
 
@@ -77,6 +78,7 @@ from repro.network.message import (
 from repro.network.metrics import MetricsRecorder
 from repro.network.node import Node
 from repro.network.topology import Topology
+from repro.telemetry import current_profiler, current_tracer, metrics_registry
 
 __all__ = [
     "BACKENDS",
@@ -128,6 +130,8 @@ class SynchronousEngine:
         kernel: str | None = None,
         *,
         nodes: list[Node] | None = None,
+        tracer=None,
+        profiler=None,
     ):
         if nodes is not None:
             if program is not None:
@@ -179,11 +183,26 @@ class SynchronousEngine:
         #: An :class:`~repro.adversary.ArmedAdversary` (or None).  Armed
         #: state is single-use: one adversary per engine per protocol run.
         self.adversary = adversary
+        #: Telemetry hooks resolve from the process context (``REPRO_TRACE``
+        #: / ``REPRO_PROFILE`` env) unless passed explicitly.  Neither ever
+        #: draws from a run RNG stream or alters delivery, so traced and
+        #: profiled runs stay bit-identical to bare ones.
+        self.tracer = tracer if tracer is not None else current_tracer()
+        self.profiler = profiler if profiler is not None else current_profiler()
         self.rounds_executed = 0
         self._in_flight = 0
         self._dropped_protocol = 0
         self._dropped_adversary = 0
         self._crashed: set[int] = set()
+        #: Always-on reconciliation counters, accumulated independently of
+        #: the adversary's own ledger so :meth:`reconcile_accounting` can
+        #: cross-check the two sources (plus ``undelivered_detail``) after
+        #: every faulty run.
+        self._units_total = 0
+        self._adv_dropped = 0
+        self._adv_delayed = 0
+        self._adv_duplicated = 0
+        self._dropped_to_crashed = 0
 
     def run(self, max_rounds: int) -> int:
         """Run until all nodes halt or ``max_rounds`` elapse; returns rounds used."""
@@ -191,6 +210,7 @@ class SynchronousEngine:
             # Fail loudly (once) on crash schedules the budget can never
             # reach — a silent no-op fault plan is a misconfigured scenario.
             self.adversary.check_crash_horizon(max_rounds)
+        tracer = self.tracer
         if self.program is not None:
             if self.backend == "reference":
                 warnings.warn(
@@ -202,21 +222,115 @@ class SynchronousEngine:
                     RuntimeWarning,
                     stacklevel=2,
                 )
-            return self._run_fast_batch(max_rounds)
-        if self.backend == "fast":
-            return self._run_fast(max_rounds)
+            path = "batch"
+        elif self.backend == "fast":
+            path = "fast"
+        else:
+            path = "reference"
+        if tracer.enabled:
+            tracer.emit(
+                "engine_start",
+                label=self.label,
+                n=self.topology.n,
+                path=path,
+                max_rounds=max_rounds,
+                adversary=self.adversary is not None,
+            )
+        if path == "batch":
+            rounds = self._run_fast_batch(max_rounds)
+        elif path == "fast":
+            rounds = self._run_fast(max_rounds)
+        elif self.adversary is not None:
+            rounds = self._run_reference_adversary(max_rounds)
+        else:
+            rounds = self._run_reference(max_rounds)
+        if tracer.enabled:
+            tracer.emit(
+                "engine_end",
+                label=self.label,
+                rounds=rounds,
+                units=self._units_total,
+                **self.undelivered_detail(),
+            )
         if self.adversary is not None:
-            return self._run_reference_adversary(max_rounds)
-        return self._run_reference(max_rounds)
+            self.reconcile_accounting()
+        self._charge_registry(rounds)
+        return rounds
+
+    def _charge_registry(self, rounds: int) -> None:
+        """Fold this run's totals into the process metrics registry.
+
+        Charged once per run (not per round) so the always-on cost stays
+        out of the hot loops.
+        """
+        registry = metrics_registry()
+        registry.counter("repro_engine_runs_total").inc()
+        registry.counter("repro_engine_rounds_total").inc(rounds)
+        registry.counter("repro_engine_message_units_total").inc(self._units_total)
+        if self.adversary is not None:
+            registry.counter("repro_engine_messages_dropped_total").inc(
+                self._adv_dropped
+            )
+            registry.counter("repro_engine_messages_delayed_total").inc(
+                self._adv_delayed
+            )
+            registry.counter("repro_engine_messages_duplicated_total").inc(
+                self._adv_duplicated
+            )
+            registry.counter("repro_engine_nodes_crashed_total").inc(
+                len(self._crashed)
+            )
+
+    def reconcile_accounting(self) -> dict:
+        """Cross-check the engine's fault counters against the adversary.
+
+        Three accounting sources describe a faulty run: the engine's own
+        per-round telemetry counters, the armed adversary's ledger
+        (``fault_stats``), and the undelivered-message classification
+        (``undelivered_detail``).  They are derived independently, so any
+        drift between them is a bug in exactly one of the three — this
+        raises ``RuntimeError`` naming the divergent quantity instead of
+        letting it leak into published aggregates.  Runs automatically at
+        the end of every adversarial :meth:`run`; returns the agreed
+        values.
+        """
+        adv = self.adversary
+        if adv is None:
+            return {}
+        checks = {
+            "messages_dropped": (self._adv_dropped, adv.messages_dropped),
+            "messages_delayed": (self._adv_delayed, adv.messages_delayed),
+            "messages_duplicated": (self._adv_duplicated, adv.messages_duplicated),
+            "nodes_crashed": (len(self._crashed), adv.nodes_crashed),
+            "dropped_adversary": (
+                self._dropped_adversary,
+                self._adv_dropped + self._dropped_to_crashed,
+            ),
+        }
+        drift = {key: pair for key, pair in checks.items() if pair[0] != pair[1]}
+        if drift:
+            detail = ", ".join(
+                f"{key}: engine={a} ledger={b}"
+                for key, (a, b) in sorted(drift.items())
+            )
+            raise RuntimeError(
+                f"fault accounting drift on engine {self.label!r}: {detail}"
+            )
+        return {key: pair[0] for key, pair in checks.items()}
 
     def _apply_crashes(self, round_index: int, alive: int) -> int:
         """Crash-stop scheduled victims before they execute ``round_index``."""
+        tracer = self.tracer
         for v in self.adversary.crashes_at(round_index):
             node = self.nodes[v]
             if not node.halted:
                 node.halted = True
                 self._crashed.add(v)
                 self.adversary.note_crash(round_index)
+                if tracer.enabled:
+                    tracer.emit(
+                        "crash", label=self.label, round=round_index, node=v
+                    )
                 alive -= 1
         return alive
 
@@ -230,12 +344,15 @@ class SynchronousEngine:
         inboxes: list[list[tuple[int, Message]]] = [[] for _ in range(n)]
         spare: list[list[tuple[int, Message]]] = [[] for _ in range(n)]
         alive = sum(not node.halted for node in self.nodes)
+        tracer = self.tracer
+        trace_rounds = tracer.enabled
         for _ in range(max_rounds):
             if alive == 0:
                 break
             round_index = self.rounds_executed
             next_inboxes = spare
             messages_this_round = 0
+            round_sent = 0
             for v, node in enumerate(self.nodes):
                 if node.halted:
                     dropped += len(inboxes[v])
@@ -256,8 +373,21 @@ class SynchronousEngine:
                     message.sender = v
                     message.sender_port = port
                     next_inboxes[receiver].append((receiver_port, message))
+                    round_sent += 1
                     messages_this_round += message.message_units(n)
             self.metrics.charge(self.label, messages=messages_this_round, rounds=1)
+            self._units_total += messages_this_round
+            if trace_rounds:
+                tracer.emit(
+                    "round",
+                    label=self.label,
+                    round=round_index,
+                    sent=round_sent,
+                    units=messages_this_round,
+                    dropped=0,
+                    delayed=0,
+                    duplicated=0,
+                )
             spare = inboxes
             inboxes = next_inboxes
             for box in spare:
@@ -284,6 +414,8 @@ class SynchronousEngine:
         inboxes: list[list[tuple[int, Message]]] = [[] for _ in range(n)]
         spare: list[list[tuple[int, Message]]] = [[] for _ in range(n)]
         alive = sum(not node.halted for node in self.nodes)
+        tracer = self.tracer
+        trace_rounds = tracer.enabled
         for _ in range(max_rounds):
             round_index = self.rounds_executed
             alive = self._apply_crashes(round_index, alive)
@@ -291,10 +423,12 @@ class SynchronousEngine:
                 break
             sends: list[tuple[int, int, Message]] = []
             messages_this_round = 0
+            round_dropped = round_delayed = round_duplicated = 0
             for v, node in enumerate(self.nodes):
                 if node.halted:
                     if v in self._crashed:
                         dropped_adversary += len(inboxes[v])
+                        self._dropped_to_crashed += len(inboxes[v])
                     else:
                         dropped_protocol += len(inboxes[v])
                     continue
@@ -314,6 +448,7 @@ class SynchronousEngine:
                     sends.append((v, port, message))
                     messages_this_round += message.message_units(n)
             self.metrics.charge(self.label, messages=messages_this_round, rounds=1)
+            self._units_total += messages_this_round
             next_inboxes = spare
             for receiver, port, message in adv.pop_delayed(round_index + 1):
                 next_inboxes[receiver].append((port, message))
@@ -344,6 +479,12 @@ class SynchronousEngine:
                     )
                 if adv.has_message_faults:
                     masks = adv.message_masks(round_index, senders_arr, ports_arr)
+                    round_dropped = int(masks[0].sum())
+                    round_delayed = int(masks[1].sum())
+                    round_duplicated = int(masks[2].sum())
+                    self._adv_dropped += round_dropped
+                    self._adv_delayed += round_delayed
+                    self._adv_duplicated += round_duplicated
             for i, (v, port, message) in enumerate(sends):
                 receiver = self.topology.neighbor_at_port(v, port)
                 receiver_port = self.topology.port_to(receiver, v)
@@ -365,6 +506,17 @@ class SynchronousEngine:
                         next_inboxes[receiver].append((receiver_port, message))
                 else:
                     next_inboxes[receiver].append((receiver_port, message))
+            if trace_rounds:
+                tracer.emit(
+                    "round",
+                    label=self.label,
+                    round=round_index,
+                    sent=len(sends),
+                    units=messages_this_round,
+                    dropped=round_dropped,
+                    delayed=round_delayed,
+                    duplicated=round_duplicated,
+                )
             spare = inboxes
             inboxes = next_inboxes
             for box in spare:
@@ -404,12 +556,21 @@ class SynchronousEngine:
         inboxes: list[list[tuple[int, Message]]] = [[] for _ in range(n)]
         spare: list[list[tuple[int, Message]]] = [[] for _ in range(n)]
         alive = sum(not node.halted for node in self.nodes)
+        # Telemetry hooks, hoisted so the disabled cost per round is a
+        # handful of local-bool branches (the ≤1% overhead gate in
+        # benchmarks/bench_engine.py holds the hot loops to that).
+        tracer = self.tracer
+        trace_rounds = tracer.enabled
+        prof = self.profiler
         for _ in range(max_rounds):
             round_index = self.rounds_executed
             if adv is not None:
                 alive = self._apply_crashes(round_index, alive)
             if alive == 0:
                 break
+            round_sent = round_dropped = round_delayed = round_duplicated = 0
+            if prof is not None:
+                t_phase = perf_counter()
             # Collect all outboxes into parallel per-node chunks; everything
             # per-message below runs at C speed (zip/chain/numpy), leaving
             # only the sender-stamp loop in Python.
@@ -421,6 +582,7 @@ class SynchronousEngine:
                 if node.halted:
                     if v in self._crashed:
                         dropped_adversary += len(inboxes[v])
+                        self._dropped_to_crashed += len(inboxes[v])
                     else:
                         dropped_protocol += len(inboxes[v])
                     continue
@@ -433,6 +595,10 @@ class SynchronousEngine:
                     chunk_sizes.append(len(out_ports))
                     port_chunks.append(out_ports)
                     message_chunks.append(out_messages)
+            if prof is not None:
+                t_now = perf_counter()
+                prof.add("engine.step", t_now - t_phase)
+                t_phase = t_now
             next_inboxes = spare
             if adv is not None:
                 for receiver, port, message in adv.pop_delayed(round_index + 1):
@@ -442,6 +608,7 @@ class SynchronousEngine:
                     itertools.chain.from_iterable(message_chunks)
                 )
                 count = len(payloads)
+                round_sent = count
                 sender_arr = np.repeat(
                     np.asarray(sending_nodes, dtype=np.int64),
                     np.asarray(chunk_sizes, dtype=np.int64),
@@ -497,9 +664,18 @@ class SynchronousEngine:
                     drop, delay, duplicate = adv.message_masks(
                         round_index, sender_arr, port_arr
                     )
-                    if drop.any() or delay.any() or duplicate.any():
-                        dropped_adversary += int(drop.sum())
-                        if delay.any():
+                    # Mask sums double as reconciliation counters: the
+                    # masks are disjoint, so these equal the adversary's
+                    # own ledger increments for this round.
+                    round_dropped = int(drop.sum())
+                    round_delayed = int(delay.sum())
+                    round_duplicated = int(duplicate.sum())
+                    self._adv_dropped += round_dropped
+                    self._adv_delayed += round_delayed
+                    self._adv_duplicated += round_duplicated
+                    if round_dropped or round_delayed or round_duplicated:
+                        dropped_adversary += round_dropped
+                        if round_delayed:
                             arrival_round = round_index + 1 + adv.spec.delay_rounds
                             for i in np.nonzero(delay)[0].tolist():
                                 adv.push_delayed(
@@ -509,7 +685,7 @@ class SynchronousEngine:
                                     payloads[i],
                                 )
                         keep = np.nonzero(~(drop | delay))[0]
-                        if duplicate.any():
+                        if round_duplicated:
                             keep = np.repeat(
                                 keep, np.where(duplicate[keep], 2, 1)
                             )
@@ -517,6 +693,10 @@ class SynchronousEngine:
                         arrival_arr = arrival_arr[keep]
                         payloads = [payloads[i] for i in keep.tolist()]
                         count = len(payloads)
+                if prof is not None:
+                    t_now = perf_counter()
+                    prof.add("engine.gather", t_now - t_phase)
+                    t_phase = t_now
                 # Deliver grouped by receiver.  The stable sort preserves
                 # (sender, outbox-position) order within each inbox —
                 # identical to the reference engine's append order.
@@ -536,9 +716,23 @@ class SynchronousEngine:
                         )
                 elif count == 1:
                     next_inboxes[int(receiver_arr[0])].append(pairs[0])
+                if prof is not None:
+                    prof.add("engine.deliver", perf_counter() - t_phase)
             else:
                 messages_this_round = 0
             self.metrics.charge(self.label, messages=messages_this_round, rounds=1)
+            self._units_total += messages_this_round
+            if trace_rounds:
+                tracer.emit(
+                    "round",
+                    label=self.label,
+                    round=round_index,
+                    sent=round_sent,
+                    units=messages_this_round,
+                    dropped=round_dropped,
+                    delayed=round_delayed,
+                    duplicated=round_duplicated,
+                )
             spare = inboxes
             inboxes = next_inboxes
             for box in spare:
@@ -557,11 +751,16 @@ class SynchronousEngine:
         """Crash-stop scheduled victims of a :class:`BatchProtocol` program."""
         program = self.program
         halted = program.halted_mask()
+        tracer = self.tracer
         for v in self.adversary.crashes_at(round_index):
             if not halted[v]:
                 program.force_halt(v)
                 self._crashed.add(v)
                 self.adversary.note_crash(round_index)
+                if tracer.enabled:
+                    tracer.emit(
+                        "crash", label=self.label, round=round_index, node=v
+                    )
                 alive -= 1
         return alive
 
@@ -604,12 +803,20 @@ class SynchronousEngine:
         #: delay queue and inbox assembly preserve it for the whole run.
         extra_schema: tuple | None = None
         alive = program.alive_count()
+        # Same hoisting as the scalar fast path: disabled telemetry costs
+        # a few local-bool branches per round.
+        tracer = self.tracer
+        trace_rounds = tracer.enabled
+        prof = self.profiler
         for _ in range(max_rounds):
             round_index = self.rounds_executed
             if adv is not None:
                 alive = self._apply_crashes_batch(round_index, alive)
             if alive == 0:
                 break
+            round_dropped = round_delayed = round_duplicated = 0
+            if prof is not None:
+                t_phase = perf_counter()
             if len(inbox):
                 # Halted receivers drop their pending inbox rows — same
                 # classification as the scalar paths (crash-stopped nodes
@@ -621,7 +828,9 @@ class SynchronousEngine:
                             self._crashed, dtype=np.int64, count=len(self._crashed)
                         )
                         to_crashed = to_halted & np.isin(inbox.receivers, crashed)
-                        dropped_adversary += int(np.count_nonzero(to_crashed))
+                        crashed_count = int(np.count_nonzero(to_crashed))
+                        dropped_adversary += crashed_count
+                        self._dropped_to_crashed += crashed_count
                         dropped_protocol += int(
                             np.count_nonzero(to_halted & ~to_crashed)
                         )
@@ -630,7 +839,12 @@ class SynchronousEngine:
                     inbox = inbox.take(np.nonzero(~to_halted)[0])
             outbox = program.step_batch(round_index, inbox)
             alive = program.alive_count()
+            if prof is not None:
+                t_now = perf_counter()
+                prof.add("engine.step", t_now - t_phase)
+                t_phase = t_now
             count = 0 if outbox is None else len(outbox)
+            round_sent = count
             messages_this_round = 0
             delayed = adv.pop_delayed(round_index + 1) if adv is not None else []
             receiver_arr = arrival_arr = None
@@ -698,9 +912,17 @@ class SynchronousEngine:
                     drop, delay, duplicate = adv.message_masks(
                         round_index, senders, ports
                     )
-                    if drop.any() or delay.any() or duplicate.any():
-                        dropped_adversary += int(drop.sum())
-                        if delay.any():
+                    # Disjoint-mask sums: the same values the adversary's
+                    # ledger just accrued, kept for reconciliation.
+                    round_dropped = int(drop.sum())
+                    round_delayed = int(delay.sum())
+                    round_duplicated = int(duplicate.sum())
+                    self._adv_dropped += round_dropped
+                    self._adv_delayed += round_delayed
+                    self._adv_duplicated += round_duplicated
+                    if round_dropped or round_delayed or round_duplicated:
+                        dropped_adversary += round_dropped
+                        if round_delayed:
                             arrival_round = round_index + 1 + adv.spec.delay_rounds
                             held = np.nonzero(delay)[0].tolist()
                             if object_mode:
@@ -738,12 +960,16 @@ class SynchronousEngine:
                                 ),
                             )
                         keep = np.nonzero(~(drop | delay))[0]
-                        if duplicate.any():
+                        if round_duplicated:
                             keep = np.repeat(keep, np.where(duplicate[keep], 2, 1))
                         receiver_arr = receiver_arr[keep]
                         arrival_arr = arrival_arr[keep]
                         outbox = outbox.take(keep)
                         count = len(outbox)
+            if prof is not None:
+                t_now = perf_counter()
+                prof.add("engine.gather", t_now - t_phase)
+                t_phase = t_now
             # Assemble next round's inbox: delayed arrivals precede the
             # round's direct sends (the scalar backends' append order);
             # one stable sort groups rows by receiver while preserving it.
@@ -817,7 +1043,21 @@ class SynchronousEngine:
                 )
             else:
                 inbox = empty
+            if prof is not None:
+                prof.add("engine.deliver", perf_counter() - t_phase)
             self.metrics.charge(self.label, messages=messages_this_round, rounds=1)
+            self._units_total += messages_this_round
+            if trace_rounds:
+                tracer.emit(
+                    "round",
+                    label=self.label,
+                    round=round_index,
+                    sent=round_sent,
+                    units=messages_this_round,
+                    dropped=round_dropped,
+                    delayed=round_delayed,
+                    duplicated=round_duplicated,
+                )
             self.rounds_executed += 1
         self._dropped_protocol = dropped_protocol
         self._dropped_adversary = dropped_adversary

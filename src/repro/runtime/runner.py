@@ -21,9 +21,11 @@ import statistics
 import sys
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.runtime.registry import TrialOutcome
 from repro.runtime.scenario import Scenario
+from repro.telemetry import current_profiler, current_tracer, metrics_registry
 from repro.util.rng import RandomSource
 
 __all__ = [
@@ -181,6 +183,55 @@ def _scenario_trial(task) -> TrialOutcome:
     return scenario.run_trial(n, rng)
 
 
+def _scenario_trial_telemetry(task):
+    """Pool-worker trial with telemetry: outcome plus registry/profiler deltas.
+
+    Forked workers each own a process-local registry and profiler, so
+    their increments would be lost when the pool exits; returning deltas
+    lets the parent fold them in at aggregate time.  Trial spans are
+    emitted here — inside the worker — so concurrent trials interleave
+    whole records in the shared trace file.  None of this touches the
+    trial RNG: outcomes are bit-identical to :func:`_scenario_trial`.
+    """
+    scenario, n, rng, position, trial = task
+    registry = metrics_registry()
+    prof = current_profiler()
+    reg_before = registry.snapshot()
+    prof_before = prof.snapshot() if prof is not None else None
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.emit(
+            "trial_start",
+            scenario=scenario.name,
+            protocol=scenario.protocol,
+            n=n,
+            position=position,
+            trial=trial,
+        )
+    start = perf_counter()
+    outcome = scenario.run_trial(n, rng)
+    elapsed = perf_counter() - start
+    registry.histogram("repro_trial_seconds").observe(elapsed)
+    if tracer.enabled:
+        tracer.emit(
+            "trial_end",
+            scenario=scenario.name,
+            protocol=scenario.protocol,
+            n=n,
+            position=position,
+            trial=trial,
+            rounds=outcome.rounds,
+            messages=outcome.messages,
+            success=bool(outcome.success),
+            seconds=elapsed,
+        )
+    return (
+        outcome,
+        registry.delta(reg_before),
+        prof.delta(prof_before) if prof is not None else None,
+    )
+
+
 def run_scenario(
     scenario: Scenario,
     jobs: int | None = 1,
@@ -233,12 +284,25 @@ def run_scenario(
         "jobs_resolved": resolved_jobs,
         "cpu_count": os.cpu_count(),
     }
+    tracer = current_tracer()
+    prof = current_profiler()
+    prof_before = prof.snapshot() if prof is not None else None
+    if tracer.enabled:
+        tracer.emit(
+            "run_start",
+            scenario=scenario.name,
+            protocol=scenario.protocol,
+            sizes=list(scenario.sizes),
+            trials=scenario.trials,
+            seed=scenario.seed,
+            executor=executor,
+        )
     if executor == "fabric":
         if fabric_dir is None:
             raise ValueError("executor='fabric' needs a fabric_dir")
         from repro.fabric import run_fabric_sweep
 
-        return run_fabric_sweep(
+        run = run_fabric_sweep(
             scenario,
             fabric_dir,
             workers=resolved_jobs,
@@ -246,6 +310,17 @@ def run_scenario(
             meta=meta,
             **(fabric_options or {}),
         )
+        if prof is not None:
+            run.meta["profile"] = prof.delta(prof_before)
+        if tracer.enabled:
+            tracer.emit(
+                "run_end",
+                scenario=scenario.name,
+                protocol=scenario.protocol,
+                positions=len(run.trial_sets),
+                from_cache=0,
+            )
+        return run
     root = RandomSource(scenario.seed)
     grid_rngs = [
         [root.spawn() for _ in range(scenario.trials)] for _ in scenario.sizes
@@ -258,9 +333,25 @@ def run_scenario(
                 cached[position] = hit
     pending = [p for p in range(len(scenario.sizes)) if p not in cached]
     tasks = [
-        (scenario, scenario.sizes[p], rng) for p in pending for rng in grid_rngs[p]
+        (scenario, scenario.sizes[p], rng, p, trial)
+        for p in pending
+        for trial, rng in enumerate(grid_rngs[p])
     ]
-    outcomes = fan_out(_scenario_trial, tasks, jobs)
+    results = fan_out(_scenario_trial_telemetry, tasks, jobs)
+    # With a real pool, every trial ran in a forked worker whose registry
+    # and profiler die with it — fold the returned deltas in here.  In
+    # the in-process case (fan_out's jobs<=1 path) the trial already
+    # charged this process directly, so merging would double-count.
+    pooled = bool(tasks) and min(resolved_jobs, len(tasks)) > 1
+    outcomes = []
+    registry = metrics_registry()
+    for outcome, reg_delta, prof_delta in results:
+        outcomes.append(outcome)
+        if pooled:
+            if reg_delta:
+                registry.merge(reg_delta)
+            if prof is not None and prof_delta:
+                prof.merge(prof_delta)
     trial_sets = []
     for position, n in enumerate(scenario.sizes):
         if position in cached:
@@ -272,6 +363,19 @@ def run_scenario(
         if store is not None:
             store.save(scenario, n, position, trial_set)
         trial_sets.append(trial_set)
+    # Wall-time breakdown for `repro profile` — attached only when
+    # profiling is on, after aggregates and store writes are final, so
+    # profiled runs stay bit-identical to bare ones where it counts.
+    if prof is not None:
+        meta["profile"] = prof.delta(prof_before)
+    if tracer.enabled:
+        tracer.emit(
+            "run_end",
+            scenario=scenario.name,
+            protocol=scenario.protocol,
+            positions=len(scenario.sizes),
+            from_cache=len(cached),
+        )
     return ScenarioRun(
         scenario=scenario, trial_sets=tuple(trial_sets), meta=meta
     )

@@ -28,6 +28,8 @@ import pathlib
 import re
 from typing import TYPE_CHECKING
 
+from repro.telemetry import metrics_registry
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime.runner import TrialSet
     from repro.runtime.scenario import Scenario
@@ -142,12 +144,16 @@ class ResultStore:
         from repro.runtime.runner import TrialSet
 
         path = self.path_for(scenario, n, position)
+        registry = metrics_registry()
         try:
             payload = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
+            registry.counter("repro_store_misses_total").inc()
             return None
         if payload.get("identity") != self.identity(scenario, n, position):
+            registry.counter("repro_store_misses_total").inc()
             return None  # digest collision or stale layout: recompute
+        registry.counter("repro_store_hits_total").inc()
         fields = payload["trial_set"]
         return TrialSet(
             n=int(fields["n"]),
@@ -182,6 +188,7 @@ class ResultStore:
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         tmp.write_text(json.dumps(payload, sort_keys=True, default=str, indent=1))
         tmp.replace(path)  # atomic on POSIX: readers never see partial JSON
+        metrics_registry().counter("repro_store_saves_total").inc()
         self.evict()
         return path
 
@@ -232,6 +239,8 @@ class ResultStore:
         excess = len(paths) - self.max_entries
         for path in paths[:excess]:
             path.unlink(missing_ok=True)
+        if excess > 0:
+            metrics_registry().counter("repro_store_evictions_total").inc(excess)
         return max(0, excess)
 
     def clear(self) -> int:

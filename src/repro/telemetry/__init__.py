@@ -1,0 +1,73 @@
+"""The telemetry spine: tracing, metrics, and profiling.
+
+Three independent, individually-toggleable layers share one contract —
+they observe runs without participating in them.  None of them draws
+from a run RNG stream, and traced/profiled runs are bit-identical to
+bare ones (aggregates, store bytes, and store keys alike):
+
+* :mod:`repro.telemetry.trace` — versioned JSONL span/event records
+  (``REPRO_TRACE`` / ``--trace FILE``), off by default via a null
+  tracer whose per-round cost is one branch.
+* :mod:`repro.telemetry.registry` — an always-on process-local metrics
+  registry with Prometheus-text and JSON exporters.
+* :mod:`repro.telemetry.profiler` — phase wall-time breakdowns
+  (``REPRO_PROFILE`` / ``--profile`` / ``repro profile``), off by
+  default (``current_profiler()`` is ``None``).
+"""
+
+from .context import (
+    ENV_PROFILE,
+    ENV_TRACE,
+    configure_logging,
+    current_profiler,
+    current_tracer,
+    reset_telemetry,
+    set_profiling,
+    set_trace_path,
+)
+from .profiler import PhaseProfiler, format_profile
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics_registry,
+    reset_metrics,
+)
+from .trace import (
+    NULL_TRACER,
+    TRACE_EVENTS,
+    TRACE_SCHEMA_VERSION,
+    JsonlTracer,
+    NullTracer,
+    TraceSchemaError,
+    validate_file,
+    validate_record,
+)
+
+__all__ = [
+    "ENV_PROFILE",
+    "ENV_TRACE",
+    "configure_logging",
+    "current_profiler",
+    "current_tracer",
+    "reset_telemetry",
+    "set_profiling",
+    "set_trace_path",
+    "PhaseProfiler",
+    "format_profile",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics_registry",
+    "reset_metrics",
+    "NULL_TRACER",
+    "TRACE_EVENTS",
+    "TRACE_SCHEMA_VERSION",
+    "JsonlTracer",
+    "NullTracer",
+    "TraceSchemaError",
+    "validate_file",
+    "validate_record",
+]

@@ -1,0 +1,98 @@
+"""Phase-level wall-time profiling for engine and fabric hot paths.
+
+A :class:`PhaseProfiler` accumulates ``perf_counter`` seconds per named
+phase.  Engine paths charge ``engine.step`` / ``engine.gather`` /
+``engine.deliver`` per round; fabric workers charge ``fabric.claim`` /
+``fabric.serialize`` / ``fabric.execute`` / ``fabric.save`` per shard.
+Like the tracer, the profiler never touches a run RNG stream and its
+output never feeds a store key — ``ScenarioRun.meta["profile"]`` is
+attached only when profiling is on, after results are aggregated and
+saved.
+
+Hot loops guard with ``if prof is not None`` so the disabled cost is a
+single predicate per phase boundary.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+__all__ = ["PhaseProfiler", "format_profile"]
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock seconds and hit counts per phase name."""
+
+    __slots__ = ("totals", "counts")
+
+    def __init__(self):
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    def add(self, phase: str, seconds: float, hits: int = 1) -> None:
+        self.totals[phase] = self.totals.get(phase, 0.0) + seconds
+        self.counts[phase] = self.counts.get(phase, 0) + hits
+
+    def timer(self, phase: str):
+        """Context manager charging its body's wall time to ``phase``."""
+        return _PhaseTimer(self, phase)
+
+    def snapshot(self) -> dict:
+        """JSON-ready per-phase state (the merge/delta currency)."""
+        return {
+            phase: {"seconds": self.totals[phase], "hits": self.counts[phase]}
+            for phase in sorted(self.totals)
+        }
+
+    def delta(self, before: dict) -> dict:
+        out: dict = {}
+        for phase, state in self.snapshot().items():
+            prior = before.get(phase, {"seconds": 0.0, "hits": 0})
+            hits = state["hits"] - prior["hits"]
+            if hits:
+                out[phase] = {
+                    "seconds": state["seconds"] - prior["seconds"],
+                    "hits": hits,
+                }
+        return out
+
+    def merge(self, snapshot: dict) -> None:
+        for phase, state in snapshot.items():
+            self.add(phase, state["seconds"], state["hits"])
+
+    def reset(self) -> None:
+        self.totals.clear()
+        self.counts.clear()
+
+
+class _PhaseTimer:
+    __slots__ = ("_profiler", "_phase", "_start")
+
+    def __init__(self, profiler: PhaseProfiler, phase: str):
+        self._profiler = profiler
+        self._phase = phase
+
+    def __enter__(self):
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._profiler.add(self._phase, perf_counter() - self._start)
+        return False
+
+
+def format_profile(profile: dict) -> str:
+    """Render a profile snapshot as an aligned wall-time breakdown."""
+    if not profile:
+        return "(no phases recorded)"
+    total = sum(state["seconds"] for state in profile.values()) or 1.0
+    width = max(len(phase) for phase in profile)
+    lines = [f"{'phase':<{width}}  {'seconds':>10}  {'share':>6}  {'hits':>8}"]
+    for phase, state in sorted(
+        profile.items(), key=lambda item: -item[1]["seconds"]
+    ):
+        lines.append(
+            f"{phase:<{width}}  {state['seconds']:>10.4f}  "
+            f"{100.0 * state['seconds'] / total:>5.1f}%  {state['hits']:>8}"
+        )
+    return "\n".join(lines)

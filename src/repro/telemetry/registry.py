@@ -1,0 +1,265 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is the always-on accounting layer of the
+telemetry spine: cheap enough to leave enabled (every update is a dict
+lookup plus an add at run/shard/cache-op granularity — never per
+message), exportable as Prometheus text or JSON for the future ``repro
+serve`` endpoint, and mergeable so per-worker registries fold into the
+parent at aggregate time (the same pattern the trial runner uses for
+its per-worker topology memo).
+
+Metrics never feed back into results: nothing here touches a run RNG
+stream, and no aggregate or store key depends on a metric value — the
+registry observes, it does not participate.
+
+The conventional instruments (all under the ``repro_`` prefix):
+
+* engine — ``repro_engine_runs_total``, ``repro_engine_rounds_total``,
+  ``repro_engine_message_units_total``, the adversary loss classes
+  ``repro_engine_messages_{dropped,delayed,duplicated}_total``, and
+  ``repro_engine_nodes_crashed_total``;
+* result store — ``repro_store_{hits,misses,saves,evictions}_total``;
+* runner — the ``repro_trial_seconds`` histogram;
+* fabric — ``repro_fabric_{claims,lease_breaks,shards_done}_total`` and
+  the ``repro_fabric_shard_seconds`` histogram.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics_registry",
+    "reset_metrics",
+]
+
+#: Default histogram bucket upper bounds (seconds-flavoured: trials and
+#: shards span microseconds to minutes).
+DEFAULT_BUCKETS = (0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10.0, 60.0)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        self.value += amount
+
+    def state(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (last write wins on merge)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        self.value -= amount
+
+    def state(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus convention: ``le`` bounds)."""
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str, help: str = "", buckets=DEFAULT_BUCKETS):
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * (len(self.buckets) + 1)  # last slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        slot = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                slot = i
+                break
+        self.counts[slot] += 1
+        self.sum += value
+        self.count += 1
+
+    def state(self) -> dict:
+        return {
+            "kind": self.kind,
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """A named collection of metrics with snapshot/delta/merge plumbing.
+
+    ``snapshot``/``delta``/``merge`` speak plain JSON-ready dicts, so a
+    worker process can ship its registry state across a pickle boundary
+    (pool trials) or a heartbeat file (fabric workers) and the parent
+    folds it in without sharing any objects.
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    # -- instrument access -----------------------------------------------------
+
+    def _instrument(self, cls, name: str, help: str, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._instrument(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._instrument(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets=DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._instrument(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    # -- snapshot / delta / merge ----------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready state of every metric (the merge/delta currency)."""
+        return {name: m.state() for name, m in sorted(self._metrics.items())}
+
+    def delta(self, before: dict) -> dict:
+        """What changed since ``before`` (a prior :meth:`snapshot`).
+
+        Counters and histograms subtract; gauges report their current
+        value.  Metrics that did not move are omitted, so per-trial
+        deltas stay small on the pickle path.
+        """
+        out: dict = {}
+        for name, state in self.snapshot().items():
+            prior = before.get(name)
+            if state["kind"] == "counter":
+                base = prior["value"] if prior else 0
+                moved = state["value"] - base
+                if moved:
+                    out[name] = {"kind": "counter", "value": moved}
+            elif state["kind"] == "gauge":
+                if prior is None or prior["value"] != state["value"]:
+                    out[name] = dict(state)
+            else:  # histogram
+                base_counts = prior["counts"] if prior else [0] * len(state["counts"])
+                base_sum = prior["sum"] if prior else 0.0
+                base_count = prior["count"] if prior else 0
+                if state["count"] != base_count:
+                    out[name] = {
+                        "kind": "histogram",
+                        "buckets": state["buckets"],
+                        "counts": [
+                            a - b for a, b in zip(state["counts"], base_counts)
+                        ],
+                        "sum": state["sum"] - base_sum,
+                        "count": state["count"] - base_count,
+                    }
+        return out
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a snapshot/delta from another registry into this one."""
+        for name, state in sorted(snapshot.items()):
+            kind = state.get("kind")
+            if kind == "counter":
+                self.counter(name).inc(state["value"])
+            elif kind == "gauge":
+                self.gauge(name).set(state["value"])
+            elif kind == "histogram":
+                metric = self.histogram(name, buckets=state["buckets"])
+                if list(metric.buckets) != list(state["buckets"]):
+                    raise ValueError(
+                        f"histogram {name!r} bucket mismatch: "
+                        f"{list(metric.buckets)} vs {state['buckets']}"
+                    )
+                for i, count in enumerate(state["counts"]):
+                    metric.counts[i] += count
+                metric.sum += state["sum"]
+                metric.count += state["count"]
+            else:
+                raise ValueError(f"metric {name!r} has unknown kind {kind!r}")
+
+    # -- exporters -------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """The ``repro serve`` JSON shape: one object per metric."""
+        return {"metrics": self.snapshot()}
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (one block per metric)."""
+        lines: list[str] = []
+        for name, metric in sorted(self._metrics.items()):
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                cumulative = 0
+                for bound, count in zip(metric.buckets, metric.counts):
+                    cumulative += count
+                    lines.append(f'{name}_bucket{{le="{bound}"}} {cumulative}')
+                lines.append(f'{name}_bucket{{le="+Inf"}} {metric.count}')
+                lines.append(f"{name}_sum {metric.sum}")
+                lines.append(f"{name}_count {metric.count}")
+            else:
+                lines.append(f"{name} {metric.value}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: The process-local registry every instrumented layer charges into.
+_REGISTRY = MetricsRegistry()
+
+
+def metrics_registry() -> MetricsRegistry:
+    """This process's registry (workers each have their own; see merge)."""
+    return _REGISTRY
+
+
+def reset_metrics() -> None:
+    """Clear the process registry (tests and long-lived services)."""
+    _REGISTRY.reset()

@@ -1,0 +1,118 @@
+"""Fabric telemetry: enriched heartbeats, throughput rows, claim modes."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.fabric import FabricQueue, run_worker
+from repro.fabric.queue import _atomic_write
+from repro.fabric.worker import _claim_next
+from repro.telemetry import reset_metrics
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    reset_metrics()
+    yield
+    reset_metrics()
+
+
+@pytest.fixture
+def queue(tmp_path, make_scenario):
+    q = FabricQueue(tmp_path / "job")
+    q.create_job(make_scenario())
+    return q
+
+
+class TestEnrichedHeartbeat:
+    def test_counters_land_in_worker_record(self, queue):
+        queue.register_worker("w0")
+        queue.touch_worker("w0", counters={"trials_executed": 3})
+        record = queue.worker_record("w0")
+        assert record["counters"] == {"trials_executed": 3}
+        assert record["heartbeat_at"] >= record["joined_at"]
+
+    def test_plain_touch_keeps_worker_live(self, queue):
+        queue.register_worker("w0")
+        queue.touch_worker("w0")  # legacy mtime-only heartbeat
+        assert "w0" in queue.live_workers()
+        assert queue.worker_record("w0").get("counters") is None
+
+    def test_enriched_touch_registers_missing_worker(self, queue):
+        queue.touch_worker("ghost", counters={"trials_executed": 1})
+        assert queue.worker_record("ghost")["counters"] == {
+            "trials_executed": 1
+        }
+
+
+class TestWorkerDetail:
+    def test_rates_derive_from_counters(self, queue):
+        queue.register_worker("w0")
+        # Backdate the join so the rate window is a known ~6 seconds.
+        record = queue.worker_record("w0")
+        record["joined_at"] = record["joined_at"] - 6.0
+        _atomic_write(queue.workers_dir / "w0.json", record)
+        queue.touch_worker(
+            "w0", counters={"trials_executed": 10, "shards_completed": 2}
+        )
+        (row,) = queue.worker_detail()
+        assert row["live"] is True
+        assert row["trials_per_min"] == pytest.approx(100.0, rel=0.2)
+        assert row["shards_per_min"] == pytest.approx(20.0, rel=0.2)
+
+    def test_legacy_worker_reports_no_rates(self, queue):
+        queue.register_worker("w0")
+        (row,) = queue.worker_detail()
+        assert row["counters"] is None
+        assert row["trials_per_min"] is None
+
+    def test_status_includes_detail(self, queue):
+        queue.register_worker("w0")
+        queue.touch_worker("w0", counters={"trials_executed": 1})
+        status = queue.status()
+        assert [r["worker"] for r in status["workers"]["detail"]] == ["w0"]
+
+
+class TestClaimModes:
+    def test_free_shard_claims_with_claim_mode(self, queue):
+        queue.register_worker("w0")
+        shard_id, mode = _claim_next(queue, "w0")
+        assert mode == "claim"
+        assert shard_id in queue.shard_ids()
+
+    def test_expired_lease_steals_with_steal_mode(self, tmp_path, make_scenario):
+        queue = FabricQueue(tmp_path / "job")
+        # One shard only: w1's sole route to work is reaping w0's lease.
+        queue.create_job(make_scenario(sizes=(8,)), lease_ttl=0.1)
+        queue.register_worker("w0")
+        queue.register_worker("w1")
+        shard_id, _ = _claim_next(queue, "w0")
+        time.sleep(0.4)  # let w0's lease expire without a heartbeat
+        stolen = None
+        deadline = time.time() + 5.0
+        while stolen is None and time.time() < deadline:
+            stolen = _claim_next(queue, "w1")
+        assert stolen is not None
+        stolen_id, mode = stolen
+        assert (stolen_id, mode) == (shard_id, "steal")
+
+
+class TestRunWorkerCounters:
+    def test_summary_and_heartbeat_counters(self, tmp_path, make_scenario):
+        queue = FabricQueue(tmp_path / "job")
+        scenario = make_scenario()
+        queue.create_job(scenario)
+        summary = run_worker(queue.root, worker_id="solo")
+        counters = summary["counters"]
+        total_trials = len(scenario.sizes) * scenario.trials
+        assert counters["trials_executed"] == total_trials
+        assert counters["shards_claimed"] == len(scenario.sizes)
+        assert counters["shards_completed"] == len(scenario.sizes)
+        assert counters["shards_stolen"] == 0
+        assert counters["execute_seconds"] > 0
+        # The final enriched heartbeat published the same counters.
+        assert queue.worker_record("solo")["counters"] == counters
+        (row,) = queue.worker_detail()
+        assert row["trials_per_min"] > 0

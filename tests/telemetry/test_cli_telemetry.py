@@ -1,0 +1,147 @@
+"""CLI surface of the telemetry spine: --trace/--profile, profile, trace
+validate, fabric status throughput."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.telemetry import validate_file
+
+
+class TestTraceFlag:
+    def test_elect_trace_is_schema_valid(self, tmp_path, capsys):
+        trace = tmp_path / "elect.jsonl"
+        assert main(
+            ["elect", "--topology", "complete", "-n", "32",
+             "--drop-rate", "0.05", "--trace", str(trace)]
+        ) == 0
+        counts = validate_file(trace)
+        assert counts["engine_start"] == 1
+        assert counts["engine_end"] == 1
+        assert counts["round"] >= 1
+
+    def test_sweep_trace_covers_run_and_trial_spans(self, tmp_path, capsys):
+        trace = tmp_path / "sweep.jsonl"
+        assert main(
+            ["sweep", "--scenario", "ring-le/lcr", "--sizes", "8,12",
+             "--trials", "2", "--jobs", "2", "--no-cache",
+             "--trace", str(trace)]
+        ) == 0
+        counts = validate_file(trace)
+        assert counts["run_start"] == 1
+        assert counts["run_end"] == 1
+        assert counts["trial_start"] == 4
+        assert counts["trial_end"] == 4
+        assert counts["engine_start"] == 4
+
+    def test_worker_inherits_trace_through_fabric(self, tmp_path, capsys):
+        trace = tmp_path / "fab.jsonl"
+        assert main(
+            ["sweep", "--scenario", "ring-le/lcr", "--sizes", "8,12",
+             "--trials", "2", "--fabric", str(tmp_path / "fab"),
+             "--workers", "2", "--no-cache", "--trace", str(trace)]
+        ) == 0
+        counts = validate_file(trace)
+        assert counts["run_start"] == 1
+        assert counts["worker_start"] >= 2
+        assert counts["shard_claim"] == 2
+        assert counts["shard_done"] == 2
+        assert counts["engine_start"] == 4
+
+
+class TestTraceValidateCommand:
+    def test_valid_file_reports_counts(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(
+            ["elect", "--topology", "complete", "-n", "16",
+             "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "validate", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "engine_start:1" in out
+
+    def test_invalid_file_is_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"v":1,"event":"teleport","ts":1.0}\n')
+        assert main(["trace", "validate", str(bad)]) == 2
+        assert "unknown event" in capsys.readouterr().err
+
+    def test_missing_file_is_exit_2(self, tmp_path, capsys):
+        assert main(["trace", "validate", str(tmp_path / "nope.jsonl")]) == 2
+
+
+class TestProfileSurface:
+    def test_profile_command_prints_phase_table(self, capsys):
+        assert main(
+            ["profile", "--scenario", "ring-le-lossy/lcr", "--sizes", "8,12",
+             "--trials", "2", "--jobs", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "phase profile: ring-le-lossy/lcr" in out
+        assert "engine.gather" in out
+        assert "engine.step" in out
+        assert "engine.deliver" in out
+
+    def test_profile_command_merges_pooled_workers(self, capsys):
+        assert main(
+            ["profile", "--scenario", "ring-le/lcr", "--sizes", "8,12",
+             "--trials", "2", "--jobs", "2"]
+        ) == 0
+        assert "engine.step" in capsys.readouterr().out
+
+    def test_unknown_scenario_is_exit_2(self, capsys):
+        assert main(["profile", "--scenario", "no-such"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_sweep_profile_flag_never_changes_output(self, capsys):
+        argv = ["sweep", "--scenario", "ring-le/lcr", "--sizes", "8,12",
+                "--trials", "2", "--jobs", "1", "--no-cache"]
+        assert main(argv) == 0
+        bare = capsys.readouterr().out
+        assert main(argv + ["--profile"]) == 0
+        assert capsys.readouterr().out == bare
+
+
+class TestFabricStatusThroughput:
+    def _sweep(self, fabric_dir):
+        return main(
+            ["sweep", "--scenario", "ring-le/lcr", "--sizes", "8,12",
+             "--trials", "2", "--fabric", str(fabric_dir), "--workers", "2",
+             "--no-cache"]
+        )
+
+    def test_status_shows_per_worker_rates(self, tmp_path, capsys):
+        assert self._sweep(tmp_path / "fab") == 0
+        capsys.readouterr()
+        assert main(["fabric", "status", str(tmp_path / "fab")]) == 0
+        out = capsys.readouterr().out
+        assert "trials/min" in out
+        assert "shards/min" in out
+
+    def test_status_json_exposes_counters(self, tmp_path, capsys):
+        assert self._sweep(tmp_path / "fab") == 0
+        capsys.readouterr()
+        assert main(["fabric", "status", str(tmp_path / "fab"), "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        detail = status["workers"]["detail"]
+        assert len(detail) >= 2
+        executed = sum(r["counters"]["trials_executed"] for r in detail)
+        assert executed == 4  # 2 sizes x 2 trials
+        assert all(r["trials_per_min"] is not None for r in detail)
+
+    def test_watch_exits_when_job_is_drained(self, tmp_path, capsys):
+        assert self._sweep(tmp_path / "fab") == 0
+        capsys.readouterr()
+        assert main(
+            ["fabric", "status", str(tmp_path / "fab"), "--watch",
+             "--interval", "0.1"]
+        ) == 0
+        assert "shards   : 2 done" in capsys.readouterr().out
+
+
+class TestLogLevel:
+    def test_root_flag_accepted(self, capsys):
+        assert main(["--log-level", "debug", "list"]) == 0
+        assert capsys.readouterr().out

@@ -1,0 +1,145 @@
+"""MetricsRegistry: instruments, snapshot/delta/merge, exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import MetricsRegistry, metrics_registry, reset_metrics
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_decrease(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_test_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("repro_test_gauge")
+        gauge.set(7)
+        gauge.inc(2)
+        gauge.dec(4)
+        assert gauge.value == 5
+
+    def test_histogram_buckets_are_le_bounds(self):
+        histogram = MetricsRegistry().histogram(
+            "repro_test_seconds", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.1, 0.5, 5.0, 100.0):
+            histogram.observe(value)
+        # slots: <=0.1, <=1.0, <=10.0, +Inf
+        assert histogram.counts == [2, 1, 1, 1]
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(105.65)
+
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total")
+        with pytest.raises(ValueError, match="is a counter, not a gauge"):
+            registry.gauge("repro_test_total")
+
+
+class TestSnapshotDeltaMerge:
+    def test_delta_omits_unmoved_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(3)
+        registry.histogram("h").observe(0.2)
+        before = registry.snapshot()
+        registry.counter("a").inc(2)
+        delta = registry.delta(before)
+        assert delta == {"a": {"kind": "counter", "value": 2}}
+
+    def test_counter_delta_roundtrips_through_merge(self):
+        # The pool-worker pattern: child ships a delta, parent folds it in.
+        parent = MetricsRegistry()
+        parent.counter("a").inc(10)
+        child = MetricsRegistry()
+        base = child.snapshot()
+        child.counter("a").inc(4)
+        child.counter("b").inc(1)
+        parent.merge(child.delta(base))
+        assert parent.counter("a").value == 14
+        assert parent.counter("b").value == 1
+
+    def test_gauge_merge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(3)
+        registry.merge({"g": {"kind": "gauge", "value": 9}})
+        assert registry.gauge("g").value == 9
+
+    def test_histogram_merge_adds_counts(self):
+        left = MetricsRegistry()
+        right = MetricsRegistry()
+        left.histogram("h", buckets=(1.0,)).observe(0.5)
+        right.histogram("h", buckets=(1.0,)).observe(2.0)
+        left.merge(right.snapshot())
+        merged = left.histogram("h", buckets=(1.0,))
+        assert merged.counts == [1, 1]
+        assert merged.count == 2
+        assert merged.sum == pytest.approx(2.5)
+
+    def test_histogram_bucket_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        with pytest.raises(ValueError, match="bucket mismatch"):
+            registry.merge(
+                {
+                    "h": {
+                        "kind": "histogram",
+                        "buckets": [2.0],
+                        "counts": [0, 0],
+                        "sum": 0.0,
+                        "count": 0,
+                    }
+                }
+            )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            MetricsRegistry().merge({"x": {"kind": "summary", "value": 1}})
+
+
+class TestExporters:
+    def test_prometheus_text_format(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_runs_total", help="runs").inc(2)
+        histogram = registry.histogram("repro_seconds", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(9.0)
+        text = registry.to_prometheus()
+        assert "# HELP repro_runs_total runs" in text
+        assert "# TYPE repro_runs_total counter" in text
+        assert "repro_runs_total 2" in text
+        # Buckets are cumulative, closed by +Inf, sum and count.
+        assert 'repro_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_seconds_bucket{le="1.0"} 2' in text
+        assert 'repro_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_seconds_sum 9.55" in text
+        assert "repro_seconds_count 3" in text
+
+    def test_json_export_is_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.gauge("g").set(2.5)
+        registry.histogram("h").observe(0.01)
+        payload = json.loads(json.dumps(registry.to_json()))
+        assert payload["metrics"]["a"] == {"kind": "counter", "value": 1}
+        assert payload["metrics"]["g"]["value"] == 2.5
+        assert payload["metrics"]["h"]["count"] == 1
+
+
+def test_process_registry_is_shared_and_resettable():
+    metrics_registry().counter("repro_shared_total").inc()
+    assert metrics_registry().counter("repro_shared_total").value == 1
+    reset_metrics()
+    assert metrics_registry().get("repro_shared_total") is None

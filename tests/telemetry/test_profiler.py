@@ -1,0 +1,83 @@
+"""PhaseProfiler: accumulation, delta/merge plumbing, report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import (
+    PhaseProfiler,
+    current_profiler,
+    format_profile,
+    set_profiling,
+)
+
+
+class TestAccumulation:
+    def test_add_accumulates_seconds_and_hits(self):
+        prof = PhaseProfiler()
+        prof.add("engine.step", 0.5)
+        prof.add("engine.step", 0.25, hits=3)
+        assert prof.snapshot() == {
+            "engine.step": {"seconds": 0.75, "hits": 4}
+        }
+
+    def test_timer_charges_wall_time(self):
+        prof = PhaseProfiler()
+        with prof.timer("phase"):
+            pass
+        state = prof.snapshot()["phase"]
+        assert state["hits"] == 1
+        assert state["seconds"] >= 0.0
+
+    def test_delta_reports_only_moved_phases(self):
+        prof = PhaseProfiler()
+        prof.add("a", 1.0)
+        before = prof.snapshot()
+        prof.add("b", 0.5)
+        assert prof.delta(before) == {"b": {"seconds": 0.5, "hits": 1}}
+
+    def test_merge_folds_worker_deltas(self):
+        parent = PhaseProfiler()
+        parent.add("engine.step", 1.0)
+        parent.merge({"engine.step": {"seconds": 0.5, "hits": 2}})
+        assert parent.snapshot()["engine.step"] == {
+            "seconds": 1.5,
+            "hits": 3,
+        }
+
+    def test_reset(self):
+        prof = PhaseProfiler()
+        prof.add("a", 1.0)
+        prof.reset()
+        assert prof.snapshot() == {}
+
+
+class TestContext:
+    def test_off_by_default(self):
+        assert current_profiler() is None
+
+    def test_set_profiling_toggles(self):
+        set_profiling(True)
+        prof = current_profiler()
+        assert prof is not None
+        assert current_profiler() is prof  # stable while enabled
+        set_profiling(False)
+        assert current_profiler() is None
+
+
+class TestFormat:
+    def test_empty_profile(self):
+        assert format_profile({}) == "(no phases recorded)"
+
+    def test_sorted_by_seconds_with_shares(self):
+        text = format_profile(
+            {
+                "engine.step": {"seconds": 1.0, "hits": 10},
+                "engine.gather": {"seconds": 3.0, "hits": 10},
+            }
+        )
+        lines = text.splitlines()
+        assert lines[0].split() == ["phase", "seconds", "share", "hits"]
+        assert lines[1].startswith("engine.gather")
+        assert "75.0%" in lines[1]
+        assert "25.0%" in lines[2]

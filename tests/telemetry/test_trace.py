@@ -1,0 +1,148 @@
+"""JSONL tracer: record shape, schema validation, env resolution."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
+    JsonlTracer,
+    TraceSchemaError,
+    current_tracer,
+    reset_telemetry,
+    set_trace_path,
+    validate_file,
+    validate_record,
+)
+
+
+class TestJsonlTracer:
+    def test_emits_versioned_envelope(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = JsonlTracer(path)
+        tracer.emit("worker_start", worker="w0", fabric="/tmp/fab")
+        tracer.close()
+        record = json.loads(path.read_text())
+        assert record["v"] == TRACE_SCHEMA_VERSION
+        assert record["event"] == "worker_start"
+        assert isinstance(record["ts"], float)
+        assert record["worker"] == "w0"
+
+    def test_numpy_scalars_serialize_as_plain_numbers(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = JsonlTracer(path)
+        tracer.emit(
+            "round",
+            label="x",
+            round=np.int64(3),
+            sent=np.int32(5),
+            units=7,
+            dropped=0,
+            delayed=0,
+            duplicated=0,
+        )
+        tracer.close()
+        record = json.loads(path.read_text())
+        assert record["round"] == 3 and isinstance(record["round"], int)
+        validate_record(record)
+
+    def test_appends_across_reopens(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        for index in range(2):
+            tracer = JsonlTracer(path)
+            tracer.emit("shard_claim", worker="w", shard=f"p{index}", mode="claim")
+            tracer.close()
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_null_tracer_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.emit("round")  # no-op, no error
+        NULL_TRACER.close()
+
+    def test_env_resolution(self, tmp_path, monkeypatch):
+        assert current_tracer() is NULL_TRACER
+        trace = tmp_path / "env.jsonl"
+        set_trace_path(trace)
+        tracer = current_tracer()
+        assert tracer.enabled and tracer.path == str(trace)
+        assert current_tracer() is tracer  # cached until the path changes
+        set_trace_path(None)
+        assert current_tracer() is NULL_TRACER
+
+    def test_reset_telemetry_drops_cached_tracer(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", str(tmp_path / "a.jsonl"))
+        first = current_tracer()
+        reset_telemetry()
+        assert current_tracer() is not first
+
+
+class TestValidateRecord:
+    def _round(self, **overrides):
+        record = {
+            "v": TRACE_SCHEMA_VERSION,
+            "event": "round",
+            "ts": 1.0,
+            "label": "x",
+            "round": 0,
+            "sent": 1,
+            "units": 1,
+            "dropped": 0,
+            "delayed": 0,
+            "duplicated": 0,
+        }
+        record.update(overrides)
+        return record
+
+    def test_valid_record_passes(self):
+        validate_record(self._round())
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(TraceSchemaError, match="schema version"):
+            validate_record(self._round(v=99))
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(TraceSchemaError, match="unknown event"):
+            validate_record(self._round(event="teleport"))
+
+    def test_missing_required_field_rejected(self):
+        record = self._round()
+        del record["dropped"]
+        with pytest.raises(TraceSchemaError, match="missing required field"):
+            validate_record(record)
+
+    def test_int_fields_type_checked(self):
+        with pytest.raises(TraceSchemaError, match="must be an int"):
+            validate_record(self._round(sent="5"))
+
+    def test_extra_fields_allowed(self):
+        validate_record(self._round(custom="annotation"))
+
+
+class TestValidateFile:
+    def test_counts_per_event(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = JsonlTracer(path)
+        tracer.emit("worker_start", worker="w", fabric="f")
+        tracer.emit("shard_claim", worker="w", shard="p0", mode="claim")
+        tracer.emit("shard_claim", worker="w", shard="p1", mode="steal")
+        tracer.close()
+        assert validate_file(path) == {"worker_start": 1, "shard_claim": 2}
+
+    def test_offending_line_is_named(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        good = json.dumps(
+            {"v": TRACE_SCHEMA_VERSION, "event": "worker_start", "ts": 1.0,
+             "worker": "w", "fabric": "f"}
+        )
+        path.write_text(good + "\n{not json\n")
+        with pytest.raises(TraceSchemaError, match=r"bad\.jsonl:2"):
+            validate_file(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("\n\n")
+        assert validate_file(path) == {}
