@@ -907,31 +907,122 @@ def _cmd_fabric(args) -> int:
         time_module.sleep(args.interval)
 
 
-def _scenario_dict(scenario) -> dict:
-    """JSON-ready catalogue entry for ``repro scenarios --json``."""
-    from repro.network.kernels import resolve_kernel
+def _cmd_serve(args) -> int:
+    _apply_engine(args.engine)
+    _apply_telemetry(args)
+    try:
+        _apply_kernel(args.kernel)
+    except (ValueError, RuntimeError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    from repro.runtime import ResultStore
+    from repro.serve import ServeApp, serve_forever
 
-    return {
-        "name": scenario.name,
-        "protocol": scenario.protocol,
-        "topology": {
-            "family": scenario.topology.family,
-            "params": dict(scenario.topology.params),
-            "fixed_seed": scenario.topology.fixed_seed,
-        },
-        "sizes": list(scenario.sizes),
-        "params": dict(scenario.params),
-        "trials": scenario.trials,
-        "seed": scenario.seed,
-        "normalize_by": scenario.normalize_by,
-        "adversary": (
-            scenario.adversary.key_dict() if scenario.adversary else None
-        ),
-        "node_api": scenario.node_api,
-        "resolved_node_api": scenario.resolved_node_api,
-        "kernel": resolve_kernel(),
-        "description": scenario.description,
-    }
+    store = ResultStore(
+        root=args.store, memory_entries=args.store_memory
+    )
+    app = ServeApp(
+        fabric_root=args.fabric_dir,
+        store=store,
+        workers=args.workers,
+        max_jobs=args.max_jobs,
+        lease_ttl=args.lease_ttl,
+        run_memory=args.run_memory,
+    )
+
+    def ready(server) -> None:
+        host, port = server.server_address[:2]
+        print(
+            f"repro serve listening on http://{host}:{port} "
+            f"({args.workers} fabric workers/job, {args.max_jobs} "
+            f"concurrent jobs, fabric {args.fabric_dir}, store {store.root})",
+            flush=True,
+        )
+
+    serve_forever(app, host=args.host, port=args.port, ready_callback=ready)
+    print(
+        f"repro serve drained cleanly after {app.requests} request(s)",
+        flush=True,
+    )
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    import json
+
+    from repro.telemetry import metrics_registry
+
+    if (args.scenario is None) == (args.fabric is None):
+        print(
+            "metrics needs exactly one of --scenario or --fabric",
+            file=sys.stderr,
+        )
+        return 2
+    registry = metrics_registry()
+    if args.scenario is not None:
+        _apply_engine(args.engine)
+        try:
+            _apply_kernel(args.kernel)
+            sizes = _parse_sizes(args.sizes)
+        except (ValueError, RuntimeError) as error:
+            print(error, file=sys.stderr)
+            return 2
+        from repro.runtime import get_scenario, run_scenario
+
+        try:
+            scenario = get_scenario(args.scenario)
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            return 2
+        try:
+            run_scenario(
+                scenario,
+                jobs=args.jobs,
+                sizes=sizes,
+                trials=args.trials,
+                seed=args.seed,
+                store=None,
+            )
+        except (ValueError, RuntimeError) as error:
+            print(error, file=sys.stderr)
+            return 2
+    else:
+        from repro.fabric import FabricQueue
+
+        queue = FabricQueue(args.fabric)
+        try:
+            queue.manifest()
+        except FileNotFoundError as error:
+            print(error, file=sys.stderr)
+            return 2
+        # Fold the fleet's enriched heartbeat counters into registry
+        # shape, so a finished (or running) fabric job exports through
+        # the same Prometheus/JSON formatters a live process would.
+        merged: dict[str, float] = {}
+        for worker_id in queue.registered_workers():
+            counters = (queue.worker_record(worker_id) or {}).get(
+                "counters"
+            ) or {}
+            for key, value in counters.items():
+                if isinstance(value, (int, float)):
+                    merged[key] = merged.get(key, 0) + value
+        for key, value in sorted(merged.items()):
+            registry.counter(
+                f"repro_fabric_worker_{key}",
+                help="summed from fabric worker heartbeat counters",
+            ).inc(value)
+        progress = queue.progress()
+        registry.gauge("repro_fabric_shards_total").set(
+            progress["shards"]["total"]
+        )
+        registry.gauge("repro_fabric_shards_done").set(
+            progress["shards"]["done"]
+        )
+    if args.format == "json":
+        print(json.dumps(registry.to_json(), indent=2, sort_keys=True))
+    else:
+        print(registry.to_prometheus(), end="")
+    return 0
 
 
 def _cmd_protocols(args) -> int:
@@ -941,16 +1032,10 @@ def _cmd_protocols(args) -> int:
     from repro.runtime import default_registry
 
     if getattr(args, "json", False):
-        from repro.network.kernels import resolve_kernel
+        # The same payload `repro serve` answers on GET /v1/protocols.
+        from repro.serve.api import protocols_payload
 
-        kernel = resolve_kernel()
-        print(json.dumps(
-            [
-                dict(spec.describe_dict(), kernel=kernel)
-                for spec in default_registry()
-            ],
-            indent=2,
-        ))
+        print(json.dumps(protocols_payload(), indent=2))
         return 0
     rows = [
         [
@@ -976,13 +1061,10 @@ def _cmd_scenarios(args) -> int:
     if args.protocols:
         return _cmd_protocols(args)
     if getattr(args, "json", False):
-        print(json.dumps(
-            [
-                _scenario_dict(scenario)
-                for _, scenario in sorted(SCENARIOS.items())
-            ],
-            indent=2,
-        ))
+        # The same payload `repro serve` answers on GET /v1/scenarios.
+        from repro.serve.api import scenarios_payload
+
+        print(json.dumps(scenarios_payload(), indent=2))
         return 0
     rows = [
         [
@@ -1339,6 +1421,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fabric_status_parser.set_defaults(handler=_cmd_fabric)
 
+    serve = commands.add_parser(
+        "serve",
+        help="long-running HTTP scenario service with tiered caching",
+        description="Serve the scenario runtime over HTTP: GET "
+        "/v1/protocols and /v1/scenarios dump the catalogue, POST "
+        "/v1/runs answers hot scenarios straight from the tiered result "
+        "cache (in-process LRU over the on-disk store) and queues cold "
+        "ones as single-flighted fabric jobs with a bounded worker "
+        "fleet; GET /v1/runs/<id> polls, /v1/runs/<id>/events streams "
+        "progress, /metrics exports Prometheus text, /healthz reports "
+        "liveness.  SIGTERM drains gracefully: stop accepting, finish "
+        "in-flight jobs, release leases.",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8765, help="bind port (0: pick a free one)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="fabric worker processes per cold job",
+    )
+    serve.add_argument(
+        "--max-jobs",
+        type=int,
+        default=2,
+        help="cold jobs computing concurrently (further ones queue)",
+    )
+    serve.add_argument(
+        "--fabric-dir",
+        default="benchmarks/results/serve-fabric",
+        metavar="DIR",
+        help="root directory for the server's fabric job queues",
+    )
+    serve.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="result store root (default: REPRO_RESULT_CACHE or the "
+        "standard cache directory)",
+    )
+    serve.add_argument(
+        "--store-memory",
+        type=int,
+        default=256,
+        metavar="N",
+        help="trial sets held in the store's in-process memory tier",
+    )
+    serve.add_argument(
+        "--run-memory",
+        type=int,
+        default=128,
+        metavar="N",
+        help="assembled scenario runs held in the tier-1 LRU",
+    )
+    serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        help="fabric lease heartbeat TTL for serve-owned jobs (seconds)",
+    )
+    serve.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        default=None,
+        help="engine backend for computed runs (workers inherit)",
+    )
+    _add_kernel_flag(serve)
+    _add_telemetry_flags(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
     cache = commands.add_parser(
         "cache", help="inspect or empty the on-disk result cache"
     )
@@ -1422,6 +1578,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="also append JSONL trace records to FILE while profiling",
     )
     profile.set_defaults(handler=_cmd_profile, profile=False)
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="run a scenario (or read a fabric job) and dump the registry",
+        description="Export the telemetry metrics registry without "
+        "standing up the server: --scenario runs one catalogue scenario "
+        "in-process and dumps the counters/histograms it charged; "
+        "--fabric folds a fabric job's worker heartbeat counters into "
+        "registry shape instead.  --format picks Prometheus text "
+        "(what `repro serve` answers on GET /metrics) or JSON.",
+    )
+    metrics.add_argument(
+        "--scenario", default=None, help="scenario name (see: scenarios)"
+    )
+    metrics.add_argument(
+        "--fabric",
+        default=None,
+        metavar="DIR",
+        help="read a fabric job's worker counters instead of running",
+    )
+    metrics.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="output format (default: Prometheus text exposition)",
+    )
+    metrics.add_argument("--sizes", help="comma-separated size grid override")
+    metrics.add_argument("--trials", type=int, help="trials per size override")
+    metrics.add_argument("--seed", type=int, help="scenario seed override")
+    metrics.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for trials (default: all cores; per-worker "
+        "registry deltas merge into the dump)",
+    )
+    metrics.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        default=None,
+        help="engine backend for the scenario run",
+    )
+    _add_kernel_flag(metrics)
+    metrics.set_defaults(handler=_cmd_metrics)
 
     trace = commands.add_parser(
         "trace", help="work with JSONL trace files"

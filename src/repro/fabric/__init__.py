@@ -33,6 +33,7 @@ from repro.fabric.queue import (
     DEFAULT_LEASE_TTL,
     FabricQueue,
     IncompleteSweepError,
+    list_jobs,
 )
 from repro.fabric.serialize import (
     adversary_from_dict,
@@ -57,6 +58,7 @@ __all__ = [
     "elect_reaper",
     "execute_shard",
     "fabric_status",
+    "list_jobs",
     "run_fabric_sweep",
     "run_worker",
     "scenario_from_dict",

@@ -503,3 +503,99 @@ class FabricQueue:
             },
             "leases": leases,
         }
+
+    def progress(self, now: float | None = None) -> dict:
+        """A compact polling snapshot for ``repro serve`` job status.
+
+        Cheaper than :meth:`status`: counts marker files instead of
+        parsing every lease, and folds the workers' enriched heartbeat
+        counters into a live trial total — the number a progress bar or
+        SSE stream actually wants.
+        """
+        now = time.time() if now is None else now
+        if _read_json(self.manifest_path) is None:
+            return {
+                "created": False,
+                "shards": {"total": 0, "done": 0, "leased": 0, "pending": 0},
+                "workers_live": 0,
+                "trials_executed": 0,
+            }
+        shard_ids = self.shard_ids()
+        done = {p.stem for p in self.done_dir.glob("p*.json")}
+        leased = {p.stem for p in self.leases_dir.glob("p*.json")}
+        trials = 0
+        for worker_id in self.registered_workers():
+            record = self.worker_record(worker_id) or {}
+            counters = record.get("counters") or {}
+            value = counters.get("trials_executed", 0)
+            if isinstance(value, (int, float)):
+                trials += int(value)
+        return {
+            "created": True,
+            "shards": {
+                "total": len(shard_ids),
+                "done": len(done),
+                "leased": len(leased - done),
+                "pending": len(shard_ids) - len(done),
+            },
+            "workers_live": len(self.live_workers(now)),
+            "trials_executed": trials,
+        }
+
+    def revalidate_done(self) -> int:
+        """Drop done markers whose store entry has vanished; returns count.
+
+        A done marker promises "the result is in the store", but the
+        store is LRW-capped and shared — an eviction between runs can
+        orphan the marker, and a resumed fleet would then collect a hole.
+        Re-checking before spawning keeps :meth:`all_done` honest; the
+        affected shards simply become pending again (recompute is always
+        safe, the store is content-addressed).
+        """
+        scenario = self.scenario()
+        store = self.store()
+        removed = 0
+        for marker in sorted(self.done_dir.glob("p*.json")):
+            try:
+                shard = self.shard(marker.stem)
+            except KeyError:
+                marker.unlink(missing_ok=True)
+                removed += 1
+                continue
+            if store.load(scenario, int(shard["n"]), int(shard["position"])) is None:
+                marker.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+
+def list_jobs(root: str | os.PathLike) -> list[dict]:
+    """One row per fabric job directory under ``root``, name-sorted.
+
+    The ``repro serve`` job listing: each immediate subdirectory holding
+    a readable manifest contributes its scenario identity plus a
+    :meth:`FabricQueue.progress` snapshot.  Torn or foreign directories
+    are skipped, not raised — the serve fabric root is long-lived.
+    """
+    root = pathlib.Path(root)
+    rows: list[dict] = []
+    if not root.is_dir():
+        return rows
+    for manifest_path in sorted(root.glob("*/manifest.json")):
+        manifest = _read_json(manifest_path)
+        if manifest is None:
+            continue
+        queue = FabricQueue(manifest_path.parent)
+        scenario = manifest.get("scenario") or {}
+        rows.append(
+            {
+                "job": manifest_path.parent.name,
+                "dir": str(manifest_path.parent),
+                "scenario": scenario.get("name"),
+                "protocol": scenario.get("protocol"),
+                "sizes": scenario.get("sizes"),
+                "trials": scenario.get("trials"),
+                "created_at": manifest.get("created_at"),
+                "progress": queue.progress(),
+            }
+        )
+    return rows

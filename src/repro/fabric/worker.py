@@ -20,6 +20,13 @@ The worker heartbeats its lease once per trial.  A worker that dies
 mid-shard simply stops heartbeating; the lease expires and the shard is
 re-issued (see :mod:`repro.fabric.queue` for the reaping rules).
 
+``SIGTERM`` is the *polite* stop: the worker finishes the trial it is
+on, saves and marks the shard done if that trial was the last one,
+releases its lease immediately (no TTL wait for the rest of the fleet),
+and emits its ``worker_exit`` trace event with ``drained`` set.  Only
+``SIGKILL`` still relies on lease expiry — that is the honest-crash
+path :class:`FaultPlan` exercises.
+
 :class:`FaultPlan` is the fault-injection harness for the fabric itself:
 it lets tests and CI kill a worker mid-shard with a real ``SIGKILL`` (no
 cleanup, no release — the honest crash) or scribble over its own lease
@@ -32,6 +39,7 @@ import logging
 import os
 import signal
 import socket
+import threading
 import time
 from dataclasses import dataclass
 from time import perf_counter
@@ -52,6 +60,10 @@ __all__ = [
     "shard_trial_rngs",
     "worker_entry",
 ]
+
+
+class _DrainRequested(Exception):
+    """Internal: SIGTERM asked us to stop after the trial that just ran."""
 
 
 @dataclass(frozen=True)
@@ -147,14 +159,51 @@ def run_worker(
     poll: float = 0.2,
     max_shards: int | None = None,
     fault_plan: FaultPlan | None = None,
+    drain: threading.Event | None = None,
 ) -> dict:
     """Join the fleet at ``fabric_dir`` and work until the sweep is done.
 
-    Returns a summary dict (worker id, completed shard ids, trials run).
-    The loop is crash-oriented: every step either completes a shard
-    idempotently or leaves a lease that expires on its own — there is no
-    state a ``SIGKILL`` at any instruction can corrupt.
+    Returns a summary dict (worker id, completed shard ids, trials run,
+    whether the exit was a drain).  The loop is crash-oriented: every
+    step either completes a shard idempotently or leaves a lease that
+    expires on its own — there is no state a ``SIGKILL`` at any
+    instruction can corrupt.
+
+    ``drain`` is the graceful-stop signal: when set (by SIGTERM — wired
+    up automatically when running on the main thread — or by a caller),
+    the worker finishes the trial in flight, abandons the rest of the
+    shard, releases its lease, and exits cleanly.  A drain that lands on
+    a shard's *last* trial lets the normal save + mark-done path finish
+    first, so the work is never thrown away needlessly.
     """
+    drain = threading.Event() if drain is None else drain
+    installed = False
+    previous_sigterm = None
+    if threading.current_thread() is threading.main_thread():
+        previous_sigterm = signal.signal(
+            signal.SIGTERM, lambda signum, frame: drain.set()
+        )
+        installed = True
+    try:
+        return _run_worker_loop(
+            fabric_dir, worker_id, poll, max_shards, fault_plan, drain
+        )
+    finally:
+        if installed:
+            signal.signal(
+                signal.SIGTERM,
+                signal.SIG_DFL if previous_sigterm is None else previous_sigterm,
+            )
+
+
+def _run_worker_loop(
+    fabric_dir,
+    worker_id: str | None,
+    poll: float,
+    max_shards: int | None,
+    fault_plan: FaultPlan | None,
+    drain: threading.Event,
+) -> dict:
     queue = FabricQueue(fabric_dir)
     # The manifest parse is the worker's serialize cost — charged to its
     # phase breakdown so `repro profile`/status can show where slow
@@ -189,7 +238,10 @@ def run_worker(
     }
     completed: list[str] = []
     trials_done = 0
-    while max_shards is None or len(completed) < max_shards:
+    while (
+        not drain.is_set()
+        and (max_shards is None or len(completed) < max_shards)
+    ):
         queue.touch_worker(worker_id, counters=counters)
         t_claim = perf_counter()
         claimed = _claim_next(queue, worker_id)
@@ -215,6 +267,7 @@ def run_worker(
         shard = queue.shard(shard_id)
         position, n = int(shard["position"]), int(shard["n"])
         shard_trials = 0
+        abandoned = False
         try:
             trial_set = store.load(scenario, n, position)
             if trial_set is None:
@@ -228,67 +281,90 @@ def run_worker(
                     queue.touch_worker(worker_id, counters=counters)
                     if fault_plan is not None:
                         fault_plan.fire(queue, shard_id, trials_done)
+                    # A drain landing on the shard's last trial changes
+                    # nothing — let the normal save/mark-done finish.
+                    if drain.is_set() and index < scenario.trials:
+                        raise _DrainRequested
 
                 t_execute = perf_counter()
-                trial_set = execute_shard(scenario, position, on_trial)
+                try:
+                    trial_set = execute_shard(scenario, position, on_trial)
+                except _DrainRequested:
+                    abandoned = True
                 execute_seconds = perf_counter() - t_execute
                 counters["execute_seconds"] = round(
                     counters["execute_seconds"] + execute_seconds, 6
                 )
-                registry.histogram("repro_fabric_shard_seconds").observe(
-                    execute_seconds
-                )
                 if prof is not None:
                     prof.add("fabric.execute", execute_seconds)
-                t_save = perf_counter()
-                path = store.save(scenario, n, position, trial_set)
-                save_seconds = perf_counter() - t_save
-                counters["save_seconds"] = round(
-                    counters["save_seconds"] + save_seconds, 6
-                )
-                if prof is not None:
-                    prof.add("fabric.save", save_seconds)
+                if abandoned:
+                    logger.info(
+                        "worker %s draining: abandoning %s after trial %d/%d",
+                        worker_id, shard_id, shard_trials, scenario.trials,
+                    )
+                else:
+                    registry.histogram("repro_fabric_shard_seconds").observe(
+                        execute_seconds
+                    )
+                    t_save = perf_counter()
+                    path = store.save(scenario, n, position, trial_set)
+                    save_seconds = perf_counter() - t_save
+                    counters["save_seconds"] = round(
+                        counters["save_seconds"] + save_seconds, 6
+                    )
+                    if prof is not None:
+                        prof.add("fabric.save", save_seconds)
             else:
                 # Resume/dedup: the result is already content-addressed
                 # in the store — only the done marker is missing.
                 counters["store_hits"] += 1
                 path = store.path_for(scenario, n, position)
-            queue.mark_done(
-                shard_id,
-                worker_id,
-                {"position": position, "n": n, "store_file": path.name},
-            )
-            completed.append(shard_id)
-            counters["shards_completed"] += 1
-            if tracer.enabled:
-                tracer.emit(
-                    "shard_done",
-                    worker=worker_id,
-                    shard=shard_id,
-                    trials=shard_trials,
-                    n=n,
-                    position=position,
+            if not abandoned:
+                queue.mark_done(
+                    shard_id,
+                    worker_id,
+                    {"position": position, "n": n, "store_file": path.name},
                 )
-            logger.info("worker %s completed %s (n=%d)", worker_id, shard_id, n)
+                completed.append(shard_id)
+                counters["shards_completed"] += 1
+                if tracer.enabled:
+                    tracer.emit(
+                        "shard_done",
+                        worker=worker_id,
+                        shard=shard_id,
+                        trials=shard_trials,
+                        n=n,
+                        position=position,
+                    )
+                logger.info(
+                    "worker %s completed %s (n=%d)", worker_id, shard_id, n
+                )
         finally:
+            # Releasing here is what makes the drain *graceful*: the
+            # abandoned shard is free for the rest of the fleet right
+            # now, not after a lease-TTL expiry.
             queue.release(shard_id, worker_id)
     queue.touch_worker(worker_id, counters=counters)
     queue.reap_done_leases()
+    drained = drain.is_set()
     if tracer.enabled:
         tracer.emit(
             "worker_exit",
             worker=worker_id,
             shards=len(completed),
             trials=trials_done,
+            drained=drained,
         )
     logger.info(
-        "worker %s exiting: %d shards, %d trials", worker_id, len(completed), trials_done
+        "worker %s exiting%s: %d shards, %d trials",
+        worker_id, " (drained)" if drained else "", len(completed), trials_done,
     )
     return {
         "worker": worker_id,
         "completed": completed,
         "trials": trials_done,
         "all_done": queue.all_done(),
+        "drained": drained,
         "counters": dict(counters),
     }
 

@@ -17,6 +17,16 @@ are required (and tested) to leave aggregates bit-identical.  The
 *resolved* node API ("batch"/"scalar") **is** part of the key (format v3)
 even though the two are parity-tested too — an entry should always be
 reproducible under the dispatch path its key names.
+
+Long-lived processes (``repro serve``) can additionally enable an
+in-process **memory tier** (``memory_entries=N`` or
+``REPRO_RESULT_CACHE_MEM``): a thread-safe LRU of deserialized trial
+sets in front of the disk files, with a single-flight table so many
+threads asking for the same key trigger exactly one disk read.  The
+memory tier never changes what :meth:`load` returns — it only skips
+re-parsing JSON — and it is off by default, so short-lived CLI runs and
+multi-process fabric workers (whose memory would never be shared anyway)
+keep the plain disk path.
 """
 
 from __future__ import annotations
@@ -26,6 +36,8 @@ import json
 import os
 import pathlib
 import re
+import threading
+from collections import OrderedDict
 from typing import TYPE_CHECKING
 
 from repro.telemetry import metrics_registry
@@ -69,8 +81,23 @@ def _default_max_entries() -> int:
     return int(raw) if raw else DEFAULT_CACHE_MAX_ENTRIES
 
 
+def _default_memory_entries() -> int:
+    raw = os.environ.get("REPRO_RESULT_CACHE_MEM", "")
+    return int(raw) if raw else 0
+
+
 def _slug(name: str) -> str:
     return re.sub(r"[^A-Za-z0-9._-]+", "_", name)
+
+
+class _InFlightLoad:
+    """One pending disk load; followers park on the event."""
+
+    __slots__ = ("event", "result")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.result: "TrialSet | None" = None
 
 
 class ResultStore:
@@ -86,6 +113,7 @@ class ResultStore:
         self,
         root: str | os.PathLike | None = None,
         max_entries: int | None = None,
+        memory_entries: int | None = None,
     ):
         self.root = pathlib.Path(root) if root is not None else _default_root()
         self.max_entries = (
@@ -93,6 +121,18 @@ class ResultStore:
         )
         if self.max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {self.max_entries}")
+        self.memory_entries = (
+            memory_entries
+            if memory_entries is not None
+            else _default_memory_entries()
+        )
+        if self.memory_entries < 0:
+            raise ValueError(
+                f"memory_entries must be >= 0, got {self.memory_entries}"
+            )
+        self._memory: OrderedDict[str, "TrialSet"] = OrderedDict()
+        self._memory_lock = threading.Lock()
+        self._inflight: dict[str, _InFlightLoad] = {}
 
     # -- keying ----------------------------------------------------------------
 
@@ -140,7 +180,62 @@ class ResultStore:
     def load(
         self, scenario: "Scenario", n: int, position: int
     ) -> "TrialSet | None":
-        """The cached trial set for this exact (scenario, n, position)."""
+        """The cached trial set for this exact (scenario, n, position).
+
+        With the memory tier enabled, concurrent loads of one key are
+        single-flighted: the first thread in does the disk read, everyone
+        else waits on it and shares the same deserialized object.
+        ``repro_store_memory_{hits,misses}_total`` count tier-1 traffic;
+        the existing ``repro_store_{hits,misses}_total`` keep counting
+        actual disk reads, so "one disk load for N callers" is visible in
+        the metrics.
+        """
+        if not self.memory_entries:
+            return self._load_disk(scenario, n, position)
+        key = self.path_for(scenario, n, position).name
+        registry = metrics_registry()
+        with self._memory_lock:
+            cached = self._memory.get(key)
+            if cached is not None:
+                self._memory.move_to_end(key)
+                registry.counter("repro_store_memory_hits_total").inc()
+                return cached
+            flight = self._inflight.get(key)
+            leader = flight is None
+            if leader:
+                flight = _InFlightLoad()
+                self._inflight[key] = flight
+        if not leader:
+            flight.event.wait()
+            tier1 = (
+                "repro_store_memory_hits_total"
+                if flight.result is not None
+                else "repro_store_memory_misses_total"
+            )
+            registry.counter(tier1).inc()
+            return flight.result
+        registry.counter("repro_store_memory_misses_total").inc()
+        try:
+            result = self._load_disk(scenario, n, position)
+            flight.result = result
+            if result is not None:
+                self._memory_put(key, result)
+            return result
+        finally:
+            with self._memory_lock:
+                self._inflight.pop(key, None)
+            flight.event.set()
+
+    def _memory_put(self, key: str, trial_set: "TrialSet") -> None:
+        with self._memory_lock:
+            self._memory[key] = trial_set
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.memory_entries:
+                self._memory.popitem(last=False)
+
+    def _load_disk(
+        self, scenario: "Scenario", n: int, position: int
+    ) -> "TrialSet | None":
         from repro.runtime.runner import TrialSet
 
         path = self.path_for(scenario, n, position)
@@ -189,6 +284,8 @@ class ResultStore:
         tmp.write_text(json.dumps(payload, sort_keys=True, default=str, indent=1))
         tmp.replace(path)  # atomic on POSIX: readers never see partial JSON
         metrics_registry().counter("repro_store_saves_total").inc()
+        if self.memory_entries:
+            self._memory_put(path.name, trial_set)
         self.evict()
         return path
 
@@ -219,11 +316,15 @@ class ResultStore:
                 total += path.stat().st_size
             except OSError:
                 continue
+        with self._memory_lock:
+            memory_entries = len(self._memory)
         return {
             "root": str(self.root),
             "entries": len(paths),
             "bytes": total,
             "max_entries": self.max_entries,
+            "memory_entries": memory_entries,
+            "memory_entries_cap": self.memory_entries,
         }
 
     def evict(self) -> int:
@@ -256,4 +357,6 @@ class ResultStore:
                 removed += 1
             for path in self.root.glob("*.tmp"):
                 path.unlink(missing_ok=True)
+        with self._memory_lock:
+            self._memory.clear()
         return removed

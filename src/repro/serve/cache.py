@@ -1,0 +1,99 @@
+"""Tiered answer cache for ``repro serve``.
+
+Tier 1 is an in-process LRU of fully assembled
+:class:`~repro.runtime.runner.ScenarioRun` objects keyed on the exact
+serialized scenario (``scenario_json`` — the same canonical text fabric
+manifests compare).  Tier 2 is the content-addressed on-disk
+:class:`~repro.runtime.store.ResultStore`: a scenario whose every grid
+position has a stored trial set is assembled without running anything.
+Misses in both tiers are *cold* — the caller queues a fabric job.
+
+Tier naming is load-bearing for clients: a ``POST /v1/runs`` answer
+carries ``"tier": "memory"`` or ``"tier": "store"`` so the CI smoke leg
+(and any operator) can tell "served from RAM" from "assembled from
+disk" from "computed fresh".  A completed job deliberately does **not**
+pre-warm tier 1 — the first re-request after a cold computation
+exercises the store-assembly path end to end, and only then does the
+run earn its memory slot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+from repro.fabric.serialize import scenario_json
+from repro.runtime.runner import ScenarioRun
+from repro.runtime.scenario import Scenario
+from repro.runtime.store import ResultStore
+from repro.telemetry import metrics_registry
+
+__all__ = ["RunCache", "scenario_key"]
+
+
+def scenario_key(scenario: Scenario) -> str:
+    """Digest of the canonical serialized scenario — cache and job id."""
+    return hashlib.sha256(scenario_json(scenario).encode()).hexdigest()[:16]
+
+
+class RunCache:
+    """Thread-safe two-tier lookup of assembled scenario runs."""
+
+    def __init__(self, store: ResultStore, memory_entries: int = 128):
+        if memory_entries < 1:
+            raise ValueError(
+                f"memory_entries must be >= 1, got {memory_entries}"
+            )
+        self.store = store
+        self.memory_entries = memory_entries
+        self._runs: OrderedDict[str, ScenarioRun] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def lookup(self, scenario: Scenario) -> tuple[str, ScenarioRun] | None:
+        """``(tier, run)`` when the scenario is hot, None when cold.
+
+        ``tier`` is ``"memory"`` (tier-1 LRU hit) or ``"store"`` (every
+        grid position was in the result store; the assembled run is
+        promoted into tier 1 for next time).
+        """
+        key = scenario_key(scenario)
+        registry = metrics_registry()
+        with self._lock:
+            run = self._runs.get(key)
+            if run is not None:
+                self._runs.move_to_end(key)
+                registry.counter("repro_serve_hits_memory_total").inc()
+                return "memory", run
+        trial_sets = []
+        for position, n in enumerate(scenario.sizes):
+            trial_set = self.store.load(scenario, n, position)
+            if trial_set is None:
+                registry.counter("repro_serve_misses_total").inc()
+                return None
+            trial_sets.append(trial_set)
+        run = ScenarioRun(
+            scenario=scenario,
+            trial_sets=tuple(trial_sets),
+            meta={"executor": "serve-cache", "tier": "store"},
+        )
+        self.insert(scenario, run)
+        registry.counter("repro_serve_hits_store_total").inc()
+        return "store", run
+
+    def insert(self, scenario: Scenario, run: ScenarioRun) -> None:
+        key = scenario_key(scenario)
+        with self._lock:
+            self._runs[key] = run
+            self._runs.move_to_end(key)
+            while len(self._runs) > self.memory_entries:
+                self._runs.popitem(last=False)
+
+    def stats(self) -> dict:
+        with self._lock:
+            memory_runs = len(self._runs)
+        return {
+            "memory_runs": memory_runs,
+            "memory_runs_cap": self.memory_entries,
+            "store": self.store.stats(),
+        }

@@ -1,0 +1,220 @@
+"""Single-flight job table: cold requests become fabric jobs, exactly once.
+
+A job's identity **is** its scenario: the id is the digest of the
+canonical serialized scenario (:func:`repro.serve.cache.scenario_key`),
+so N concurrent identical ``POST /v1/runs`` requests collapse onto one
+:class:`ServeJob` structurally — the first submit creates and starts the
+job, every other request *attaches* to it (counted in
+``repro_serve_singleflight_attached_total``) and polls the same id.  The
+dedup needs no request-level bookkeeping because identical scenarios
+cannot have distinct ids.
+
+Each job is driven by :func:`repro.fabric.run_fabric_sweep`, which owns
+the worker fleet for that job: it spawns ``workers`` fork-context
+processes, respawns the fleet when every worker has died (within its
+crash budget), and collects the result bit-identical to ``jobs=1``.
+The table bounds concurrency with a thread pool of ``max_jobs``
+supervisor threads — at most ``max_jobs * workers`` worker processes
+exist at once, and further cold requests queue.
+
+Draining is cooperative: :meth:`JobTable.drain` stops accepting work
+and blocks until in-flight sweeps finish; their workers exit through
+the normal ``all_done`` path, releasing leases on the way out.
+"""
+
+from __future__ import annotations
+
+import logging
+import pathlib
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.fabric import DEFAULT_LEASE_TTL, FabricQueue, run_fabric_sweep
+from repro.runtime.runner import ScenarioRun
+from repro.runtime.scenario import Scenario
+from repro.runtime.store import ResultStore
+from repro.serve.cache import scenario_key
+from repro.telemetry import metrics_registry
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["JobTable", "ServeJob"]
+
+#: Terminal job states.
+_FINISHED = ("done", "failed")
+
+
+class ServeJob:
+    """One cold computation: a scenario bound to a fabric job directory."""
+
+    def __init__(self, job_id: str, scenario: Scenario, fabric_dir: pathlib.Path):
+        self.id = job_id
+        self.scenario = scenario
+        self.fabric_dir = fabric_dir
+        self.state = "queued"
+        self.created_at = time.time()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.error: str | None = None
+        self.run: ScenarioRun | None = None
+        #: Requests that deduped onto this job after it was created.
+        self.attached = 0
+        self.cond = threading.Condition()
+
+    @property
+    def finished(self) -> bool:
+        return self.state in _FINISHED
+
+
+class JobTable:
+    """Owns cold jobs: single-flight dedup, bounded execution, progress."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        fabric_root,
+        workers: int = 1,
+        max_jobs: int = 2,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        poll: float = 0.05,
+        job_timeout: float | None = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_jobs < 1:
+            raise ValueError(f"max_jobs must be >= 1, got {max_jobs}")
+        self.store = store
+        self.fabric_root = pathlib.Path(fabric_root)
+        self.workers = workers
+        self.lease_ttl = lease_ttl
+        self.poll = poll
+        self.job_timeout = job_timeout
+        self._jobs: dict[str, ServeJob] = {}
+        self._lock = threading.Lock()
+        self._draining = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_jobs, thread_name_prefix="serve-job"
+        )
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, scenario: Scenario) -> tuple[ServeJob, bool]:
+        """``(job, created)`` — created is False when the request attached
+        to an identical job already queued or running (single-flight)."""
+        key = scenario_key(scenario)
+        registry = metrics_registry()
+        with self._lock:
+            if self._draining:
+                raise RuntimeError("job table is draining")
+            job = self._jobs.get(key)
+            if job is not None and not job.finished:
+                job.attached += 1
+                registry.counter(
+                    "repro_serve_singleflight_attached_total"
+                ).inc()
+                return job, False
+            # A finished (done or failed) job is replaced: "done" should
+            # normally be answered by the cache tiers before reaching
+            # here, so a re-submit means the store entries were evicted
+            # or the last attempt failed — either way, recompute.
+            job = ServeJob(key, scenario, self.fabric_root / key)
+            self._jobs[key] = job
+        registry.counter("repro_serve_jobs_total").inc()
+        self._pool.submit(self._execute, job)
+        return job, True
+
+    def get(self, job_id: str) -> ServeJob | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def list(self) -> list[ServeJob]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.created_at)
+
+    # -- execution -------------------------------------------------------------
+
+    def _execute(self, job: ServeJob) -> None:
+        with job.cond:
+            job.state = "running"
+            job.started_at = time.time()
+            job.cond.notify_all()
+        try:
+            queue = FabricQueue(job.fabric_dir)
+            if queue.manifest_path.exists():
+                # Resuming an old job directory: done markers may point
+                # at store entries the LRW cap has since evicted.
+                dropped = queue.revalidate_done()
+                if dropped:
+                    logger.info(
+                        "job %s: %d stale done markers dropped", job.id, dropped
+                    )
+            run = run_fabric_sweep(
+                job.scenario,
+                job.fabric_dir,
+                workers=self.workers,
+                store=self.store,
+                lease_ttl=self.lease_ttl,
+                poll=self.poll,
+                timeout=self.job_timeout,
+                meta={"serve_job": job.id},
+            )
+            with job.cond:
+                job.run = run
+                job.state = "done"
+                job.finished_at = time.time()
+                job.cond.notify_all()
+            logger.info("job %s done (%s)", job.id, job.scenario.name)
+        except Exception as exc:  # noqa: BLE001 — becomes an API payload
+            logger.exception("job %s failed", job.id)
+            metrics_registry().counter("repro_serve_jobs_failed_total").inc()
+            with job.cond:
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.state = "failed"
+                job.finished_at = time.time()
+                job.cond.notify_all()
+
+    # -- observation -----------------------------------------------------------
+
+    def progress(self, job: ServeJob) -> dict:
+        """The job's fabric progress snapshot plus its table state."""
+        snapshot = FabricQueue(job.fabric_dir).progress()
+        snapshot["state"] = job.state
+        return snapshot
+
+    def wait(self, job: ServeJob, timeout: float | None = None) -> bool:
+        """Block until the job finishes; True iff it finished in time."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with job.cond:
+            while not job.finished:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                job.cond.wait(remaining if remaining is not None else 1.0)
+        return True
+
+    def stream(self, job: ServeJob, interval: float = 0.5):
+        """Yield progress snapshots until the job reaches a terminal state.
+
+        Always yields at least one snapshot (the current state), and
+        always ends with a terminal one — a subscriber that connects
+        after completion still sees the final state.
+        """
+        while True:
+            snapshot = self.progress(job)
+            yield snapshot
+            if snapshot["state"] in _FINISHED:
+                return
+            with job.cond:
+                if not job.finished:
+                    job.cond.wait(interval)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Refuse new jobs, finish queued + running ones, stop the pool."""
+        with self._lock:
+            self._draining = True
+        self._pool.shutdown(wait=True)

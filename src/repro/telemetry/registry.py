@@ -18,10 +18,19 @@ The conventional instruments (all under the ``repro_`` prefix):
   ``repro_engine_message_units_total``, the adversary loss classes
   ``repro_engine_messages_{dropped,delayed,duplicated}_total``, and
   ``repro_engine_nodes_crashed_total``;
-* result store — ``repro_store_{hits,misses,saves,evictions}_total``;
+* result store — ``repro_store_{hits,misses,saves,evictions}_total``
+  for the disk tier and ``repro_store_memory_{hits,misses}_total`` for
+  the optional in-process tier;
 * runner — the ``repro_trial_seconds`` histogram;
 * fabric — ``repro_fabric_{claims,lease_breaks,shards_done}_total`` and
-  the ``repro_fabric_shard_seconds`` histogram.
+  the ``repro_fabric_shard_seconds`` histogram;
+* serve — ``repro_serve_requests_total`` / ``repro_serve_errors_total``,
+  the ``repro_serve_request_seconds`` latency histogram, the answer
+  tiers ``repro_serve_hits_{memory,store}_total`` /
+  ``repro_serve_cold_total``, and the dedup pair
+  ``repro_serve_jobs_total`` /
+  ``repro_serve_singleflight_attached_total`` (requests that attached
+  to an already-in-flight identical job instead of spawning one).
 """
 
 from __future__ import annotations

@@ -64,6 +64,12 @@ TRACE_EVENTS: dict[str, tuple[str, ...]] = {
     "shard_claim": ("worker", "shard", "mode"),
     "shard_done": ("worker", "shard", "trials"),
     "worker_exit": ("worker", "shards", "trials"),
+    # Serve lifecycle and per-request events (repro serve).  Additive in
+    # schema v1: validators from before these events would reject them,
+    # but no existing record shape changed.
+    "serve_start": ("host", "port"),
+    "serve_request": ("method", "path", "status"),
+    "serve_exit": ("requests",),
 }
 
 _INT_FIELDS = frozenset(
@@ -86,6 +92,9 @@ _INT_FIELDS = frozenset(
         "dropped_adversary",
         "positions",
         "shards",
+        "port",
+        "status",
+        "requests",
     }
 )
 

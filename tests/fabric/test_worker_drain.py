@@ -1,0 +1,137 @@
+"""Satellite: SIGTERM asks a worker to stop *politely*.
+
+The drain contract: finish the trial in flight, abandon the rest of the
+shard, release the lease immediately (no TTL wait), emit a
+``worker_exit`` trace with ``drained`` set, exit 0.  Covered twice —
+in-process with an explicit drain event, and end-to-end with a real
+``SIGTERM`` against a forked worker process.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.fabric import FabricQueue
+from repro.fabric.worker import run_worker, worker_entry
+from repro.telemetry.trace import validate_record
+
+
+class TestDrainEvent:
+    def test_preset_drain_exits_before_claiming(self, tmp_path, make_scenario):
+        queue = FabricQueue(tmp_path / "job")
+        queue.create_job(make_scenario(), lease_ttl=5.0)
+        drain = threading.Event()
+        drain.set()
+        summary = run_worker(tmp_path / "job", "pre-drained", drain=drain)
+        assert summary["drained"] is True
+        assert summary["completed"] == []
+        assert summary["trials"] == 0
+        # Nothing was claimed, so nothing needs releasing.
+        assert list(queue.leases_dir.glob("p*.json")) == []
+
+    def test_mid_shard_drain_releases_lease_immediately(
+        self, tmp_path, make_scenario
+    ):
+        # One big shard the worker cannot finish before the drain lands.
+        scenario = make_scenario(sizes=(16,), trials=5000)
+        queue = FabricQueue(tmp_path / "job")
+        queue.create_job(scenario, lease_ttl=60.0)
+        drain = threading.Event()
+        summary: dict = {}
+
+        def work() -> None:
+            summary.update(
+                run_worker(tmp_path / "job", "drain-me", drain=drain)
+            )
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        # Drain as soon as the shard is actually leased.
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if list(queue.leases_dir.glob("p*.json")):
+                break
+            time.sleep(0.005)
+        drain.set()
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+
+        assert summary["drained"] is True
+        # The lease is gone *now* — released on the way out, not left to
+        # expire against its 60 s TTL.
+        assert list(queue.leases_dir.glob("p*.json")) == []
+        if not summary["completed"]:
+            # The common case: the shard was abandoned mid-flight, so it
+            # is still pending and nothing partial was saved.
+            assert not queue.all_done()
+            assert 0 < summary["trials"] < scenario.trials
+
+
+@pytest.mark.skipif(sys.platform != "linux", reason="fork start method")
+class TestSigterm:
+    def test_sigterm_drains_worker_process(
+        self, tmp_path, make_scenario, monkeypatch
+    ):
+        trace_path = tmp_path / "trace.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(trace_path))
+        scenario = make_scenario(sizes=(16,), trials=5000)
+        queue = FabricQueue(tmp_path / "job")
+        queue.create_job(scenario, lease_ttl=60.0)
+
+        context = multiprocessing.get_context("fork")
+        process = context.Process(
+            target=worker_entry,
+            args=(str(tmp_path / "job"), "sigterm-victim"),
+            kwargs={"poll": 0.05},
+        )
+        process.start()
+        try:
+            # Wait until the worker is provably mid-shard: its enriched
+            # heartbeat shows executed trials.
+            record_path = queue.workers_dir / "sigterm-victim.json"
+            deadline = time.monotonic() + 30
+            started = False
+            while time.monotonic() < deadline:
+                try:
+                    record = json.loads(record_path.read_text())
+                    if record.get("counters", {}).get("trials_executed", 0) > 0:
+                        started = True
+                        break
+                except (OSError, ValueError):
+                    pass
+                time.sleep(0.01)
+            assert started, "worker never reported an executed trial"
+
+            os.kill(process.pid, signal.SIGTERM)
+            process.join(timeout=60)
+        finally:
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=10)
+        # A drained worker exits cleanly — not via the default SIGTERM
+        # death (-15) a handler-less process would show.
+        assert process.exitcode == 0
+
+        # Lease released on exit, not left for TTL expiry.
+        assert list(queue.leases_dir.glob("p*.json")) == []
+
+        # The trace carries a schema-valid worker_exit with the drain bit.
+        records = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+            if line.strip()
+        ]
+        for record in records:
+            validate_record(record)
+        exits = [r for r in records if r["event"] == "worker_exit"]
+        assert len(exits) == 1
+        assert exits[0]["drained"] is True
+        assert exits[0]["worker"] == "sigterm-victim"

@@ -1,0 +1,148 @@
+"""Concurrent ResultStore memory-tier access (the serve hot path).
+
+The contract under hammer: N threads loading one key do exactly one
+disk read (single-flight), all share the same deserialized object, and
+the memory-tier hit/miss counters sum to the request count.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.runtime import Scenario, TopologySpec, run_scenario
+from repro.runtime.store import ResultStore
+from repro.telemetry import metrics_registry, reset_metrics
+
+THREADS = 16
+
+
+@pytest.fixture(autouse=True)
+def _isolated(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path / "default-cache"))
+    reset_metrics()
+    yield
+    reset_metrics()
+
+
+def _scenario(**overrides) -> Scenario:
+    base = dict(
+        name="memtier-test/star",
+        protocol="search-star/classical",
+        topology=TopologySpec("star"),
+        sizes=(8,),
+        trials=2,
+        seed=5,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def _hammer(store, scenario, n=8, position=0):
+    results = [None] * THREADS
+    barrier = threading.Barrier(THREADS)
+
+    def load(index: int) -> None:
+        barrier.wait()
+        results[index] = store.load(scenario, n, position)
+
+    threads = [
+        threading.Thread(target=load, args=(i,)) for i in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    return results
+
+
+def _value(delta: dict, name: str) -> float:
+    return delta.get(name, {}).get("value", 0)
+
+
+class TestMemoryTierConcurrency:
+    def test_one_disk_load_shared_object_counters_sum(self, tmp_path):
+        scenario = _scenario()
+        # Populate the disk tier through a memory-less store, so the
+        # hammered store's first load truly goes to disk.
+        run_scenario(scenario, jobs=1, store=ResultStore(tmp_path / "cache"))
+        store = ResultStore(tmp_path / "cache", memory_entries=8)
+        registry = metrics_registry()
+        before = registry.snapshot()
+
+        results = _hammer(store, scenario)
+
+        assert all(r is not None for r in results)
+        assert all(r is results[0] for r in results)  # one shared object
+        delta = registry.delta(before)
+        # Exactly one disk read for all THREADS callers...
+        assert _value(delta, "repro_store_hits_total") == 1
+        assert _value(delta, "repro_store_misses_total") == 0
+        # ...and the tier-1 counters account for every request: one
+        # single-flight leader missed, everyone else hit.
+        hits = _value(delta, "repro_store_memory_hits_total")
+        misses = _value(delta, "repro_store_memory_misses_total")
+        assert misses == 1
+        assert hits == THREADS - 1
+        assert hits + misses == THREADS
+
+    def test_absent_key_single_flights_the_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "cache", memory_entries=8)
+        scenario = _scenario(seed=99)  # nothing saved for this key
+        registry = metrics_registry()
+        before = registry.snapshot()
+
+        results = _hammer(store, scenario)
+
+        assert results == [None] * THREADS
+        delta = registry.delta(before)
+        # A None result is not cached, so threads arriving after a
+        # flight lands start a new one — but concurrent callers still
+        # share flights, so disk misses stay well below request count.
+        disk_misses = _value(delta, "repro_store_misses_total")
+        assert 1 <= disk_misses <= THREADS
+        assert _value(delta, "repro_store_memory_misses_total") == THREADS
+        assert _value(delta, "repro_store_memory_hits_total") == 0
+
+    def test_save_populates_memory_tier(self, tmp_path):
+        scenario = _scenario()
+        store = ResultStore(tmp_path / "cache", memory_entries=8)
+        run_scenario(scenario, jobs=1, store=store)
+        registry = metrics_registry()
+        before = registry.snapshot()
+        assert store.load(scenario, 8, 0) is not None
+        delta = registry.delta(before)
+        assert _value(delta, "repro_store_hits_total") == 0  # no disk read
+        assert _value(delta, "repro_store_memory_hits_total") == 1
+
+    def test_memory_cap_evicts_lru(self, tmp_path):
+        store = ResultStore(tmp_path / "cache", memory_entries=2)
+        for seed in (1, 2, 3):
+            run_scenario(_scenario(seed=seed), jobs=1, store=store)
+        assert store.stats()["memory_entries"] == 2
+        assert store.stats()["memory_entries_cap"] == 2
+
+    def test_disabled_tier_keeps_plain_disk_path(self, tmp_path):
+        scenario = _scenario()
+        store = ResultStore(tmp_path / "cache")  # memory off by default
+        run_scenario(scenario, jobs=1, store=store)
+        registry = metrics_registry()
+        before = registry.snapshot()
+        first = store.load(scenario, 8, 0)
+        second = store.load(scenario, 8, 0)
+        assert first == second
+        assert first is not second  # two independent disk parses
+        delta = registry.delta(before)
+        assert _value(delta, "repro_store_hits_total") == 2
+        assert _value(delta, "repro_store_memory_hits_total") == 0
+        assert _value(delta, "repro_store_memory_misses_total") == 0
+
+    def test_clear_drops_memory_tier(self, tmp_path):
+        scenario = _scenario()
+        store = ResultStore(tmp_path / "cache", memory_entries=8)
+        run_scenario(scenario, jobs=1, store=store)
+        assert store.stats()["memory_entries"] > 0
+        store.clear()
+        assert store.stats()["memory_entries"] == 0
+        assert store.load(scenario, 8, 0) is None

@@ -1,0 +1,67 @@
+"""RunCache tier behavior: memory promotion, store assembly, LRU cap."""
+
+from __future__ import annotations
+
+from repro.runtime import run_scenario
+from repro.runtime.store import ResultStore
+from repro.serve.cache import RunCache, scenario_key
+from repro.telemetry import metrics_registry
+
+
+def _counter(name: str) -> float:
+    metric = metrics_registry().get(name)
+    return 0 if metric is None else metric.value
+
+
+class TestRunCache:
+    def test_cold_scenario_misses_both_tiers(self, tmp_path, make_scenario):
+        cache = RunCache(ResultStore(tmp_path / "store"))
+        assert cache.lookup(make_scenario()) is None
+        assert _counter("repro_serve_misses_total") == 1
+
+    def test_store_tier_assembles_then_memory_promotes(
+        self, tmp_path, make_scenario
+    ):
+        store = ResultStore(tmp_path / "store")
+        scenario = make_scenario()
+        reference = run_scenario(scenario, jobs=1, store=store)
+        cache = RunCache(store)
+
+        tier, run = cache.lookup(scenario)
+        assert tier == "store"
+        assert run.trial_sets == reference.trial_sets
+
+        tier2, run2 = cache.lookup(scenario)
+        assert tier2 == "memory"
+        assert run2 is run  # the very same object, not a re-assembly
+        assert _counter("repro_serve_hits_store_total") == 1
+        assert _counter("repro_serve_hits_memory_total") == 1
+
+    def test_partial_store_is_cold(self, tmp_path, make_scenario):
+        store = ResultStore(tmp_path / "store")
+        scenario = make_scenario()
+        run = run_scenario(scenario, jobs=1, store=store)
+        # Evict one grid position's file: assembly must refuse.
+        missing = store.path_for(scenario, scenario.sizes[1], 1)
+        missing.unlink()
+        cache = RunCache(store)
+        assert cache.lookup(scenario) is None
+        del run
+
+    def test_lru_cap_evicts_oldest_run(self, tmp_path, make_scenario):
+        store = ResultStore(tmp_path / "store")
+        cache = RunCache(store, memory_entries=2)
+        scenarios = [make_scenario(seed=seed) for seed in (1, 2, 3)]
+        for scenario in scenarios:
+            run_scenario(scenario, jobs=1, store=store)
+            assert cache.lookup(scenario)[0] == "store"
+        assert cache.stats()["memory_runs"] == 2
+        # seed=1 was evicted: it re-assembles from the store tier.
+        assert cache.lookup(scenarios[0])[0] == "store"
+        assert cache.lookup(scenarios[2])[0] == "memory"
+
+    def test_key_is_scenario_identity(self, make_scenario):
+        assert scenario_key(make_scenario()) == scenario_key(make_scenario())
+        assert scenario_key(make_scenario()) != scenario_key(
+            make_scenario(seed=99)
+        )

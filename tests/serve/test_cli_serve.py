@@ -1,0 +1,74 @@
+"""CLI surface of the serve PR: ``repro metrics`` and catalogue parity."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestMetricsCommand:
+    def test_requires_exactly_one_source(self, capsys):
+        assert main(["metrics"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main(
+            ["metrics", "--scenario", "ring-le/lcr", "--fabric", "/tmp/x"]
+        ) == 2
+
+    def test_scenario_json_dump(self, capsys):
+        assert main(
+            ["metrics", "--scenario", "ring-le/lcr", "--sizes", "8",
+             "--trials", "1", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        metrics = payload["metrics"]
+        assert metrics["repro_engine_runs_total"]["value"] >= 1
+        assert metrics["repro_trial_seconds"]["kind"] == "histogram"
+
+    def test_scenario_prometheus_dump(self, capsys):
+        assert main(
+            ["metrics", "--scenario", "ring-le/lcr", "--sizes", "8",
+             "--trials", "1"]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE repro_engine_runs_total counter" in text
+        assert "repro_trial_seconds_bucket" in text
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["metrics", "--scenario", "no-such/thing"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err.lower()
+
+    def test_fabric_job_dump(self, tmp_path, capsys):
+        fabric = tmp_path / "fab"
+        assert main(
+            ["sweep", "--scenario", "ring-le/lcr", "--sizes", "8,12",
+             "--trials", "2", "--fabric", str(fabric), "--workers", "2",
+             "--lease-ttl", "5", "--no-cache"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["metrics", "--fabric", str(fabric)]) == 0
+        text = capsys.readouterr().out
+        assert "repro_fabric_shards_done 2" in text
+        assert "repro_fabric_worker_trials_executed" in text
+
+    def test_fabric_without_manifest_fails_cleanly(self, tmp_path, capsys):
+        assert main(["metrics", "--fabric", str(tmp_path / "empty")]) == 2
+        assert "no fabric job" in capsys.readouterr().err.lower()
+
+
+class TestCataloguePayloadParity:
+    def test_protocols_json_is_serve_payload(self, capsys):
+        from repro.serve.api import protocols_payload
+
+        assert main(["protocols", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == json.loads(
+            json.dumps(protocols_payload())
+        )
+
+    def test_scenarios_json_is_serve_payload(self, capsys):
+        from repro.serve.api import scenarios_payload
+
+        assert main(["scenarios", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == json.loads(
+            json.dumps(scenarios_payload())
+        )

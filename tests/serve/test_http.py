@@ -1,0 +1,211 @@
+"""The serve API over a real socket: routing, tiers, streaming, drain."""
+
+from __future__ import annotations
+
+import json
+
+from repro.fabric.serialize import scenario_to_dict
+from repro.runtime import run_scenario
+from repro.serve.api import protocols_payload, scenarios_payload
+
+
+class TestCatalogueEndpoints:
+    def test_healthz(self, client):
+        status, payload = client.get("/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["jobs"]["total"] == 0
+
+    def test_protocols_matches_cli_dump(self, client):
+        status, payload = client.get("/v1/protocols")
+        assert status == 200
+        assert payload["protocols"] == json.loads(
+            json.dumps(protocols_payload())
+        )
+
+    def test_scenarios_matches_cli_dump(self, client):
+        status, payload = client.get("/v1/scenarios")
+        assert status == 200
+        assert payload["scenarios"] == json.loads(
+            json.dumps(scenarios_payload())
+        )
+
+    def test_unknown_route_is_structured_404(self, client):
+        status, payload = client.get("/v1/nope")
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+
+    def test_unknown_job_is_structured_404(self, client):
+        status, payload = client.get("/v1/runs/deadbeefdeadbeef")
+        assert status == 404
+        assert payload["error"]["code"] == "unknown_job"
+
+    def test_bad_request_body_is_structured_400(self, client):
+        status, payload = client.post("/v1/runs", {"overrides": {}})
+        assert status == 400
+        assert payload["error"]["code"] == "missing_scenario"
+
+
+class TestRunFlow:
+    def test_hot_request_answers_synchronously(
+        self, client, serve_app, make_scenario
+    ):
+        scenario = make_scenario()
+        run_scenario(scenario, jobs=1, store=serve_app.store)
+        status, payload = client.post(
+            "/v1/runs", {"scenario": scenario_to_dict(scenario)}
+        )
+        assert status == 200
+        assert payload["tier"] == "store"
+        assert payload["status"] == "done"
+        assert payload["run"]["sizes"] == [8, 12, 16]
+        status2, payload2 = client.post(
+            "/v1/runs", {"scenario": scenario_to_dict(scenario)}
+        )
+        assert (status2, payload2["tier"]) == (200, "memory")
+
+    def test_cold_request_completes_via_polling(
+        self, client, make_scenario
+    ):
+        scenario = make_scenario(seed=31)
+        status, payload = client.post(
+            "/v1/runs", {"scenario": scenario_to_dict(scenario)}
+        )
+        assert status == 202
+        assert payload["tier"] == "cold"
+        location = payload["location"]
+
+        import time
+
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            status, polled = client.get(location)
+            assert status == 200
+            if polled["state"] in ("done", "failed"):
+                break
+            time.sleep(0.05)
+        assert polled["state"] == "done", polled.get("error")
+        assert polled["tier"] == "computed"
+        assert polled["progress"]["shards"]["done"] == 3
+        assert len(polled["run"]["trial_sets"]) == 3
+
+        # The job now shows up in the listing with fabric-side progress.
+        status, listing = client.get("/v1/runs")
+        assert status == 200
+        assert [job["job"] for job in listing["jobs"]] == [payload["job"]]
+        assert listing["fabric_jobs"][0]["progress"]["shards"]["done"] == 3
+
+    def test_events_stream_ends_with_terminal_state(
+        self, client, serve_app, make_scenario
+    ):
+        scenario = make_scenario(seed=47)
+        status, payload = client.post(
+            "/v1/runs", {"scenario": scenario_to_dict(scenario)}
+        )
+        assert status == 202
+        events = client.stream_lines(f"/v1/runs/{payload['job']}/events")
+        assert events  # at least one snapshot even if the job raced us
+        assert events[-1]["state"] == "done"
+        assert events[-1]["shards"]["done"] == 3
+
+    def test_metrics_endpoint_exports_prometheus_text(self, client):
+        client.get("/healthz")
+        status, text = client.get_text("/metrics")
+        assert status == 200
+        assert "# TYPE repro_serve_requests_total counter" in text
+        value = next(
+            line.split()[1]
+            for line in text.splitlines()
+            if line.startswith("repro_serve_requests_total ")
+        )
+        assert float(value) >= 1
+
+
+class TestDrain:
+    def test_draining_rejects_cold_accepts_hot(
+        self, client, serve_app, make_scenario
+    ):
+        hot = make_scenario()
+        run_scenario(hot, jobs=1, store=serve_app.store)
+        serve_app.draining = True
+        try:
+            status, payload = client.post(
+                "/v1/runs", {"scenario": scenario_to_dict(hot)}
+            )
+            assert (status, payload["tier"]) == (200, "store")
+            cold = make_scenario(seed=67)
+            status, payload = client.post(
+                "/v1/runs", {"scenario": scenario_to_dict(cold)}
+            )
+            assert status == 503
+            assert payload["error"]["code"] == "draining"
+            status, payload = client.get("/healthz")
+            assert payload["status"] == "draining"
+        finally:
+            serve_app.draining = False
+
+    def test_sigterm_drains_server_and_finishes_jobs(
+        self, tmp_path, make_scenario, monkeypatch
+    ):
+        """serve_forever + a real signal handler invocation: the accept
+        loop stops, in-flight jobs finish, leases are gone."""
+        import signal
+        import threading
+        import urllib.request
+
+        from repro.runtime.store import ResultStore
+        from repro.serve import ServeApp, serve_forever
+
+        store = ResultStore(tmp_path / "store", memory_entries=16)
+        app = ServeApp(
+            fabric_root=tmp_path / "fabric",
+            store=store,
+            workers=1,
+            max_jobs=1,
+            lease_ttl=10.0,
+            poll=0.02,
+        )
+        bound = {}
+        ready = threading.Event()
+
+        def on_ready(server) -> None:
+            bound["server"] = server
+            ready.set()
+
+        # Signals can't target a non-main thread; run the server loop in
+        # a thread with handlers off and call the drain path directly.
+        thread = threading.Thread(
+            target=serve_forever,
+            args=(app, "127.0.0.1", 0),
+            kwargs={"install_signals": False, "ready_callback": on_ready},
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(timeout=10)
+        server = bound["server"]
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+
+        scenario = make_scenario(seed=71)
+        request = urllib.request.Request(
+            f"{base}/v1/runs",
+            data=json.dumps(
+                {"scenario": scenario_to_dict(scenario)}
+            ).encode(),
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=60) as response:
+            payload = json.loads(response.read())
+        assert payload["tier"] == "cold"
+
+        # What the SIGTERM handler does, minus the actual signal.
+        app.draining = True
+        threading.Thread(target=server.shutdown, daemon=True).start()
+        thread.join(timeout=120)
+        assert not thread.is_alive()
+
+        job = app.jobs.get(payload["job"])
+        assert job is not None and job.state == "done"
+        job_dir = tmp_path / "fabric" / payload["job"]
+        assert not list((job_dir / "leases").glob("p*.json"))
+        assert signal.getsignal(signal.SIGTERM) is not None

@@ -1,0 +1,132 @@
+"""Single-flight dedup and fabric-backed bit-identity (the acceptance
+criteria): 8 concurrent identical cold requests → exactly one fabric
+job, and the computed run is bit-identical to ``run_scenario(jobs=1)``
+down to the v4 store bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.fabric.serialize import scenario_to_dict
+from repro.runtime import run_scenario
+from repro.runtime.store import ResultStore
+from repro.telemetry import metrics_registry
+
+
+def _counter(name: str) -> float:
+    metric = metrics_registry().get(name)
+    return 0 if metric is None else metric.value
+
+
+def _submit_body(scenario) -> bytes:
+    return json.dumps({"scenario": scenario_to_dict(scenario)}).encode()
+
+
+class TestSingleFlight:
+    def test_eight_concurrent_identical_colds_one_fabric_job(
+        self, serve_app, make_scenario
+    ):
+        scenario = make_scenario()
+        body = _submit_body(scenario)
+        results: list = [None] * 8
+        barrier = threading.Barrier(8)
+
+        def request(index: int) -> None:
+            barrier.wait()
+            results[index] = serve_app.submit_run(body)
+
+        threads = [
+            threading.Thread(target=request, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+
+        statuses = [status for status, _ in results]
+        payloads = [payload for _, payload in results]
+        assert statuses == [202] * 8
+        job_ids = {payload["job"] for payload in payloads}
+        assert len(job_ids) == 1  # everyone attached to the same job
+        assert sum(1 for payload in payloads if payload["created"]) == 1
+        assert _counter("repro_serve_singleflight_attached_total") == 7
+        assert _counter("repro_serve_jobs_total") == 1
+
+        job = serve_app.jobs.get(job_ids.pop())
+        assert serve_app.jobs.wait(job, timeout=120)
+        assert job.state == "done"
+        assert job.attached == 7
+        # Exactly one fabric job directory came into existence.
+        job_dirs = [
+            p for p in serve_app.jobs.fabric_root.iterdir() if p.is_dir()
+        ]
+        assert len(job_dirs) == 1
+
+    def test_sequential_resubmit_after_done_hits_store_tier(
+        self, serve_app, make_scenario
+    ):
+        scenario = make_scenario(seed=23)
+        body = _submit_body(scenario)
+        status, payload = serve_app.submit_run(body)
+        assert status == 202
+        job = serve_app.jobs.get(payload["job"])
+        assert serve_app.jobs.wait(job, timeout=120)
+        assert job.state == "done"
+
+        # The identical request is now hot: first from the store tier
+        # (the completed job does not pre-warm the run LRU), then from
+        # memory — and no new fabric job is created either time.
+        status2, payload2 = serve_app.submit_run(body)
+        assert (status2, payload2["tier"]) == (200, "store")
+        status3, payload3 = serve_app.submit_run(body)
+        assert (status3, payload3["tier"]) == (200, "memory")
+        assert _counter("repro_serve_jobs_total") == 1
+        assert payload2["run"]["trial_sets"] == payload3["run"]["trial_sets"]
+
+
+class TestBitIdentity:
+    def test_fabric_backed_run_matches_serial_aggregates_and_bytes(
+        self, serve_app, make_scenario, tmp_path
+    ):
+        scenario = make_scenario(seed=7)
+        status, payload = serve_app.submit_run(_submit_body(scenario))
+        assert status == 202
+        job = serve_app.jobs.get(payload["job"])
+        assert serve_app.jobs.wait(job, timeout=120)
+        assert job.state == "done", job.error
+
+        reference_store = ResultStore(tmp_path / "reference-store")
+        reference = run_scenario(scenario, jobs=1, store=reference_store)
+
+        assert job.run.trial_sets == reference.trial_sets
+        # v4 store bytes: same file names, identical contents.
+        for position, n in enumerate(scenario.sizes):
+            served = serve_app.store.path_for(scenario, n, position)
+            expected = reference_store.path_for(scenario, n, position)
+            assert served.name == expected.name
+            assert served.read_bytes() == expected.read_bytes()
+
+    def test_failed_job_reports_structured_error(self, serve_app):
+        # a torus needs a square n: n=7 raises inside every worker, the
+        # supervisor exhausts its respawn budget, the job fails cleanly.
+        from repro.runtime import Scenario, TopologySpec
+
+        scenario = Scenario(
+            name="serve-test/bad-torus",
+            protocol="le-mixing/classical",
+            topology=TopologySpec("torus"),
+            sizes=(7,),
+            trials=1,
+            seed=3,
+        )
+        status, payload = serve_app.submit_run(
+            json.dumps({"scenario": scenario_to_dict(scenario)}).encode()
+        )
+        assert status == 202
+        job = serve_app.jobs.get(payload["job"])
+        assert serve_app.jobs.wait(job, timeout=120)
+        assert job.state == "failed"
+        assert job.error
+        assert _counter("repro_serve_jobs_failed_total") == 1
